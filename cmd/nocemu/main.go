@@ -1,0 +1,140 @@
+// Command nocemu runs a NoC emulation and prints the monitor report —
+// the paper's flow steps 1-6 behind one binary.
+//
+// Run the paper's reference platform:
+//
+//	nocemu -paper -traffic burst -packets 10000
+//
+// or a platform described in JSON (see cmd/nocgen -example-config):
+//
+//	nocemu -config platform.json -cycles 1000000
+//
+// Output selection: -json for machine-readable results, -hist to append
+// ASCII histograms, -no-synthesis to skip the area estimate.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"nocemu/internal/control"
+	"nocemu/internal/flow"
+	"nocemu/internal/jsonio"
+	"nocemu/internal/monitor"
+	"nocemu/internal/platform"
+	"nocemu/internal/trace"
+)
+
+func main() {
+	var (
+		configPath = flag.String("config", "", "JSON platform configuration file")
+		paper      = flag.Bool("paper", false, "run the paper's 6-switch reference platform")
+		traffic    = flag.String("traffic", "uniform", "paper traffic flavor: uniform, burst, poisson, trace")
+		packets    = flag.Uint64("packets", 1000, "packets per traffic generator (0 = unlimited)")
+		load       = flag.Float64("load", 0.45, "offered load per TG in flits/cycle (paper platform)")
+		flits      = flag.Int("flits", 9, "flits per packet (paper platform)")
+		burst      = flag.Int("burst", 8, "packets per burst (paper trace traffic)")
+		bufDepth   = flag.Int("buf", 8, "switch input buffer depth (paper platform)")
+		seed       = flag.Uint("seed", 1, "platform seed")
+		cycles     = flag.Uint64("cycles", 10_000_000, "maximum emulated cycles")
+		jsonOut    = flag.Bool("json", false, "emit JSON instead of the text report")
+		hist       = flag.Bool("hist", false, "append receptor histograms")
+		noSynth    = flag.Bool("no-synthesis", false, "skip the FPGA area estimate")
+		recordDir  = flag.String("record-dir", "", "record every receptor's arrivals and write one trace file per receptor into this directory")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*configPath, *paper, *traffic, *packets, *load, *flits, *burst, *bufDepth, uint32(*seed))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocemu:", err)
+		os.Exit(1)
+	}
+	if *recordDir != "" {
+		for i := range cfg.TRs {
+			cfg.TRs[i].RecordTrace = true
+		}
+	}
+
+	rep, err := flow.Run(cfg, control.Program{}, flow.Options{
+		MaxCycles:     *cycles,
+		SkipSynthesis: *noSynth,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nocemu:", err)
+		os.Exit(1)
+	}
+
+	if *jsonOut {
+		if err := monitor.WriteJSON(os.Stdout, rep.Platform); err != nil {
+			fmt.Fprintln(os.Stderr, "nocemu:", err)
+			os.Exit(1)
+		}
+	} else {
+		if err := monitor.WriteReport(os.Stdout, rep.Platform, rep.Synthesis); err != nil {
+			fmt.Fprintln(os.Stderr, "nocemu:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("\nemulation speed: %.3g cycles/s (wall %v for %d cycles)\n",
+			rep.CyclesPerSecond, rep.Wall.Round(1000), rep.Exec.CyclesRun)
+	}
+	if *hist {
+		if err := monitor.WriteHistograms(os.Stdout, rep.Platform, 50); err != nil {
+			fmt.Fprintln(os.Stderr, "nocemu:", err)
+			os.Exit(1)
+		}
+	}
+	if *recordDir != "" {
+		if err := writeRecordings(rep.Platform, *recordDir); err != nil {
+			fmt.Fprintln(os.Stderr, "nocemu:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+// writeRecordings saves every receptor's recorded arrival trace as
+// <dir>/<receptor>.trace — the paper's trace-recording workflow: these
+// files feed trace-driven generators in later runs.
+func writeRecordings(p *platform.Platform, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, tr := range p.TRs() {
+		rec := tr.Recorded()
+		if rec == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, tr.ComponentName()+".trace"))
+		if err != nil {
+			return err
+		}
+		if err := trace.Write(f, rec); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func buildConfig(path string, paper bool, traffic string, packets uint64, load float64, flits, burst, bufDepth int, seed uint32) (platform.Config, error) {
+	switch {
+	case path != "":
+		return jsonio.LoadFile(path)
+	case paper:
+		return platform.PaperConfig(platform.PaperOptions{
+			Traffic:         platform.PaperTraffic(traffic),
+			PacketsPerTG:    packets,
+			Load:            load,
+			FlitsPerPacket:  flits,
+			PacketsPerBurst: burst,
+			BufDepth:        bufDepth,
+			Seed:            seed,
+		})
+	default:
+		return platform.Config{}, fmt.Errorf("pass -config FILE or -paper (see -help)")
+	}
+}

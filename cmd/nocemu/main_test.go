@@ -1,0 +1,81 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocemu/internal/jsonio"
+	"nocemu/internal/platform"
+)
+
+func TestBuildConfigPaper(t *testing.T) {
+	cfg, err := buildConfig("", true, "burst", 100, 0.45, 9, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "paper-burst" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if _, err := platform.Build(cfg); err != nil {
+		t.Errorf("paper config unbuildable: %v", err)
+	}
+}
+
+func TestBuildConfigFromFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	data, err := json.Marshal(jsonio.Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := buildConfig(path, false, "", 0, 0, 0, 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "example-ring" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+}
+
+func TestBuildConfigNeitherFlag(t *testing.T) {
+	if _, err := buildConfig("", false, "", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("missing mode accepted")
+	}
+}
+
+func TestBuildConfigBadTraffic(t *testing.T) {
+	if _, err := buildConfig("", true, "psychic", 1, 0.45, 9, 8, 8, 1); err == nil {
+		t.Error("unknown paper traffic accepted")
+	}
+}
+
+func TestWriteRecordings(t *testing.T) {
+	cfg, err := buildConfig("", true, "uniform", 20, 0.45, 4, 8, 8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range cfg.TRs {
+		cfg.TRs[i].RecordTrace = true
+	}
+	p, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := p.Run(1_000_000); !done {
+		t.Fatal("run did not finish")
+	}
+	dir := t.TempDir()
+	if err := writeRecordings(p, dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"tr100", "tr101", "tr102", "tr103"} {
+		if _, err := os.Stat(filepath.Join(dir, name+".trace")); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,99 @@
+// Command nocgen generates framework inputs: synthetic traffic traces
+// (burst-structured or constant-bit-rate, in the text or binary trace
+// format) and an example JSON platform configuration.
+//
+//	nocgen -kind burst -dst 100 -bursts 50 -ppb 8 -fpp 4 -load 0.45 -o app.trace
+//	nocgen -kind cbr -dst 100 -packets 1000 -len 4 -period 10 -o cbr.ntrc -binary
+//	nocgen -example-config > platform.json
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/jsonio"
+	"nocemu/internal/trace"
+)
+
+func main() {
+	var (
+		kind       = flag.String("kind", "burst", "trace kind: burst or cbr")
+		dst        = flag.Uint("dst", 100, "destination endpoint")
+		name       = flag.String("name", "synthetic", "trace name")
+		out        = flag.String("o", "", "output file (default stdout)")
+		binary     = flag.Bool("binary", false, "write the compact binary format")
+		exampleCfg = flag.Bool("example-config", false, "emit an example JSON platform configuration and exit")
+
+		// Burst parameters.
+		bursts = flag.Int("bursts", 100, "number of bursts (burst kind)")
+		ppb    = flag.Int("ppb", 8, "packets per burst (burst kind)")
+		fpp    = flag.Int("fpp", 4, "flits per packet (burst kind)")
+		load   = flag.Float64("load", 0.45, "average offered load in flits/cycle (burst kind)")
+
+		// CBR parameters.
+		packets = flag.Int("packets", 1000, "number of packets (cbr kind)")
+		length  = flag.Uint("len", 4, "flits per packet (cbr kind)")
+		period  = flag.Uint64("period", 10, "cycles between packets (cbr kind)")
+	)
+	flag.Parse()
+
+	if err := run(*kind, *dst, *name, *out, *binary, *exampleCfg,
+		*bursts, *ppb, *fpp, *load, *packets, *length, *period); err != nil {
+		fmt.Fprintln(os.Stderr, "nocgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(kind string, dst uint, name, out string, binary, exampleCfg bool,
+	bursts, ppb, fpp int, load float64, packets int, length uint, period uint64) error {
+	w := io.Writer(os.Stdout)
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+
+	if exampleCfg {
+		data, err := json.MarshalIndent(jsonio.Example(), "", "  ")
+		if err != nil {
+			return err
+		}
+		_, err = fmt.Fprintln(w, string(data))
+		return err
+	}
+
+	var tr *trace.Trace
+	var err error
+	switch kind {
+	case "burst":
+		tr, err = trace.SynthBurst(trace.BurstConfig{
+			Name: name, Dst: flit.EndpointID(dst),
+			NumBursts: bursts, PacketsPerBurst: ppb,
+			FlitsPerPacket: fpp, Load: load,
+		})
+	case "cbr":
+		tr, err = trace.SynthCBR(trace.CBRConfig{
+			Name: name, Dst: flit.EndpointID(dst),
+			NumPackets: packets, Len: uint16(length), Period: period,
+		})
+	default:
+		return fmt.Errorf("unknown trace kind %q", kind)
+	}
+	if err != nil {
+		return err
+	}
+	sum := tr.Summarize()
+	fmt.Fprintf(os.Stderr, "nocgen: %d records, %d flits, duration %d cycles, load %.3f, burstiness %.2f\n",
+		sum.Records, sum.TotalFlits, sum.Duration, sum.OfferedLoad, sum.Burstiness)
+	if binary {
+		return trace.WriteBinary(w, tr)
+	}
+	return trace.Write(w, tr)
+}

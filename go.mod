@@ -1,0 +1,3 @@
+module nocemu
+
+go 1.22

@@ -1,0 +1,117 @@
+// Package arb provides the output-port arbiters used inside the
+// emulated switches.
+//
+// Each switch output port carries one flit per cycle; when several
+// input ports hold head flits routed to the same output, an arbiter
+// picks the winner. The emulator ships the round-robin arbiter the
+// FPGA switches use, plus fixed-priority and least-recently-granted
+// policies for ablation studies.
+package arb
+
+import "fmt"
+
+// Requests reports, for requester index i in [0, n), whether i is
+// requesting a grant this cycle.
+type Requests func(i int) bool
+
+// Arbiter picks one winner among n requesters per cycle.
+type Arbiter interface {
+	// Grant returns the granted requester index, or ok=false when no
+	// requester is active.
+	Grant(req Requests) (winner int, ok bool)
+	// N returns the number of requesters.
+	N() int
+	// Reset restores the arbiter's initial priority state.
+	Reset()
+}
+
+// Policy names an arbitration policy for configuration files.
+type Policy string
+
+const (
+	// RoundRobin rotates priority to the requester after the last winner.
+	RoundRobin Policy = "round-robin"
+	// FixedPriority always favours the lowest index.
+	FixedPriority Policy = "fixed"
+	// LeastRecentlyGranted favours the requester idle the longest.
+	LeastRecentlyGranted Policy = "lrg"
+)
+
+// New builds an arbiter of the given policy for n requesters.
+func New(policy Policy, n int) (Arbiter, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("arb: %d requesters", n)
+	}
+	switch policy {
+	case RoundRobin:
+		return &roundRobin{n: n, next: 0}, nil
+	case FixedPriority:
+		return &fixed{n: n}, nil
+	case LeastRecentlyGranted:
+		a := &lrg{n: n, order: make([]int, n)}
+		a.Reset()
+		return a, nil
+	default:
+		return nil, fmt.Errorf("arb: unknown policy %q", policy)
+	}
+}
+
+type roundRobin struct {
+	n    int
+	next int // highest-priority requester this cycle
+}
+
+func (a *roundRobin) N() int { return a.n }
+
+func (a *roundRobin) Reset() { a.next = 0 }
+
+func (a *roundRobin) Grant(req Requests) (int, bool) {
+	for k := 0; k < a.n; k++ {
+		i := (a.next + k) % a.n
+		if req(i) {
+			a.next = (i + 1) % a.n
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+type fixed struct{ n int }
+
+func (a *fixed) N() int { return a.n }
+
+func (a *fixed) Reset() {}
+
+func (a *fixed) Grant(req Requests) (int, bool) {
+	for i := 0; i < a.n; i++ {
+		if req(i) {
+			return i, true
+		}
+	}
+	return 0, false
+}
+
+type lrg struct {
+	n     int
+	order []int // order[0] has highest priority
+}
+
+func (a *lrg) N() int { return a.n }
+
+func (a *lrg) Reset() {
+	for i := range a.order {
+		a.order[i] = i
+	}
+}
+
+func (a *lrg) Grant(req Requests) (int, bool) {
+	for pos, i := range a.order {
+		if req(i) {
+			// Move winner to the back: it becomes lowest priority.
+			copy(a.order[pos:], a.order[pos+1:])
+			a.order[a.n-1] = i
+			return i, true
+		}
+	}
+	return 0, false
+}

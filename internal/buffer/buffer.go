@@ -1,0 +1,170 @@
+// Package buffer implements the two-phase FIFO queues used as switch
+// input buffers.
+//
+// Buffer size is one of the three switch parameters the paper sweeps
+// (number of inputs, number of outputs, size of buffers), and buffer
+// occupancy is the raw signal behind the congestion statistics of the
+// trace-driven receptors.
+//
+// The FIFO follows the kernel's two-phase protocol: Push and Pop during
+// the Tick phase operate on committed state and stage their effects;
+// Commit applies them. Readers within the same cycle therefore always
+// observe the state as of the previous cycle, like a synchronous RAM.
+package buffer
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+)
+
+// FIFO is a fixed-capacity two-phase flit queue.
+type FIFO struct {
+	name  string
+	items []*flit.Flit // ring buffer
+	head  int
+	size  int
+
+	pendingPush *flit.Flit
+	pendingPop  bool
+
+	pushes       uint64
+	pops         uint64
+	sumOccupancy uint64
+	maxOccupancy int
+	cycles       uint64
+	blocked      uint64
+}
+
+// New returns an empty FIFO with the given capacity (>= 1).
+func New(name string, capacity int) (*FIFO, error) {
+	if capacity < 1 {
+		return nil, fmt.Errorf("buffer %s: capacity %d < 1", name, capacity)
+	}
+	return &FIFO{name: name, items: make([]*flit.Flit, capacity)}, nil
+}
+
+// MustNew is New for construction paths where the capacity is static.
+func MustNew(name string, capacity int) *FIFO {
+	f, err := New(name, capacity)
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Name returns the instance name.
+func (q *FIFO) Name() string { return q.name }
+
+// Cap returns the configured capacity.
+func (q *FIFO) Cap() int { return len(q.items) }
+
+// Len returns the committed occupancy.
+func (q *FIFO) Len() int { return q.size }
+
+// Empty reports whether the committed queue is empty.
+func (q *FIFO) Empty() bool { return q.size == 0 }
+
+// Full reports whether the committed queue plus staged pushes has no
+// room for another push this cycle.
+func (q *FIFO) Full() bool {
+	n := q.size
+	if q.pendingPush != nil {
+		n++
+	}
+	if q.pendingPop {
+		n--
+	}
+	return n >= len(q.items)
+}
+
+// Peek returns the committed head flit, or nil when empty.
+func (q *FIFO) Peek() *flit.Flit {
+	if q.size == 0 {
+		return nil
+	}
+	return q.items[q.head]
+}
+
+// Push stages the insertion of a flit. At most one push per cycle is
+// allowed (the buffer has one write port). Pushing into a full buffer is
+// a flow-control violation and returns an error.
+func (q *FIFO) Push(f *flit.Flit) error {
+	if f == nil {
+		return fmt.Errorf("buffer %s: push nil", q.name)
+	}
+	if q.pendingPush != nil {
+		return fmt.Errorf("buffer %s: double push in one cycle", q.name)
+	}
+	if q.Full() {
+		return fmt.Errorf("buffer %s: push into full buffer (credit protocol violated)", q.name)
+	}
+	q.pendingPush = f
+	return nil
+}
+
+// Pop stages the removal of the committed head flit and returns it. At
+// most one pop per cycle is allowed (one read port). Pop on an empty
+// queue returns nil.
+func (q *FIFO) Pop() *flit.Flit {
+	if q.size == 0 || q.pendingPop {
+		return nil
+	}
+	q.pendingPop = true
+	return q.items[q.head]
+}
+
+// MarkBlocked records that the head flit existed this cycle but could
+// not advance (lost arbitration or no downstream credit). This is the
+// congestion signal the paper's receptors count.
+func (q *FIFO) MarkBlocked() { q.blocked++ }
+
+// Commit applies staged operations and advances the occupancy
+// statistics.
+func (q *FIFO) Commit(cycle uint64) {
+	if q.pendingPop {
+		q.items[q.head] = nil
+		q.head = (q.head + 1) % len(q.items)
+		q.size--
+		q.pops++
+		q.pendingPop = false
+	}
+	if q.pendingPush != nil {
+		q.items[(q.head+q.size)%len(q.items)] = q.pendingPush
+		q.size++
+		q.pushes++
+		q.pendingPush = nil
+	}
+	q.cycles++
+	q.sumOccupancy += uint64(q.size)
+	if q.size > q.maxOccupancy {
+		q.maxOccupancy = q.size
+	}
+}
+
+// Stats is a snapshot of the buffer's counters.
+type Stats struct {
+	Pushes, Pops  uint64
+	Blocked       uint64
+	Cycles        uint64
+	MaxOccupancy  int
+	MeanOccupancy float64
+}
+
+// Stats returns the current counter snapshot.
+func (q *FIFO) Stats() Stats {
+	s := Stats{
+		Pushes: q.pushes, Pops: q.pops, Blocked: q.blocked,
+		Cycles: q.cycles, MaxOccupancy: q.maxOccupancy,
+	}
+	if q.cycles > 0 {
+		s.MeanOccupancy = float64(q.sumOccupancy) / float64(q.cycles)
+	}
+	return s
+}
+
+// ResetStats clears the counters without touching queued flits.
+func (q *FIFO) ResetStats() {
+	q.pushes, q.pops, q.blocked, q.cycles, q.sumOccupancy = 0, 0, 0, 0, 0
+	q.maxOccupancy = 0
+}

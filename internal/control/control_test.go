@@ -1,0 +1,215 @@
+package control
+
+import (
+	"fmt"
+	"testing"
+
+	"nocemu/internal/bus"
+	"nocemu/internal/regmap"
+)
+
+// fakeTG implements Enabler.
+type fakeTG struct{ on bool }
+
+func (f *fakeTG) SetEnabled(v bool) { f.on = v }
+func (f *fakeTG) Enabled() bool     { return f.on }
+
+// fakeRunner implements Runner.
+type fakeRunner struct {
+	cycle   uint64
+	stopAt  uint64
+	stopped bool
+}
+
+func (r *fakeRunner) Run(n uint64) uint64 {
+	r.cycle += n
+	return n
+}
+func (r *fakeRunner) RunUntil(maxCycles uint64) (uint64, bool) {
+	if r.stopAt > 0 && r.stopAt <= maxCycles {
+		r.cycle += r.stopAt
+		return r.stopAt, true
+	}
+	r.cycle += maxCycles
+	return maxCycles, false
+}
+func (r *fakeRunner) Cycle() uint64 { return r.cycle }
+
+// reg is a tiny writable device.
+type reg struct {
+	name string
+	vals map[uint32]uint32
+}
+
+func (r *reg) DeviceName() string { return r.name }
+func (r *reg) ReadReg(off uint32) (uint32, error) {
+	v, ok := r.vals[off]
+	if !ok {
+		return 0, fmt.Errorf("no reg 0x%x", off)
+	}
+	return v, nil
+}
+func (r *reg) WriteReg(off, v uint32) error {
+	r.vals[off] = v
+	return nil
+}
+
+func TestModuleValidation(t *testing.T) {
+	if _, err := NewModule("", func() uint64 { return 0 }, nil, 0, 0); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewModule("ctl", nil, nil, 0, 0); err == nil {
+		t.Error("nil cycle source accepted")
+	}
+}
+
+func TestModuleRegisters(t *testing.T) {
+	cycle := uint64(0x123456789)
+	a, b := &fakeTG{on: true}, &fakeTG{on: true}
+	m, err := NewModule("ctl", func() uint64 { return cycle }, []Enabler{a, b}, 4, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.DeviceName() != "ctl" {
+		t.Errorf("name = %q", m.DeviceName())
+	}
+	if v, _ := m.ReadReg(regmap.RegType); v != regmap.TypeControl {
+		t.Errorf("type = %d", v)
+	}
+	lo, _ := m.ReadReg(RegCycleLo)
+	hi, _ := m.ReadReg(RegCycleHi)
+	if uint64(hi)<<32|uint64(lo) != cycle {
+		t.Errorf("cycle regs = %x %x", hi, lo)
+	}
+	if v, _ := m.ReadReg(RegNumTG); v != 2 {
+		t.Errorf("numTG = %d", v)
+	}
+	if v, _ := m.ReadReg(RegNumTR); v != 4 {
+		t.Errorf("numTR = %d", v)
+	}
+	if v, _ := m.ReadReg(RegNumSw); v != 6 {
+		t.Errorf("numSw = %d", v)
+	}
+	if _, err := m.ReadReg(0x999); err == nil {
+		t.Error("unmapped read succeeded")
+	}
+	if err := m.WriteReg(0x999, 0); err == nil {
+		t.Error("unmapped write succeeded")
+	}
+}
+
+func TestModuleGlobalEnable(t *testing.T) {
+	a, b := &fakeTG{on: true}, &fakeTG{on: true}
+	m, _ := NewModule("ctl", func() uint64 { return 0 }, []Enabler{a, b}, 0, 0)
+	if v, _ := m.ReadReg(regmap.RegCtrl); v&regmap.CtrlEnable == 0 {
+		t.Error("enable bit clear with all TGs on")
+	}
+	if err := m.WriteReg(regmap.RegCtrl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if a.on || b.on {
+		t.Error("global stop did not fan out")
+	}
+	if v, _ := m.ReadReg(regmap.RegCtrl); v&regmap.CtrlEnable != 0 {
+		t.Error("enable bit set with TGs off")
+	}
+	if err := m.WriteReg(regmap.RegCtrl, regmap.CtrlEnable); err != nil {
+		t.Fatal(err)
+	}
+	if !a.on || !b.on {
+		t.Error("global start did not fan out")
+	}
+}
+
+func sysWithDevice(t *testing.T) (*bus.System, *reg) {
+	t.Helper()
+	sys := bus.NewSystem()
+	d := &reg{name: "dev0", vals: map[uint32]uint32{0x10: 7, 0x11: 1}}
+	if err := sys.Attach(0, 0, d); err != nil {
+		t.Fatal(err)
+	}
+	return sys, d
+}
+
+func TestCompileErrors(t *testing.T) {
+	sys, _ := sysWithDevice(t)
+	cases := []Program{
+		{Name: "empty"},
+		{Name: "unknown-dev", Instrs: []Instr{{Op: OpRead, Dev: "nope", Reg: 0}}},
+		{Name: "bad-op", Instrs: []Instr{{Op: OpKind("jump"), Dev: "dev0"}}},
+		{Name: "zero-run", Instrs: []Instr{{Op: OpRun, Cycles: 0}}},
+		{Name: "bad-reg", Instrs: []Instr{{Op: OpRead, Dev: "dev0", Reg: bus.RegsPerDevice}}},
+	}
+	for _, p := range cases {
+		if _, err := Compile(p, sys); err == nil {
+			t.Errorf("program %q compiled", p.Name)
+		}
+	}
+}
+
+func TestExecuteProgram(t *testing.T) {
+	sys, dev := sysWithDevice(t)
+	run := &fakeRunner{stopAt: 30}
+	proc, err := NewProcessor(sys, run)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog := Program{Name: "p", Instrs: []Instr{
+		{Op: OpWrite, Dev: "dev0", Reg: 0x20, Value: 42},
+		{Op: OpRun, Cycles: 100},
+		{Op: OpRead, Dev: "dev0", Reg: 0x20},
+		{Op: OpRead64, Dev: "dev0", Reg: 0x10},
+		{Op: OpRunUntilDone, Cycles: 1000},
+	}}
+	c, err := Compile(prog, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := proc.Execute(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dev.vals[0x20] != 42 {
+		t.Error("write not applied")
+	}
+	if v, ok := res.ReadValue("dev0", 0x20); !ok || v != 42 {
+		t.Errorf("read = %d, %v", v, ok)
+	}
+	// Read64 of regs 0x10/0x11 = 1<<32 | 7.
+	if v, ok := res.ReadValue("dev0", 0x10); !ok || v != 1<<32|7 {
+		t.Errorf("read64 = %x, %v", v, ok)
+	}
+	if res.CyclesRun != 130 {
+		t.Errorf("cycles = %d, want 130", res.CyclesRun)
+	}
+	if !res.Stopped {
+		t.Error("run-until-done stop not recorded")
+	}
+	if _, ok := res.ReadValue("dev0", 0x99); ok {
+		t.Error("phantom read found")
+	}
+}
+
+func TestExecuteSurfacesDeviceErrors(t *testing.T) {
+	sys, _ := sysWithDevice(t)
+	proc, _ := NewProcessor(sys, &fakeRunner{})
+	c, err := Compile(Program{Name: "p", Instrs: []Instr{
+		{Op: OpRead, Dev: "dev0", Reg: 0x50}, // unmapped in device
+	}}, sys)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := proc.Execute(c); err == nil {
+		t.Error("device error not surfaced")
+	}
+}
+
+func TestNewProcessorValidation(t *testing.T) {
+	sys := bus.NewSystem()
+	if _, err := NewProcessor(nil, &fakeRunner{}); err == nil {
+		t.Error("nil system accepted")
+	}
+	if _, err := NewProcessor(sys, nil); err == nil {
+		t.Error("nil runner accepted")
+	}
+}

@@ -1,0 +1,194 @@
+// Package engine implements the cycle-driven simulation kernel that
+// stands in for the FPGA fabric of the paper's emulation platform.
+//
+// The FPGA evaluates every emulated device in parallel once per clock
+// cycle. The kernel reproduces those semantics sequentially with a
+// two-phase protocol: in the Tick phase every component reads only
+// *committed* state (link outputs, buffer heads) and stages its writes;
+// in the Commit phase all staged writes become visible at once. The
+// result is independent of component evaluation order, exactly like
+// synchronous hardware, and is what makes the emulator fast: the
+// schedule is a static slice walked twice per cycle, with no dynamic
+// event management (the property the paper credits for its four orders
+// of magnitude over event-driven simulation).
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// Component is a synchronous device evaluated once per cycle.
+//
+// During Tick a component may read committed inputs and stage outputs;
+// during Commit it must flip its staged state to committed. Components
+// must not observe other components' staged state.
+type Component interface {
+	// ComponentName returns a stable, human-readable instance name.
+	ComponentName() string
+	// Tick computes the component's next state for the given cycle.
+	Tick(cycle uint64)
+	// Commit makes the state staged during Tick visible.
+	Commit(cycle uint64)
+}
+
+// Stopper is implemented by components that can request the end of the
+// emulation (e.g. a receptor that has seen its quota of packets).
+type Stopper interface {
+	// Done reports whether this component considers the run complete.
+	Done() bool
+}
+
+// Aborter is implemented by components that can cancel a run early —
+// e.g. a watchdog that detected a deadlocked network. RunUntil stops as
+// soon as any Aborter fires, regardless of the Stoppers.
+type Aborter interface {
+	// Aborted reports that the run must stop now.
+	Aborted() bool
+}
+
+// Engine drives a set of components cycle by cycle.
+type Engine struct {
+	components []Component
+	names      map[string]int
+	cycle      uint64
+	running    bool
+}
+
+// New returns an empty engine at cycle zero.
+func New() *Engine {
+	return &Engine{names: make(map[string]int)}
+}
+
+// ErrDuplicateName is returned when two components register under the
+// same instance name.
+var ErrDuplicateName = errors.New("engine: duplicate component name")
+
+// Register adds a component to the evaluation schedule. Registration
+// order is the evaluation order; because of the two-phase protocol the
+// simulation result does not depend on it, but keeping it stable keeps
+// profiles and debug output stable.
+func (e *Engine) Register(c Component) error {
+	if c == nil {
+		return errors.New("engine: nil component")
+	}
+	name := c.ComponentName()
+	if name == "" {
+		return errors.New("engine: empty component name")
+	}
+	if _, dup := e.names[name]; dup {
+		return fmt.Errorf("%w: %q", ErrDuplicateName, name)
+	}
+	e.names[name] = len(e.components)
+	e.components = append(e.components, c)
+	return nil
+}
+
+// MustRegister is Register for construction paths where a duplicate name
+// is a programming error.
+func (e *Engine) MustRegister(c Component) {
+	if err := e.Register(c); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered component with the given name.
+func (e *Engine) Lookup(name string) (Component, bool) {
+	i, ok := e.names[name]
+	if !ok {
+		return nil, false
+	}
+	return e.components[i], true
+}
+
+// Names returns the registered component names in sorted order.
+func (e *Engine) Names() []string {
+	out := make([]string, 0, len(e.names))
+	for n := range e.names {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NumComponents returns the number of registered components.
+func (e *Engine) NumComponents() int { return len(e.components) }
+
+// Components returns the registered components in registration order.
+// Alternative schedulers (internal/tlm) drive the same component set
+// through their own kernels.
+func (e *Engine) Components() []Component {
+	return append([]Component(nil), e.components...)
+}
+
+// Cycle returns the number of completed cycles.
+func (e *Engine) Cycle() uint64 { return e.cycle }
+
+// Step advances the simulation by exactly one cycle.
+func (e *Engine) Step() {
+	c := e.cycle
+	for _, comp := range e.components {
+		comp.Tick(c)
+	}
+	for _, comp := range e.components {
+		comp.Commit(c)
+	}
+	e.cycle++
+}
+
+// Run advances the simulation by n cycles and returns the number of
+// cycles actually executed (always n).
+func (e *Engine) Run(n uint64) uint64 {
+	for i := uint64(0); i < n; i++ {
+		e.Step()
+	}
+	return n
+}
+
+// RunUntil steps the engine until every registered Stopper reports
+// Done, until any Aborter fires, or until maxCycles have elapsed since
+// the call. It returns the number of cycles executed and whether the
+// stop condition (rather than the cycle cap or an abort) ended the run.
+// An engine with no Stoppers runs to the cap.
+func (e *Engine) RunUntil(maxCycles uint64) (executed uint64, stopped bool) {
+	var stoppers []Stopper
+	var aborters []Aborter
+	for _, c := range e.components {
+		if s, ok := c.(Stopper); ok {
+			stoppers = append(stoppers, s)
+		}
+		if a, ok := c.(Aborter); ok {
+			aborters = append(aborters, a)
+		}
+	}
+	if len(stoppers) == 0 && len(aborters) == 0 {
+		return e.Run(maxCycles), false
+	}
+	for executed < maxCycles {
+		for _, a := range aborters {
+			if a.Aborted() {
+				return executed, false
+			}
+		}
+		allDone := len(stoppers) > 0
+		for _, s := range stoppers {
+			if !s.Done() {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			return executed, true
+		}
+		e.Step()
+		executed++
+	}
+	return executed, false
+}
+
+// Reset rewinds the cycle counter without touching component state;
+// callers that reuse an engine must reset their components through the
+// control plane (which is the point of the paper's software-driven
+// re-initialization).
+func (e *Engine) Reset() { e.cycle = 0 }

@@ -1,0 +1,205 @@
+package eventsim
+
+import (
+	"testing"
+)
+
+func TestSignalWriteVisibleNextDelta(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	var seen []int
+	p := k.NewProcess("watch", func() { seen = append(seen, s.Read()) })
+	s.Sensitize(p)
+	s.WriteAfter(7, 1)
+	k.RunUntil(5)
+	if len(seen) != 1 || seen[0] != 7 {
+		t.Errorf("seen = %v", seen)
+	}
+	if s.Read() != 7 {
+		t.Errorf("value = %d", s.Read())
+	}
+}
+
+func TestEventSuppression(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 5)
+	fired := 0
+	p := k.NewProcess("watch", func() { fired++ })
+	s.Sensitize(p)
+	s.WriteAfter(5, 1) // same value: no event
+	k.RunUntil(3)
+	if fired != 0 {
+		t.Errorf("process fired %d times on unchanged value", fired)
+	}
+	if k.Stats().Events != 1 {
+		t.Errorf("events = %d", k.Stats().Events)
+	}
+}
+
+func TestDeltaCascade(t *testing.T) {
+	// a -> process writes b -> process writes c, all within one time
+	// step across delta cycles.
+	k := New()
+	a := NewSignal(k, "a", 0)
+	b := NewSignal(k, "b", 0)
+	c := NewSignal(k, "c", 0)
+	pa := k.NewProcess("pa", func() { b.Write(a.Read() + 1) })
+	pb := k.NewProcess("pb", func() { c.Write(b.Read() + 1) })
+	a.Sensitize(pa)
+	b.Sensitize(pb)
+	a.WriteAfter(10, 2)
+	k.RunUntil(2)
+	if k.Now() != 2 {
+		t.Errorf("time = %d", k.Now())
+	}
+	if c.Read() != 12 {
+		t.Errorf("c = %d", c.Read())
+	}
+	if k.Stats().DeltaCycles < 3 {
+		t.Errorf("delta cycles = %d, want >= 3", k.Stats().DeltaCycles)
+	}
+}
+
+func TestActivationDeduplicated(t *testing.T) {
+	k := New()
+	a := NewSignal(k, "a", 0)
+	b := NewSignal(k, "b", 0)
+	fired := 0
+	p := k.NewProcess("p", func() { fired++ })
+	a.Sensitize(p)
+	b.Sensitize(p)
+	a.WriteAfter(1, 1)
+	b.WriteAfter(1, 1)
+	k.RunUntil(1)
+	if fired != 1 {
+		t.Errorf("process fired %d times for two same-delta events", fired)
+	}
+}
+
+func TestClockTogglesForever(t *testing.T) {
+	k := New()
+	clk := NewClock(k, "clk", 5)
+	edges := 0
+	rising := 0
+	p := k.NewProcess("edge", func() {
+		edges++
+		if clk.Rising() {
+			rising++
+		}
+	})
+	clk.Sig.Sensitize(p)
+	k.RunUntil(100)
+	// Edges at 5,10,...,100 -> 20 edges, 10 rising.
+	if edges != 20 || rising != 10 {
+		t.Errorf("edges=%d rising=%d", edges, rising)
+	}
+}
+
+func TestClockZeroHalfPeriodPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	NewClock(New(), "clk", 0)
+}
+
+func TestNilProcessPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("no panic")
+		}
+	}()
+	New().NewProcess("p", nil)
+}
+
+func TestStepExhaustion(t *testing.T) {
+	k := New()
+	if k.Step() {
+		t.Error("Step on empty kernel returned true")
+	}
+	s := NewSignal(k, "s", 0)
+	s.WriteAfter(1, 3)
+	if !k.Step() {
+		t.Error("Step with pending event returned false")
+	}
+	if k.Now() != 3 {
+		t.Errorf("time = %d", k.Now())
+	}
+	if k.Step() {
+		t.Error("Step after exhaustion returned true")
+	}
+}
+
+func TestDeterministicOrdering(t *testing.T) {
+	// Two signals updated at the same time: processes observe both in
+	// insertion order, identically across runs.
+	run := func() []int {
+		k := New()
+		a := NewSignal(k, "a", 0)
+		b := NewSignal(k, "b", 0)
+		var order []int
+		pa := k.NewProcess("pa", func() { order = append(order, a.Read()) })
+		pb := k.NewProcess("pb", func() { order = append(order, b.Read()) })
+		a.Sensitize(pa)
+		b.Sensitize(pb)
+		a.WriteAfter(1, 2)
+		b.WriteAfter(2, 2)
+		k.RunUntil(2)
+		return order
+	}
+	x, y := run(), run()
+	if len(x) != 2 || len(y) != 2 || x[0] != y[0] || x[1] != y[1] {
+		t.Errorf("orders differ: %v vs %v", x, y)
+	}
+}
+
+func TestRegisterSemantics(t *testing.T) {
+	// A clocked register: on each rising edge q <= d. Writing d in the
+	// same edge must not race: q gets the old d.
+	k := New()
+	clk := NewClock(k, "clk", 1)
+	d := NewSignal(k, "d", 0)
+	q := NewSignal(k, "q", 0)
+	reg := k.NewProcess("reg", func() {
+		if clk.Rising() {
+			q.Write(d.Read())
+			d.Write(d.Read() + 1)
+		}
+	})
+	clk.Sig.Sensitize(reg)
+	k.RunUntil(6) // rising edges at 1, 3, 5
+	// After 3 edges: d=3; q = d at third edge before increment = 2.
+	if d.Read() != 3 || q.Read() != 2 {
+		t.Errorf("d=%d q=%d", d.Read(), q.Read())
+	}
+}
+
+func TestWriteAfterZeroIsDelta(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "s", 0)
+	fired := 0
+	p := k.NewProcess("p", func() { fired++ })
+	s.Sensitize(p)
+	// Seed a time event whose process writes with zero delay: the
+	// update must land in the same time step's next delta.
+	trigger := NewSignal(k, "t", 0)
+	tp := k.NewProcess("tp", func() { s.WriteAfter(7, 0) })
+	trigger.Sensitize(tp)
+	trigger.WriteAfter(1, 2)
+	k.RunUntil(2)
+	if k.Now() != 2 {
+		t.Errorf("time = %d", k.Now())
+	}
+	if s.Read() != 7 || fired != 1 {
+		t.Errorf("s=%d fired=%d", s.Read(), fired)
+	}
+}
+
+func TestSignalName(t *testing.T) {
+	k := New()
+	s := NewSignal(k, "wire.q", 0)
+	if s.Name() != "wire.q" {
+		t.Errorf("name = %q", s.Name())
+	}
+}

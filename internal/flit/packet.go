@@ -1,0 +1,121 @@
+package flit
+
+import "fmt"
+
+// Packet describes one packet to be injected by a network interface.
+// It is the unit the traffic generators speak; the NIC turns it into
+// flits.
+type Packet struct {
+	// ID is the globally unique packet identifier.
+	ID PacketID
+	// Src and Dst are the generating and receiving endpoints.
+	Src, Dst EndpointID
+	// Len is the packet length in flits (>= 1).
+	Len uint16
+	// Payload is an opaque word replicated into every flit.
+	Payload uint32
+	// BirthCycle is the cycle the generator created the packet.
+	BirthCycle uint64
+}
+
+// Validate checks the structural invariants of a packet description.
+func (p *Packet) Validate() error {
+	switch {
+	case p == nil:
+		return fmt.Errorf("packet: nil")
+	case p.Len == 0:
+		return fmt.Errorf("packet: zero length")
+	case p.ID.Src() != p.Src:
+		return fmt.Errorf("packet: id source %d != src %d", p.ID.Src(), p.Src)
+	}
+	return nil
+}
+
+// Flits expands the packet into its flit sequence. The returned flits
+// share the packet metadata; InjectCycle is left zero for the NIC to
+// stamp at injection time.
+func (p *Packet) Flits() []*Flit {
+	out := make([]*Flit, p.Len)
+	for i := range out {
+		f := &Flit{
+			Kind:       Body,
+			Packet:     p.ID,
+			Src:        p.Src,
+			Dst:        p.Dst,
+			Index:      uint16(i),
+			PacketLen:  p.Len,
+			Payload:    p.Payload,
+			BirthCycle: p.BirthCycle,
+		}
+		switch {
+		case p.Len == 1:
+			f.Kind = HeadTail
+		case i == 0:
+			f.Kind = Head
+		case i == int(p.Len)-1:
+			f.Kind = Tail
+		}
+		out[i] = f
+	}
+	return out
+}
+
+// Assembler reconstructs packets from a stream of flits arriving at one
+// receptor. Wormhole switching guarantees the flits of one packet arrive
+// in order on one input, but packets from different sources may
+// interleave, so the assembler keys partial packets by packet identifier.
+type Assembler struct {
+	partial map[PacketID]*assembly
+}
+
+type assembly struct {
+	got  uint16
+	want uint16
+	head *Flit
+}
+
+// NewAssembler returns an empty assembler.
+func NewAssembler() *Assembler {
+	return &Assembler{partial: make(map[PacketID]*assembly)}
+}
+
+// Pending reports how many packets are partially assembled.
+func (a *Assembler) Pending() int { return len(a.partial) }
+
+// Push adds one flit. When the flit completes a packet, Push returns the
+// completed packet description built from its head flit, with done=true.
+// Out-of-order or inconsistent flits return an error.
+func (a *Assembler) Push(f *Flit) (pkt *Packet, done bool, err error) {
+	if err := f.Validate(); err != nil {
+		return nil, false, err
+	}
+	st, ok := a.partial[f.Packet]
+	if !ok {
+		if !f.Kind.IsHead() {
+			return nil, false, fmt.Errorf("assembler: packet %d starts with %s flit", f.Packet, f.Kind)
+		}
+		st = &assembly{want: f.PacketLen, head: f}
+		a.partial[f.Packet] = st
+	} else if f.Kind.IsHead() {
+		return nil, false, fmt.Errorf("assembler: duplicate head for packet %d", f.Packet)
+	}
+	if f.Index != st.got {
+		return nil, false, fmt.Errorf("assembler: packet %d flit %d arrived, expected %d", f.Packet, f.Index, st.got)
+	}
+	if f.PacketLen != st.want {
+		return nil, false, fmt.Errorf("assembler: packet %d length %d != %d", f.Packet, f.PacketLen, st.want)
+	}
+	st.got++
+	if st.got < st.want {
+		return nil, false, nil
+	}
+	delete(a.partial, f.Packet)
+	return &Packet{
+		ID:         st.head.Packet,
+		Src:        st.head.Src,
+		Dst:        st.head.Dst,
+		Len:        st.head.PacketLen,
+		Payload:    st.head.Payload,
+		BirthCycle: st.head.BirthCycle,
+	}, true, nil
+}

@@ -1,0 +1,124 @@
+// Package flow drives the paper's six-step emulation flow:
+//
+//  1. platform compilation — platform.Build from a Config;
+//  2. physical synthesis — resource.Estimate against the target FPGA;
+//  3. platform initialization — the program's register writes;
+//  4. software compilation — control.Compile of the program;
+//  5. emulation — control.Processor execution of the run directives;
+//  6. final report — statistics pulled for the monitor.
+//
+// The split is the paper's point: iterating on steps 3-6 (new traffic,
+// new statistics, new run lengths) never repeats steps 1-2.
+package flow
+
+import (
+	"fmt"
+	"time"
+
+	"nocemu/internal/control"
+	"nocemu/internal/platform"
+	"nocemu/internal/resource"
+)
+
+// Options tunes a flow run.
+type Options struct {
+	// Target is the FPGA model used in the synthesis step (default
+	// resource.VirtexIIPro).
+	Target resource.TargetDevice
+	// MaxCycles caps the default run when the program has no run
+	// directive (default 10M).
+	MaxCycles uint64
+	// SkipSynthesis omits step 2 (useful in tight benchmark loops).
+	SkipSynthesis bool
+}
+
+func (o *Options) applyDefaults() {
+	if o.Target.Slices == 0 {
+		o.Target = resource.VirtexIIPro
+	}
+	if o.MaxCycles == 0 {
+		o.MaxCycles = 10_000_000
+	}
+}
+
+// RunReport is the outcome of a full flow execution.
+type RunReport struct {
+	// Platform is the compiled platform (step 1), still queryable.
+	Platform *platform.Platform
+	// Synthesis is the step-2 estimate (nil when skipped).
+	Synthesis *resource.Report
+	// Exec carries the program's register reads and run counts.
+	Exec *control.Result
+	// Totals is the step-6 aggregate snapshot.
+	Totals platform.Totals
+	// Wall is the host wall-clock time of step 5.
+	Wall time.Duration
+	// CyclesPerSecond is the emulation speed achieved in step 5.
+	CyclesPerSecond float64
+}
+
+// DefaultProgram returns the minimal emulation software: run until the
+// platform's stop conditions fire, bounded by maxCycles.
+func DefaultProgram(maxCycles uint64) control.Program {
+	return control.Program{
+		Name: "default",
+		Instrs: []control.Instr{
+			{Op: control.OpRunUntilDone, Cycles: maxCycles},
+		},
+	}
+}
+
+// Run executes the six-step flow.
+func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, error) {
+	opt.applyDefaults()
+
+	// Step 1: platform compilation.
+	p, err := platform.Build(cfg)
+	if err != nil {
+		return nil, fmt.Errorf("flow: platform compilation: %w", err)
+	}
+
+	// Step 2: physical synthesis.
+	var syn *resource.Report
+	if !opt.SkipSynthesis {
+		syn, err = resource.Estimate(p, opt.Target)
+		if err != nil {
+			return nil, fmt.Errorf("flow: synthesis: %w", err)
+		}
+		if !syn.Fits() {
+			return nil, fmt.Errorf("flow: platform needs %d slices, target %s has %d",
+				syn.TotalSlices, syn.Target.Name, syn.Target.Slices)
+		}
+	}
+
+	// Steps 3+4: the program carries the initialization writes;
+	// compiling it validates them against the built platform.
+	if len(prog.Instrs) == 0 {
+		prog = DefaultProgram(opt.MaxCycles)
+	}
+	compiled, err := control.Compile(prog, p.System())
+	if err != nil {
+		return nil, fmt.Errorf("flow: software compilation: %w", err)
+	}
+
+	// Step 5: emulation.
+	start := time.Now()
+	res, err := p.Processor().Execute(compiled)
+	if err != nil {
+		return nil, fmt.Errorf("flow: emulation: %w", err)
+	}
+	wall := time.Since(start)
+
+	// Step 6: final report.
+	rep := &RunReport{
+		Platform:  p,
+		Synthesis: syn,
+		Exec:      res,
+		Totals:    p.Totals(),
+		Wall:      wall,
+	}
+	if wall > 0 && res.CyclesRun > 0 {
+		rep.CyclesPerSecond = float64(res.CyclesRun) / wall.Seconds()
+	}
+	return rep, nil
+}

@@ -1,0 +1,101 @@
+package flow
+
+import (
+	"testing"
+
+	"nocemu/internal/control"
+	"nocemu/internal/platform"
+	"nocemu/internal/regmap"
+	"nocemu/internal/resource"
+)
+
+func paperCfg(t *testing.T) platform.Config {
+	t.Helper()
+	cfg, err := platform.PaperConfig(platform.PaperOptions{
+		Traffic: platform.PaperUniform, PacketsPerTG: 40,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+func TestRunDefaultProgram(t *testing.T) {
+	rep, err := Run(paperCfg(t), control.Program{}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Synthesis == nil || !rep.Synthesis.Fits() {
+		t.Error("synthesis missing or does not fit")
+	}
+	if !rep.Exec.Stopped {
+		t.Error("default program did not stop on completion")
+	}
+	if rep.Totals.PacketsReceived != 160 {
+		t.Errorf("received = %d", rep.Totals.PacketsReceived)
+	}
+	if rep.CyclesPerSecond <= 0 {
+		t.Error("no speed measured")
+	}
+	if rep.Wall <= 0 {
+		t.Error("no wall time")
+	}
+}
+
+func TestRunCustomProgramWithInit(t *testing.T) {
+	// Program writes traffic parameters (step 3) before running:
+	// packet length 9 -> 3 on every TG.
+	prog := control.Program{Name: "custom"}
+	for _, dev := range []string{"tg0", "tg1", "tg2", "tg3"} {
+		prog.Instrs = append(prog.Instrs,
+			control.Instr{Op: control.OpWrite, Dev: dev, Reg: regmap.RegParamBase + 0, Value: 3},
+			control.Instr{Op: control.OpWrite, Dev: dev, Reg: regmap.RegParamBase + 1, Value: 3},
+		)
+	}
+	prog.Instrs = append(prog.Instrs,
+		control.Instr{Op: control.OpRunUntilDone, Cycles: 1_000_000},
+		control.Instr{Op: control.OpRead64, Dev: "tr100", Reg: regmap.RegTRFlits},
+	)
+	rep, err := Run(paperCfg(t), prog, Options{SkipSynthesis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Synthesis != nil {
+		t.Error("synthesis present despite skip")
+	}
+	// 40 packets x 3 flits.
+	if v, ok := rep.Exec.ReadValue("tr100", regmap.RegTRFlits); !ok || v != 120 {
+		t.Errorf("tr100 flits = %d, %v", v, ok)
+	}
+}
+
+func TestRunRejectsBadProgram(t *testing.T) {
+	prog := control.Program{Name: "bad", Instrs: []control.Instr{
+		{Op: control.OpWrite, Dev: "no-such-device", Reg: 0, Value: 1},
+	}}
+	if _, err := Run(paperCfg(t), prog, Options{}); err == nil {
+		t.Error("unknown device compiled")
+	}
+}
+
+func TestRunRejectsOversizedPlatform(t *testing.T) {
+	_, err := Run(paperCfg(t), control.Program{}, Options{
+		Target: resource.TargetDevice{Name: "tiny", Slices: 100},
+	})
+	if err == nil {
+		t.Error("oversized platform passed synthesis")
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	if _, err := Run(platform.Config{Name: "broken"}, control.Program{}, Options{}); err == nil {
+		t.Error("bad config accepted")
+	}
+}
+
+func TestDefaultProgramShape(t *testing.T) {
+	p := DefaultProgram(123)
+	if len(p.Instrs) != 1 || p.Instrs[0].Op != control.OpRunUntilDone || p.Instrs[0].Cycles != 123 {
+		t.Errorf("program = %+v", p)
+	}
+}

@@ -1,0 +1,346 @@
+// Package jsonio loads emulation-platform configurations from JSON
+// files — the textual "platform settings + software settings" a user
+// hands to the flow (cmd/nocemu consumes them).
+package jsonio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/flit"
+	"nocemu/internal/platform"
+	"nocemu/internal/receptor"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+	"nocemu/internal/trace"
+	"nocemu/internal/traffic"
+)
+
+// EndpointAt attaches an endpoint to a switch.
+type EndpointAt struct {
+	ID     uint16 `json:"id"`
+	Switch int    `json:"switch"`
+}
+
+// TopologySpec describes the switch graph.
+type TopologySpec struct {
+	// Kind: line, ring, mesh, torus, star, tree, full, paper-six,
+	// custom.
+	Kind string `json:"kind"`
+	// N sizes line/ring/full; Leaves sizes star; W/H size mesh/torus;
+	// Depth/Fanout size tree.
+	N      int `json:"n,omitempty"`
+	W      int `json:"w,omitempty"`
+	H      int `json:"h,omitempty"`
+	Leaves int `json:"leaves,omitempty"`
+	Depth  int `json:"depth,omitempty"`
+	Fanout int `json:"fanout,omitempty"`
+	// NumSwitches and Links define a custom graph (unidirectional
+	// [from, to] pairs).
+	NumSwitches int      `json:"num_switches,omitempty"`
+	Links       [][2]int `json:"links,omitempty"`
+	// Sources and Sinks attach endpoints (ignored for paper-six, which
+	// carries its own).
+	Sources []EndpointAt `json:"sources,omitempty"`
+	Sinks   []EndpointAt `json:"sinks,omitempty"`
+}
+
+// UniformSpec mirrors traffic.UniformConfig.
+type UniformSpec struct {
+	LenMin      uint16 `json:"len_min"`
+	LenMax      uint16 `json:"len_max"`
+	GapMin      uint32 `json:"gap_min"`
+	GapMax      uint32 `json:"gap_max"`
+	RandomPhase bool   `json:"random_phase,omitempty"`
+}
+
+// BurstSpec mirrors traffic.BurstConfig (probabilities in Q16).
+type BurstSpec struct {
+	POffOn uint16 `json:"p_off_on"`
+	POnOff uint16 `json:"p_on_off"`
+	LenMin uint16 `json:"len_min"`
+	LenMax uint16 `json:"len_max"`
+}
+
+// PoissonSpec mirrors traffic.PoissonConfig.
+type PoissonSpec struct {
+	Lambda uint16 `json:"lambda"`
+	LenMin uint16 `json:"len_min"`
+	LenMax uint16 `json:"len_max"`
+}
+
+// TGSpec configures one traffic generator.
+type TGSpec struct {
+	Endpoint uint16 `json:"endpoint"`
+	// Model: uniform, burst, poisson, trace.
+	Model string `json:"model"`
+	// DstPolicy: fixed, uniform, round-robin; Dsts lists targets.
+	DstPolicy string   `json:"dst_policy"`
+	Dsts      []uint16 `json:"dsts"`
+
+	Uniform *UniformSpec `json:"uniform,omitempty"`
+	Burst   *BurstSpec   `json:"burst,omitempty"`
+	Poisson *PoissonSpec `json:"poisson,omitempty"`
+	// TraceFile is a path (relative to the config file) to a text or
+	// binary trace for the trace model.
+	TraceFile string `json:"trace_file,omitempty"`
+
+	Seed       uint32 `json:"seed,omitempty"`
+	Limit      uint64 `json:"limit,omitempty"`
+	QueueFlits int    `json:"queue_flits,omitempty"`
+}
+
+// TRSpec configures one traffic receptor.
+type TRSpec struct {
+	Endpoint uint16 `json:"endpoint"`
+	// Mode: stochastic or trace.
+	Mode          string `json:"mode"`
+	ExpectPackets uint64 `json:"expect_packets,omitempty"`
+	// RecordTrace records arrivals for later replay.
+	RecordTrace  bool   `json:"record_trace,omitempty"`
+	BufDepth     int    `json:"buf_depth,omitempty"`
+	SizeBins     int    `json:"size_bins,omitempty"`
+	SizeBinWidth uint64 `json:"size_bin_width,omitempty"`
+	GapBins      int    `json:"gap_bins,omitempty"`
+	GapBinWidth  uint64 `json:"gap_bin_width,omitempty"`
+	LatBins      int    `json:"lat_bins,omitempty"`
+	LatBinWidth  uint64 `json:"lat_bin_width,omitempty"`
+}
+
+// OverrideSpec pins a route.
+type OverrideSpec struct {
+	Switch int    `json:"switch"`
+	Dst    uint16 `json:"dst"`
+	Ports  []int  `json:"ports"`
+}
+
+// File is the top-level JSON configuration.
+type File struct {
+	Name           string         `json:"name"`
+	Topology       TopologySpec   `json:"topology"`
+	SwitchBufDepth int            `json:"switch_buf_depth,omitempty"`
+	Arb            string         `json:"arb,omitempty"`
+	Select         string         `json:"select,omitempty"`
+	Routing        string         `json:"routing,omitempty"`
+	MeshWidth      int            `json:"mesh_width,omitempty"`
+	Overrides      []OverrideSpec `json:"overrides,omitempty"`
+	TGs            []TGSpec       `json:"tgs"`
+	TRs            []TRSpec       `json:"trs"`
+	Seed           uint32         `json:"seed,omitempty"`
+}
+
+// buildTopology materializes the topology spec.
+func buildTopology(spec TopologySpec) (*topology.Topology, error) {
+	var topo *topology.Topology
+	var err error
+	switch spec.Kind {
+	case "line":
+		topo, err = topology.Line(spec.N)
+	case "ring":
+		topo, err = topology.Ring(spec.N)
+	case "mesh":
+		topo, err = topology.Mesh(spec.W, spec.H)
+	case "torus":
+		topo, err = topology.Torus(spec.W, spec.H)
+	case "star":
+		topo, err = topology.Star(spec.Leaves)
+	case "tree":
+		topo, err = topology.Tree(spec.Depth, spec.Fanout)
+	case "full":
+		topo, err = topology.FullyConnected(spec.N)
+	case "paper-six":
+		return topology.PaperSix()
+	case "custom":
+		topo, err = topology.New("custom", spec.NumSwitches)
+		if err != nil {
+			return nil, err
+		}
+		for _, l := range spec.Links {
+			if err := topo.AddLink(topology.NodeID(l[0]), topology.NodeID(l[1])); err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, fmt.Errorf("jsonio: unknown topology kind %q", spec.Kind)
+	}
+	if err != nil {
+		return nil, err
+	}
+	for _, s := range spec.Sources {
+		if err := topo.AddSource(flit.EndpointID(s.ID), topology.NodeID(s.Switch)); err != nil {
+			return nil, err
+		}
+	}
+	for _, s := range spec.Sinks {
+		if err := topo.AddSink(flit.EndpointID(s.ID), topology.NodeID(s.Switch)); err != nil {
+			return nil, err
+		}
+	}
+	return topo, nil
+}
+
+// loadTrace reads a trace file, auto-detecting binary by magic.
+func loadTrace(path string) (*trace.Trace, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var magic [4]byte
+	if _, err := io.ReadFull(f, magic[:]); err != nil {
+		return nil, fmt.Errorf("jsonio: trace %s: %v", path, err)
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return nil, err
+	}
+	if string(magic[:]) == "NTRC" {
+		return trace.ReadBinary(f)
+	}
+	return trace.Read(f)
+}
+
+// ToConfig converts the JSON file into a platform configuration.
+// baseDir anchors relative trace paths.
+func (f *File) ToConfig(baseDir string) (platform.Config, error) {
+	topo, err := buildTopology(f.Topology)
+	if err != nil {
+		return platform.Config{}, err
+	}
+	cfg := platform.Config{
+		Name:           f.Name,
+		Topology:       topo,
+		SwitchBufDepth: f.SwitchBufDepth,
+		Arb:            arb.Policy(f.Arb),
+		Select:         routing.Policy(f.Select),
+		Routing:        platform.RoutingScheme(f.Routing),
+		MeshWidth:      f.MeshWidth,
+		Seed:           f.Seed,
+	}
+	for _, ov := range f.Overrides {
+		cfg.Overrides = append(cfg.Overrides, platform.RouteOverride{
+			Switch: topology.NodeID(ov.Switch), Dst: flit.EndpointID(ov.Dst), Ports: ov.Ports,
+		})
+	}
+	for _, tg := range f.TGs {
+		spec := platform.TGSpec{
+			Endpoint:   flit.EndpointID(tg.Endpoint),
+			Seed:       tg.Seed,
+			Limit:      tg.Limit,
+			QueueFlits: tg.QueueFlits,
+		}
+		dst := traffic.DstConfig{Policy: traffic.DstPolicy(tg.DstPolicy)}
+		for _, d := range tg.Dsts {
+			dst.Dsts = append(dst.Dsts, flit.EndpointID(d))
+		}
+		switch tg.Model {
+		case "uniform":
+			if tg.Uniform == nil {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: uniform model without config", tg.Endpoint)
+			}
+			spec.Model = platform.ModelUniform
+			spec.Uniform = &traffic.UniformConfig{
+				LenMin: tg.Uniform.LenMin, LenMax: tg.Uniform.LenMax,
+				GapMin: tg.Uniform.GapMin, GapMax: tg.Uniform.GapMax,
+				Dst: dst, RandomPhase: tg.Uniform.RandomPhase,
+			}
+		case "burst":
+			if tg.Burst == nil {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: burst model without config", tg.Endpoint)
+			}
+			spec.Model = platform.ModelBurst
+			spec.Burst = &traffic.BurstConfig{
+				POffOn: tg.Burst.POffOn, POnOff: tg.Burst.POnOff,
+				LenMin: tg.Burst.LenMin, LenMax: tg.Burst.LenMax, Dst: dst,
+			}
+		case "poisson":
+			if tg.Poisson == nil {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: poisson model without config", tg.Endpoint)
+			}
+			spec.Model = platform.ModelPoisson
+			spec.Poisson = &traffic.PoissonConfig{
+				Lambda: tg.Poisson.Lambda,
+				LenMin: tg.Poisson.LenMin, LenMax: tg.Poisson.LenMax, Dst: dst,
+			}
+		case "trace":
+			if tg.TraceFile == "" {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: trace model without trace_file", tg.Endpoint)
+			}
+			path := tg.TraceFile
+			if !filepath.IsAbs(path) {
+				path = filepath.Join(baseDir, path)
+			}
+			tr, err := loadTrace(path)
+			if err != nil {
+				return platform.Config{}, err
+			}
+			spec.Model = platform.ModelTrace
+			spec.Trace = tr
+		default:
+			return platform.Config{}, fmt.Errorf("jsonio: TG %d: unknown model %q", tg.Endpoint, tg.Model)
+		}
+		cfg.TGs = append(cfg.TGs, spec)
+	}
+	for _, tr := range f.TRs {
+		var mode receptor.Mode
+		switch tr.Mode {
+		case "stochastic":
+			mode = receptor.Stochastic
+		case "trace":
+			mode = receptor.TraceDriven
+		default:
+			return platform.Config{}, fmt.Errorf("jsonio: TR %d: unknown mode %q", tr.Endpoint, tr.Mode)
+		}
+		cfg.TRs = append(cfg.TRs, platform.TRSpec{
+			Endpoint:      flit.EndpointID(tr.Endpoint),
+			Mode:          mode,
+			ExpectPackets: tr.ExpectPackets,
+			RecordTrace:   tr.RecordTrace,
+			BufDepth:      tr.BufDepth,
+			SizeBins:      tr.SizeBins, SizeBinWidth: tr.SizeBinWidth,
+			GapBins: tr.GapBins, GapBinWidth: tr.GapBinWidth,
+			LatBins: tr.LatBins, LatBinWidth: tr.LatBinWidth,
+		})
+	}
+	return cfg, nil
+}
+
+// Load parses a JSON configuration from r; baseDir anchors relative
+// trace paths.
+func Load(r io.Reader, baseDir string) (platform.Config, error) {
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return platform.Config{}, fmt.Errorf("jsonio: %v", err)
+	}
+	return f.ToConfig(baseDir)
+}
+
+// LoadFile parses a JSON configuration file.
+func LoadFile(path string) (platform.Config, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return platform.Config{}, err
+	}
+	defer f.Close()
+	return Load(f, filepath.Dir(path))
+}
+
+// Example returns a commented-free sample configuration (the quickstart
+// JSON cmd/nocgen emits).
+func Example() *File {
+	return &File{
+		Name:     "example-ring",
+		Topology: TopologySpec{Kind: "ring", N: 4, Sources: []EndpointAt{{ID: 0, Switch: 0}}, Sinks: []EndpointAt{{ID: 100, Switch: 2}}},
+		TGs: []TGSpec{{
+			Endpoint: 0, Model: "uniform", DstPolicy: "fixed", Dsts: []uint16{100},
+			Uniform: &UniformSpec{LenMin: 4, LenMax: 4, GapMin: 6, GapMax: 6, RandomPhase: true},
+			Limit:   1000,
+		}},
+		TRs: []TRSpec{{Endpoint: 100, Mode: "stochastic", ExpectPackets: 1000}},
+	}
+}

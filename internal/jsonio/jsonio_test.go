@@ -1,0 +1,191 @@
+package jsonio
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nocemu/internal/platform"
+	"nocemu/internal/trace"
+)
+
+func TestExampleLoadsAndRuns(t *testing.T) {
+	data, err := json.Marshal(Example())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := Load(strings.NewReader(string(data)), ".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := p.Run(1_000_000); !stopped {
+		t.Fatal("example config did not finish")
+	}
+	if p.Totals().PacketsReceived != 1000 {
+		t.Errorf("received = %d", p.Totals().PacketsReceived)
+	}
+}
+
+func TestLoadRejectsUnknownFields(t *testing.T) {
+	if _, err := Load(strings.NewReader(`{"bogus_field": 1}`), "."); err == nil {
+		t.Error("unknown field accepted")
+	}
+	if _, err := Load(strings.NewReader(`not json`), "."); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTopologyKinds(t *testing.T) {
+	cases := []TopologySpec{
+		{Kind: "line", N: 3},
+		{Kind: "ring", N: 4},
+		{Kind: "mesh", W: 2, H: 2},
+		{Kind: "torus", W: 3, H: 3},
+		{Kind: "star", Leaves: 3},
+		{Kind: "tree", Depth: 2, Fanout: 2},
+		{Kind: "full", N: 4},
+		{Kind: "paper-six"},
+		{Kind: "custom", NumSwitches: 2, Links: [][2]int{{0, 1}, {1, 0}}},
+	}
+	for _, spec := range cases {
+		if _, err := buildTopology(spec); err != nil {
+			t.Errorf("%s: %v", spec.Kind, err)
+		}
+	}
+	if _, err := buildTopology(TopologySpec{Kind: "dodecahedron"}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := buildTopology(TopologySpec{Kind: "custom", NumSwitches: 2, Links: [][2]int{{0, 9}}}); err == nil {
+		t.Error("bad custom link accepted")
+	}
+}
+
+func TestModelValidation(t *testing.T) {
+	base := func() *File {
+		f := Example()
+		return f
+	}
+	f := base()
+	f.TGs[0].Model = "uniform"
+	f.TGs[0].Uniform = nil
+	if _, err := f.ToConfig("."); err == nil {
+		t.Error("uniform without config accepted")
+	}
+	f = base()
+	f.TGs[0].Model = "warp"
+	if _, err := f.ToConfig("."); err == nil {
+		t.Error("unknown model accepted")
+	}
+	f = base()
+	f.TGs[0].Model = "trace"
+	f.TGs[0].Uniform = nil
+	if _, err := f.ToConfig("."); err == nil {
+		t.Error("trace without file accepted")
+	}
+	f = base()
+	f.TRs[0].Mode = "psychic"
+	if _, err := f.ToConfig("."); err == nil {
+		t.Error("unknown TR mode accepted")
+	}
+}
+
+func TestTraceFileLoading(t *testing.T) {
+	dir := t.TempDir()
+	tr, err := trace.SynthCBR(trace.CBRConfig{Name: "t", Dst: 100, NumPackets: 5, Len: 2, Period: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Text trace.
+	txt := filepath.Join(dir, "t.trace")
+	ftxt, err := os.Create(txt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.Write(ftxt, tr); err != nil {
+		t.Fatal(err)
+	}
+	ftxt.Close()
+	// Binary trace.
+	bin := filepath.Join(dir, "t.ntrc")
+	fbin, err := os.Create(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := trace.WriteBinary(fbin, tr); err != nil {
+		t.Fatal(err)
+	}
+	fbin.Close()
+
+	for _, name := range []string{"t.trace", "t.ntrc"} {
+		f := Example()
+		f.TGs[0].Model = "trace"
+		f.TGs[0].Uniform = nil
+		f.TGs[0].TraceFile = name
+		f.TGs[0].Limit = 0
+		f.TRs[0].ExpectPackets = 5
+		cfg, err := f.ToConfig(dir)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		p, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, stopped := p.Run(10_000); !stopped {
+			t.Fatalf("%s: did not finish", name)
+		}
+		if p.Totals().PacketsReceived != 5 {
+			t.Errorf("%s: received = %d", name, p.Totals().PacketsReceived)
+		}
+	}
+	// Missing file.
+	f := Example()
+	f.TGs[0].Model = "trace"
+	f.TGs[0].Uniform = nil
+	f.TGs[0].TraceFile = "missing.trace"
+	if _, err := f.ToConfig(dir); err == nil {
+		t.Error("missing trace file accepted")
+	}
+}
+
+func TestLoadFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "cfg.json")
+	data, err := json.MarshalIndent(Example(), "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "example-ring" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if _, err := LoadFile(filepath.Join(dir, "nope.json")); err == nil {
+		t.Error("missing file accepted")
+	}
+}
+
+func TestOverridesAndPolicies(t *testing.T) {
+	f := Example()
+	f.Select = "packet-modulo"
+	f.Arb = "lrg"
+	f.Routing = "shortest"
+	cfg, err := f.ToConfig(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := platform.Build(cfg); err != nil {
+		t.Errorf("policies rejected: %v", err)
+	}
+}

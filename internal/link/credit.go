@@ -1,0 +1,54 @@
+package link
+
+// CreditLink is the reverse wire of a flit link: the downstream input
+// buffer returns one credit per freed slot, with one cycle of latency,
+// and the upstream sender accumulates them into its credit counter.
+//
+// Credits staged during Tick become visible at the next Commit. Credits
+// that the sender does not collect are never lost: they accumulate on
+// the wire until taken.
+type CreditLink struct {
+	name string
+	cur  uint32
+	next uint32
+
+	sent uint64
+}
+
+// NewCreditLink returns an empty credit wire.
+func NewCreditLink(name string) *CreditLink {
+	return &CreditLink{name: name}
+}
+
+// ComponentName implements engine.Component.
+func (c *CreditLink) ComponentName() string { return c.name }
+
+// Tick implements engine.Component; credit wires are passive in Tick.
+func (c *CreditLink) Tick(cycle uint64) {}
+
+// Send stages n credits for delivery next cycle.
+func (c *CreditLink) Send(n uint32) {
+	c.next += n
+	c.sent += uint64(n)
+}
+
+// Take collects all visible credits, zeroing the wire.
+func (c *CreditLink) Take() uint32 {
+	n := c.cur
+	c.cur = 0
+	return n
+}
+
+// Pending returns the credits currently visible without taking them.
+func (c *CreditLink) Pending() uint32 { return c.cur }
+
+// Commit implements engine.Component: staged credits become visible,
+// accumulating with any uncollected ones.
+func (c *CreditLink) Commit(cycle uint64) {
+	c.cur += c.next
+	c.next = 0
+}
+
+// TotalSent returns the total credits ever staged, for conservation
+// checks in tests.
+func (c *CreditLink) TotalSent() uint64 { return c.sent }

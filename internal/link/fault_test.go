@@ -1,0 +1,83 @@
+package link
+
+import "testing"
+
+func TestStuckFaultHoldsFlit(t *testing.T) {
+	l := NewLink("l")
+	f := mkFlit(0)
+	f.Check = f.Checksum()
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	l.SetFault(FaultStuck)
+	for c := uint64(0); c < 5; c++ {
+		l.Commit(c)
+		if l.Peek() != nil {
+			t.Fatal("flit transferred through a stuck link")
+		}
+	}
+	if !l.Busy() {
+		t.Error("stuck link not busy (sender would double-drive)")
+	}
+	if l.HeldCycles() != 5 {
+		t.Errorf("held cycles = %d", l.HeldCycles())
+	}
+	// Clearing the fault releases the flit intact.
+	l.SetFault(FaultNone)
+	l.Commit(5)
+	got := l.Take()
+	if got != f {
+		t.Fatal("flit lost across stuck window")
+	}
+	if got.Check != got.Checksum() {
+		t.Error("flit damaged by stuck fault")
+	}
+	if l.Overruns() != 0 {
+		t.Error("spurious overrun")
+	}
+}
+
+func TestStuckFaultStillDrainsTakenFlit(t *testing.T) {
+	l := NewLink("l")
+	if err := l.Send(mkFlit(0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(0)
+	if l.Take() == nil {
+		t.Fatal("take failed")
+	}
+	l.SetFault(FaultStuck)
+	l.Commit(1)
+	if l.Peek() != nil {
+		t.Error("taken flit still visible under stuck fault")
+	}
+}
+
+func TestCorruptFaultFlipsPayloadAndChecksumCatchesIt(t *testing.T) {
+	l := NewLink("l")
+	f := mkFlit(0)
+	f.Payload = 0x1234
+	f.Check = f.Checksum()
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	l.SetFault(FaultCorrupt)
+	l.Commit(0)
+	got := l.Take()
+	if got == nil {
+		t.Fatal("corrupt fault dropped the flit")
+	}
+	if got.Payload == 0x1234 {
+		t.Error("payload not flipped")
+	}
+	if got.Check == got.Checksum() {
+		t.Error("corruption not detectable by checksum")
+	}
+	if l.Corrupted() != 1 {
+		t.Errorf("corrupted count = %d", l.Corrupted())
+	}
+	l.ResetStats()
+	if l.Corrupted() != 0 || l.HeldCycles() != 0 {
+		t.Error("ResetStats missed fault counters")
+	}
+}

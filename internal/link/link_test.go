@@ -1,0 +1,233 @@
+package link
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocemu/internal/flit"
+)
+
+func mkFlit(seq uint64) *flit.Flit {
+	return &flit.Flit{
+		Kind: flit.HeadTail, Packet: flit.MakePacketID(1, seq),
+		Src: 1, Dst: 2, PacketLen: 1,
+	}
+}
+
+func TestLinkOneCycleLatency(t *testing.T) {
+	l := NewLink("l0")
+	f := mkFlit(0)
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	if l.Peek() != nil {
+		t.Error("flit visible before commit")
+	}
+	l.Commit(0)
+	if l.Peek() != f {
+		t.Error("flit not visible after commit")
+	}
+	got := l.Take()
+	if got != f {
+		t.Error("Take did not return the flit")
+	}
+	if l.Take() != nil {
+		t.Error("double Take succeeded")
+	}
+	l.Commit(1)
+	if l.Peek() != nil {
+		t.Error("taken flit still on wire")
+	}
+}
+
+func TestLinkDoubleDrive(t *testing.T) {
+	l := NewLink("l0")
+	if err := l.Send(mkFlit(0)); err != nil {
+		t.Fatal(err)
+	}
+	if !l.Busy() {
+		t.Error("Busy false after Send")
+	}
+	if err := l.Send(mkFlit(1)); err == nil {
+		t.Error("double drive accepted")
+	}
+	if err := l.Send(nil); err == nil {
+		t.Error("nil flit accepted")
+	}
+}
+
+func TestLinkHoldsUntakenFlit(t *testing.T) {
+	l := NewLink("l0")
+	f := mkFlit(0)
+	if err := l.Send(f); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(0)
+	l.Commit(1) // receiver stalled: nothing taken, nothing sent
+	if l.Peek() != f {
+		t.Error("untaken flit vanished")
+	}
+	if l.Overruns() != 0 {
+		t.Error("spurious overrun")
+	}
+}
+
+func TestLinkOverrunDetection(t *testing.T) {
+	l := NewLink("l0")
+	if err := l.Send(mkFlit(0)); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(0)
+	// Receiver does not take, sender drives again: the old flit is lost.
+	if err := l.Send(mkFlit(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(1)
+	if l.Overruns() != 1 {
+		t.Errorf("overruns = %d, want 1", l.Overruns())
+	}
+}
+
+func TestLinkUtilizationAndFlits(t *testing.T) {
+	l := NewLink("l0")
+	// 10 cycles, flit on wire during 5 of them.
+	for c := uint64(0); c < 10; c++ {
+		if c%2 == 0 {
+			if err := l.Send(mkFlit(c)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if f := l.Take(); f == nil && l.Peek() != nil {
+			t.Fatal("take failed with flit present")
+		}
+		l.Commit(c)
+	}
+	if l.Flits() != 5 {
+		t.Errorf("flits = %d, want 5", l.Flits())
+	}
+	if got := l.Utilization(); got != 0.5 {
+		t.Errorf("utilization = %v, want 0.5", got)
+	}
+	l.ResetStats()
+	if l.Utilization() != 0 || l.Flits() != 0 {
+		t.Error("ResetStats did not clear counters")
+	}
+}
+
+func TestLinkComponentInterface(t *testing.T) {
+	l := NewLink("wire")
+	if l.ComponentName() != "wire" {
+		t.Errorf("name = %q", l.ComponentName())
+	}
+	l.Tick(0) // must be a no-op
+	if l.Peek() != nil || l.Busy() {
+		t.Error("Tick changed state")
+	}
+}
+
+func TestCreditLinkLatencyAndAccumulation(t *testing.T) {
+	c := NewCreditLink("cr")
+	c.Send(2)
+	if c.Pending() != 0 {
+		t.Error("credits visible before commit")
+	}
+	c.Commit(0)
+	if c.Pending() != 2 {
+		t.Errorf("pending = %d, want 2", c.Pending())
+	}
+	// Uncollected credits accumulate with newly arriving ones.
+	c.Send(3)
+	c.Commit(1)
+	if got := c.Take(); got != 5 {
+		t.Errorf("Take = %d, want 5", got)
+	}
+	if c.Take() != 0 {
+		t.Error("second Take returned credits")
+	}
+	if c.TotalSent() != 5 {
+		t.Errorf("TotalSent = %d", c.TotalSent())
+	}
+}
+
+func TestCreditLinkComponentInterface(t *testing.T) {
+	c := NewCreditLink("cr")
+	if c.ComponentName() != "cr" {
+		t.Errorf("name = %q", c.ComponentName())
+	}
+	c.Tick(0)
+	if c.Pending() != 0 {
+		t.Error("Tick changed state")
+	}
+}
+
+// Property: credits are conserved — for any send/collect pattern, the
+// total taken never exceeds the total sent, and after a final commit and
+// take they are equal.
+func TestCreditConservationProperty(t *testing.T) {
+	f := func(sends []uint8, collectMask uint16) bool {
+		c := NewCreditLink("cr")
+		var sent, taken uint64
+		for i, s := range sends {
+			if i >= 16 {
+				break
+			}
+			c.Send(uint32(s))
+			sent += uint64(s)
+			if collectMask&(1<<uint(i)) != 0 {
+				taken += uint64(c.Take())
+			}
+			c.Commit(uint64(i))
+			if taken > sent {
+				return false
+			}
+		}
+		c.Commit(99)
+		taken += uint64(c.Take())
+		return taken == sent && c.TotalSent() == sent
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: a flit sent on an idle link with a cooperating receiver is
+// delivered exactly once, one commit later, regardless of traffic
+// pattern.
+func TestLinkDeliveryProperty(t *testing.T) {
+	f := func(pattern uint32) bool {
+		l := NewLink("l")
+		var sentSeqs, gotSeqs []uint64
+		seq := uint64(0)
+		for c := uint64(0); c < 32; c++ {
+			if got := l.Take(); got != nil {
+				gotSeqs = append(gotSeqs, got.Packet.Seq())
+			}
+			if pattern&(1<<uint(c)) != 0 {
+				if err := l.Send(mkFlit(seq)); err != nil {
+					return false
+				}
+				sentSeqs = append(sentSeqs, seq)
+				seq++
+			}
+			l.Commit(c)
+		}
+		if got := l.Take(); got != nil {
+			gotSeqs = append(gotSeqs, got.Packet.Seq())
+		}
+		if l.Overruns() != 0 {
+			return false
+		}
+		if len(gotSeqs) != len(sentSeqs) {
+			return false
+		}
+		for i := range gotSeqs {
+			if gotSeqs[i] != sentSeqs[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,247 @@
+// Package monitor renders emulation results for the user — the paper's
+// monitor, which "displays on the screen of a PC the information
+// extracted from NoC emulation components". It pulls statistics from a
+// built platform and writes human-readable reports, CSV series for
+// plotting, and JSON for downstream tooling.
+package monitor
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"text/tabwriter"
+
+	"nocemu/internal/platform"
+	"nocemu/internal/receptor"
+	"nocemu/internal/resource"
+	"nocemu/internal/stats"
+)
+
+// WriteReport renders the full post-emulation report. syn may be nil to
+// omit the synthesis section.
+func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error {
+	if p == nil {
+		return fmt.Errorf("monitor: nil platform")
+	}
+	tot := p.Totals()
+	fmt.Fprintf(w, "=== NoC emulation report: %s ===\n", p.Name())
+	fmt.Fprintf(w, "cycles: %d\n", tot.Cycles)
+	fmt.Fprintf(w, "packets: offered %d, sent %d, received %d\n",
+		tot.PacketsOffered, tot.PacketsSent, tot.PacketsReceived)
+	fmt.Fprintf(w, "flits: sent %d, received %d, routed %d\n",
+		tot.FlitsSent, tot.FlitsReceived, tot.FlitsRouted)
+	fmt.Fprintf(w, "congestion: rate %.4f, blocked cycles %d\n",
+		tot.CongestionRate, tot.BlockedCycles)
+	if tot.MeanNetLatency > 0 {
+		fmt.Fprintf(w, "latency: mean %.2f cycles, receptor congestion %d cycles\n",
+			tot.MeanNetLatency, tot.CongestionCycles)
+	}
+
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "\n--- traffic generators ---")
+	fmt.Fprintln(tw, "device\tmodel\toffered\tsent\tflits\tstalls\tbackpressure")
+	for _, tg := range p.TGs() {
+		st := tg.Stats()
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
+			tg.ComponentName(), tg.Generator().ModelName(),
+			st.Offered, st.Injector.PacketsSent, st.Injector.FlitsSent,
+			st.Injector.StallCycles, st.BackpressureCycles)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n--- traffic receptors ---")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tmode\tpackets\tflits\trun time\tlat mean\tlat max\tcongestion")
+	for _, tr := range p.TRs() {
+		st := tr.Stats()
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.0f\t%d\n",
+			tr.ComponentName(), st.Mode, st.Packets, st.Flits, st.RunningTime,
+			st.NetLatencyMean, st.NetLatencyMax, st.CongestionCycles)
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	// Per-flow latency breakdown from the trace-driven receptors.
+	var flowRows bool
+	for _, tr := range p.TRs() {
+		if len(tr.PerSourceLatency()) > 0 {
+			flowRows = true
+			break
+		}
+	}
+	if flowRows {
+		fmt.Fprintln(w, "\n--- per-flow latency ---")
+		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(tw, "flow\tpackets\tlat mean\tlat max")
+		for _, tr := range p.TRs() {
+			for _, fl := range tr.PerSourceLatency() {
+				fmt.Fprintf(tw, "tg%d -> %s\t%d\t%.2f\t%.0f\n",
+					fl.Src, tr.ComponentName(), fl.Packets, fl.Mean, fl.Max)
+			}
+		}
+		if err := tw.Flush(); err != nil {
+			return err
+		}
+	}
+
+	fmt.Fprintln(w, "\n--- switches ---")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "device\tflits\tpackets\tblocked\tcongestion")
+	for _, sw := range p.Switches() {
+		st := sw.Stats()
+		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.4f\n",
+			sw.ComponentName(), st.FlitsRouted, st.PacketsRouted,
+			st.BlockedCycles, st.CongestionRate())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	fmt.Fprintln(w, "\n--- link loads ---")
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "link\tfrom\tto\tload\tflits")
+	loads := p.LinkLoads()
+	for i, ls := range p.Config().Topology.Links() {
+		l, _ := p.Link(i)
+		fmt.Fprintf(tw, "%d\tsw%d\tsw%d\t%.4f\t%d\n", i, ls.From, ls.To, loads[i], l.Flits())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+
+	if syn != nil {
+		fmt.Fprintln(w, "\n--- synthesis estimate ---")
+		if err := WriteSynthesis(w, syn); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteSynthesis renders the resource report as the paper's Table 1.
+func WriteSynthesis(w io.Writer, syn *resource.Report) error {
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(tw, "device\tkind\tslices\tFPGA %%\n")
+	for _, r := range syn.Rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d\t%.1f\n", r.Device, r.Kind, r.Slices, r.Percent)
+	}
+	fmt.Fprintf(tw, "TOTAL\t%s\t%d\t%.1f\n", syn.Target.Name, syn.TotalSlices, syn.TotalPct)
+	return tw.Flush()
+}
+
+// WriteHistograms renders every receptor histogram (size, gap, latency
+// where present) as ASCII art.
+func WriteHistograms(w io.Writer, p *platform.Platform, width int) error {
+	for _, tr := range p.TRs() {
+		fmt.Fprintf(w, "--- %s ---\n", tr.ComponentName())
+		if tr.Mode() == receptor.Stochastic {
+			fmt.Fprintln(w, "packet sizes:")
+			fmt.Fprint(w, tr.SizeHist().Render(width))
+			fmt.Fprintln(w, "inter-arrival gaps:")
+			fmt.Fprint(w, tr.GapHist().Render(width))
+		} else {
+			fmt.Fprintln(w, "latency:")
+			fmt.Fprint(w, tr.LatHist().Render(width))
+		}
+	}
+	return nil
+}
+
+// WriteSeriesCSV emits experiment curves as CSV: one x column, one
+// column per series (aligned by x of the first series).
+func WriteSeriesCSV(w io.Writer, series ...stats.Series) error {
+	if len(series) == 0 {
+		return fmt.Errorf("monitor: no series")
+	}
+	fmt.Fprint(w, "x")
+	for _, s := range series {
+		fmt.Fprintf(w, ",%s", s.Name)
+	}
+	fmt.Fprintln(w)
+	base := series[0].Sorted()
+	for _, pt := range base.Points {
+		fmt.Fprintf(w, "%g", pt.X)
+		for _, s := range series {
+			if y, ok := s.YAt(pt.X); ok {
+				fmt.Fprintf(w, ",%g", y)
+			} else {
+				fmt.Fprint(w, ",")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// Summary is the JSON shape of a platform snapshot.
+type Summary struct {
+	Name   string          `json:"name"`
+	Totals platform.Totals `json:"totals"`
+	TGs    []TGSummary     `json:"tgs"`
+	TRs    []TRSummary     `json:"trs"`
+	Links  []LinkSummary   `json:"links"`
+}
+
+// TGSummary is one generator's JSON row.
+type TGSummary struct {
+	Name    string `json:"name"`
+	Model   string `json:"model"`
+	Offered uint64 `json:"offered"`
+	Sent    uint64 `json:"sent"`
+	Flits   uint64 `json:"flits"`
+}
+
+// TRSummary is one receptor's JSON row.
+type TRSummary struct {
+	Name       string  `json:"name"`
+	Mode       string  `json:"mode"`
+	Packets    uint64  `json:"packets"`
+	Flits      uint64  `json:"flits"`
+	LatMean    float64 `json:"lat_mean"`
+	LatMax     float64 `json:"lat_max"`
+	Congestion uint64  `json:"congestion_cycles"`
+}
+
+// LinkSummary is one link's JSON row.
+type LinkSummary struct {
+	Index int     `json:"index"`
+	From  int     `json:"from"`
+	To    int     `json:"to"`
+	Load  float64 `json:"load"`
+}
+
+// WriteJSON emits the platform snapshot as indented JSON.
+func WriteJSON(w io.Writer, p *platform.Platform) error {
+	if p == nil {
+		return fmt.Errorf("monitor: nil platform")
+	}
+	s := Summary{Name: p.Name(), Totals: p.Totals()}
+	for _, tg := range p.TGs() {
+		st := tg.Stats()
+		s.TGs = append(s.TGs, TGSummary{
+			Name: tg.ComponentName(), Model: tg.Generator().ModelName(),
+			Offered: st.Offered, Sent: st.Injector.PacketsSent, Flits: st.Injector.FlitsSent,
+		})
+	}
+	for _, tr := range p.TRs() {
+		st := tr.Stats()
+		s.TRs = append(s.TRs, TRSummary{
+			Name: tr.ComponentName(), Mode: string(st.Mode),
+			Packets: st.Packets, Flits: st.Flits,
+			LatMean: st.NetLatencyMean, LatMax: st.NetLatencyMax,
+			Congestion: st.CongestionCycles,
+		})
+	}
+	loads := p.LinkLoads()
+	for i, ls := range p.Config().Topology.Links() {
+		s.Links = append(s.Links, LinkSummary{
+			Index: i, From: int(ls.From), To: int(ls.To), Load: loads[i],
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

@@ -1,0 +1,239 @@
+// Package nic implements the network interfaces of the paper's traffic
+// devices: the injector that "converts a traffic pattern in flits for
+// the NoC" inside every traffic generator, and the ejector that
+// reassembles flits into packets inside every traffic receptor.
+//
+// Injector and Ejector are not engine components themselves; the owning
+// TG/TR drives them from its own Tick, which mirrors the hardware where
+// the network interface is a sub-block of the traffic device.
+package nic
+
+import (
+	"fmt"
+
+	"nocemu/internal/buffer"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+)
+
+// Injector converts packets to flits and injects them into a switch
+// input port under credit-based flow control, at most one flit per
+// cycle.
+type Injector struct {
+	endpoint flit.EndpointID
+	out      *link.Link
+	creditIn *link.CreditLink
+	credits  int
+
+	// queue holds flits of accepted packets not yet on the wire.
+	queue    []*flit.Flit
+	maxFlits int
+
+	seq         uint64
+	packetsSent uint64
+	flitsSent   uint64
+	stallCycles uint64
+	peakQueue   int
+}
+
+// NewInjector builds an injector for the given endpoint. out carries
+// flits to the switch, creditIn returns credits from the switch's input
+// buffer, and initialCredits must equal that buffer's depth. maxFlits
+// bounds the source queue in flits (>= 1).
+func NewInjector(endpoint flit.EndpointID, out *link.Link, creditIn *link.CreditLink, initialCredits, maxFlits int) (*Injector, error) {
+	if out == nil || creditIn == nil {
+		return nil, fmt.Errorf("nic: injector %d nil wiring", endpoint)
+	}
+	if initialCredits < 1 {
+		return nil, fmt.Errorf("nic: injector %d with %d credits", endpoint, initialCredits)
+	}
+	if maxFlits < 1 {
+		return nil, fmt.Errorf("nic: injector %d queue of %d flits", endpoint, maxFlits)
+	}
+	return &Injector{
+		endpoint: endpoint,
+		out:      out,
+		creditIn: creditIn,
+		credits:  initialCredits,
+		maxFlits: maxFlits,
+	}, nil
+}
+
+// Endpoint returns the injector's endpoint identifier.
+func (n *Injector) Endpoint() flit.EndpointID { return n.endpoint }
+
+// NextSeq returns the sequence number the next accepted packet will get.
+func (n *Injector) NextSeq() uint64 { return n.seq }
+
+// CanAccept reports whether a packet of the given flit length fits in
+// the source queue this cycle.
+func (n *Injector) CanAccept(length uint16) bool {
+	return len(n.queue)+int(length) <= n.maxFlits
+}
+
+// Offer accepts a packet into the source queue, assigning its sequence
+// number and identifier. The caller must have checked CanAccept; a full
+// queue returns an error and leaves state unchanged.
+func (n *Injector) Offer(dst flit.EndpointID, length uint16, payload uint32, birthCycle uint64) (flit.PacketID, error) {
+	if length == 0 {
+		return 0, fmt.Errorf("nic: injector %d zero-length packet", n.endpoint)
+	}
+	if !n.CanAccept(length) {
+		return 0, fmt.Errorf("nic: injector %d source queue full", n.endpoint)
+	}
+	p := &flit.Packet{
+		ID:         flit.MakePacketID(n.endpoint, n.seq),
+		Src:        n.endpoint,
+		Dst:        dst,
+		Len:        length,
+		Payload:    payload,
+		BirthCycle: birthCycle,
+	}
+	n.seq++
+	n.queue = append(n.queue, p.Flits()...)
+	if len(n.queue) > n.peakQueue {
+		n.peakQueue = len(n.queue)
+	}
+	return p.ID, nil
+}
+
+// Pump advances the injector one cycle: collect credits, then put the
+// next queued flit on the wire if a credit is available. The owning TG
+// calls it once per Tick, after generating traffic.
+func (n *Injector) Pump(cycle uint64) {
+	n.credits += int(n.creditIn.Take())
+	if len(n.queue) == 0 {
+		return
+	}
+	if n.credits == 0 || n.out.Busy() {
+		n.stallCycles++
+		return
+	}
+	f := n.queue[0]
+	n.queue = n.queue[1:]
+	f.InjectCycle = cycle
+	f.Check = f.Checksum()
+	if err := n.out.Send(f); err != nil {
+		panic(fmt.Sprintf("nic: injector %d: %v", n.endpoint, err))
+	}
+	n.credits--
+	n.flitsSent++
+	if f.Kind.IsTail() {
+		n.packetsSent++
+	}
+}
+
+// InjectorStats is a snapshot of an injector's counters.
+type InjectorStats struct {
+	PacketsSent uint64
+	FlitsSent   uint64
+	StallCycles uint64
+	QueuedFlits int
+	PeakQueue   int
+}
+
+// Stats returns the injector counters.
+func (n *Injector) Stats() InjectorStats {
+	return InjectorStats{
+		PacketsSent: n.packetsSent,
+		FlitsSent:   n.flitsSent,
+		StallCycles: n.stallCycles,
+		QueuedFlits: len(n.queue),
+		PeakQueue:   n.peakQueue,
+	}
+}
+
+// Drained reports whether all accepted packets have left the injector.
+func (n *Injector) Drained() bool { return len(n.queue) == 0 }
+
+// ResetStats clears counters without touching queued flits or credits.
+func (n *Injector) ResetStats() {
+	n.packetsSent, n.flitsSent, n.stallCycles, n.peakQueue = 0, 0, 0, len(n.queue)
+}
+
+// Ejector receives flits from a switch output port into a small FIFO,
+// returns one credit per consumed flit, and reassembles packets. The
+// owning TR drives it once per Tick and receives completed packets
+// through the callback.
+type Ejector struct {
+	endpoint flit.EndpointID
+	in       *link.Link
+	creditUp *link.CreditLink
+	buf      *buffer.FIFO
+	asm      *flit.Assembler
+
+	flitsReceived  uint64
+	corruptedFlits uint64
+}
+
+// NewEjector builds an ejector with the given input buffer depth. The
+// switch output feeding it must be wired with initialCredits == depth.
+func NewEjector(endpoint flit.EndpointID, in *link.Link, creditUp *link.CreditLink, depth int) (*Ejector, error) {
+	if in == nil || creditUp == nil {
+		return nil, fmt.Errorf("nic: ejector %d nil wiring", endpoint)
+	}
+	if depth < 1 {
+		return nil, fmt.Errorf("nic: ejector %d depth %d", endpoint, depth)
+	}
+	return &Ejector{
+		endpoint: endpoint,
+		in:       in,
+		creditUp: creditUp,
+		buf:      buffer.MustNew(fmt.Sprintf("ej%d", endpoint), depth),
+		asm:      flit.NewAssembler(),
+	}, nil
+}
+
+// Endpoint returns the ejector's endpoint identifier.
+func (e *Ejector) Endpoint() flit.EndpointID { return e.endpoint }
+
+// Pump advances the ejector one cycle: accept an arriving flit, consume
+// one buffered flit, return a credit for it, and invoke onFlit (always)
+// and onPacket (when the flit completes a packet). Callbacks may be nil.
+func (e *Ejector) Pump(cycle uint64, onFlit func(*flit.Flit), onPacket func(*flit.Packet, *flit.Flit)) {
+	if f := e.in.Take(); f != nil {
+		if err := e.buf.Push(f); err != nil {
+			panic(fmt.Sprintf("nic: ejector %d: %v", e.endpoint, err))
+		}
+	}
+	f := e.buf.Pop()
+	if f == nil {
+		return
+	}
+	e.creditUp.Send(1)
+	e.flitsReceived++
+	if f.Check != f.Checksum() {
+		e.corruptedFlits++
+	}
+	if f.Dst != e.endpoint {
+		panic(fmt.Sprintf("nic: ejector %d received flit for %d (misroute)", e.endpoint, f.Dst))
+	}
+	if onFlit != nil {
+		onFlit(f)
+	}
+	pkt, done, err := e.asm.Push(f)
+	if err != nil {
+		panic(fmt.Sprintf("nic: ejector %d: %v", e.endpoint, err))
+	}
+	if done && onPacket != nil {
+		onPacket(pkt, f)
+	}
+}
+
+// Commit commits the ejector's internal buffer; the owning TR calls it
+// from its own Commit.
+func (e *Ejector) Commit(cycle uint64) { e.buf.Commit(cycle) }
+
+// FlitsReceived returns the number of flits consumed.
+func (e *Ejector) FlitsReceived() uint64 { return e.flitsReceived }
+
+// CorruptedFlits returns the number of consumed flits whose integrity
+// code did not match (in-flight corruption).
+func (e *Ejector) CorruptedFlits() uint64 { return e.corruptedFlits }
+
+// PendingPackets reports partially reassembled packets.
+func (e *Ejector) PendingPackets() int { return e.asm.Pending() }
+
+// Depth returns the ejector buffer depth (the credits the upstream
+// switch output must be initialized with).
+func (e *Ejector) Depth() int { return e.buf.Cap() }

@@ -1,0 +1,223 @@
+package nic
+
+import (
+	"testing"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+)
+
+func newInjectorPair(t *testing.T, credits, maxFlits int) (*Injector, *link.Link, *link.CreditLink) {
+	t.Helper()
+	out := link.NewLink("out")
+	cr := link.NewCreditLink("cr")
+	inj, err := NewInjector(1, out, cr, credits, maxFlits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return inj, out, cr
+}
+
+func TestNewInjectorValidates(t *testing.T) {
+	out := link.NewLink("out")
+	cr := link.NewCreditLink("cr")
+	if _, err := NewInjector(1, nil, cr, 1, 1); err == nil {
+		t.Error("nil out accepted")
+	}
+	if _, err := NewInjector(1, out, nil, 1, 1); err == nil {
+		t.Error("nil credit accepted")
+	}
+	if _, err := NewInjector(1, out, cr, 0, 1); err == nil {
+		t.Error("0 credits accepted")
+	}
+	if _, err := NewInjector(1, out, cr, 1, 0); err == nil {
+		t.Error("0 queue accepted")
+	}
+}
+
+func TestInjectorOffer(t *testing.T) {
+	inj, _, _ := newInjectorPair(t, 4, 8)
+	if inj.Endpoint() != 1 {
+		t.Errorf("endpoint = %d", inj.Endpoint())
+	}
+	if _, err := inj.Offer(2, 0, 0, 0); err == nil {
+		t.Error("zero-length packet accepted")
+	}
+	id, err := inj.Offer(2, 3, 7, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if id.Src() != 1 || id.Seq() != 0 {
+		t.Errorf("id = %v", id)
+	}
+	if inj.NextSeq() != 1 {
+		t.Errorf("next seq = %d", inj.NextSeq())
+	}
+	if !inj.CanAccept(5) {
+		t.Error("CanAccept(5) false with 5 free slots")
+	}
+	if inj.CanAccept(6) {
+		t.Error("CanAccept(6) true with 5 free slots")
+	}
+	if _, err := inj.Offer(2, 6, 0, 0); err == nil {
+		t.Error("over-capacity packet accepted")
+	}
+}
+
+func TestInjectorPumpRespectsCredits(t *testing.T) {
+	inj, out, cr := newInjectorPair(t, 2, 8)
+	if _, err := inj.Offer(2, 3, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	var sent []*flit.Flit
+	for c := uint64(0); c < 6; c++ {
+		inj.Pump(c)
+		if f := out.Take(); f != nil {
+			sent = append(sent, f)
+		}
+		out.Commit(c)
+		cr.Commit(c)
+	}
+	// Only 2 credits, none returned: exactly 2 flits on the wire.
+	if len(sent) != 2 {
+		t.Fatalf("sent %d flits, want 2", len(sent))
+	}
+	st := inj.Stats()
+	if st.FlitsSent != 2 || st.PacketsSent != 0 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.StallCycles == 0 {
+		t.Error("no stalls recorded while starved of credits")
+	}
+	// Return credits: the tail goes out and the packet completes.
+	cr.Send(2)
+	cr.Commit(6)
+	inj.Pump(7)
+	out.Commit(7)
+	if f := out.Take(); f == nil || !f.Kind.IsTail() {
+		t.Fatalf("tail not sent: %v", f)
+	}
+	if inj.Stats().PacketsSent != 1 {
+		t.Error("packet not counted")
+	}
+	if !inj.Drained() {
+		t.Error("not drained")
+	}
+}
+
+func TestInjectorStampsInjectCycle(t *testing.T) {
+	inj, out, _ := newInjectorPair(t, 4, 8)
+	if _, err := inj.Offer(2, 1, 0, 3); err != nil {
+		t.Fatal(err)
+	}
+	inj.Pump(9)
+	out.Commit(9)
+	f := out.Take()
+	if f == nil {
+		t.Fatal("no flit")
+	}
+	if f.InjectCycle != 9 || f.BirthCycle != 3 {
+		t.Errorf("inject=%d birth=%d", f.InjectCycle, f.BirthCycle)
+	}
+}
+
+func TestInjectorResetStats(t *testing.T) {
+	inj, out, _ := newInjectorPair(t, 4, 8)
+	if _, err := inj.Offer(2, 1, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	inj.Pump(0)
+	out.Take()
+	inj.ResetStats()
+	st := inj.Stats()
+	if st.FlitsSent != 0 || st.PacketsSent != 0 || st.StallCycles != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+}
+
+func TestNewEjectorValidates(t *testing.T) {
+	in := link.NewLink("in")
+	cr := link.NewCreditLink("cr")
+	if _, err := NewEjector(9, nil, cr, 2); err == nil {
+		t.Error("nil in accepted")
+	}
+	if _, err := NewEjector(9, in, nil, 2); err == nil {
+		t.Error("nil credit accepted")
+	}
+	if _, err := NewEjector(9, in, cr, 0); err == nil {
+		t.Error("0 depth accepted")
+	}
+	ej, err := NewEjector(9, in, cr, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ej.Depth() != 3 || ej.Endpoint() != 9 {
+		t.Errorf("depth=%d ep=%d", ej.Depth(), ej.Endpoint())
+	}
+}
+
+func TestEjectorReassemblyAndCredits(t *testing.T) {
+	in := link.NewLink("in")
+	cr := link.NewCreditLink("cr")
+	ej, err := NewEjector(9, in, cr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := &flit.Packet{ID: flit.MakePacketID(1, 0), Src: 1, Dst: 9, Len: 3, BirthCycle: 2}
+	flits := p.Flits()
+	var gotPkts []*flit.Packet
+	var gotFlits int
+	cycle := uint64(0)
+	for i := 0; i < len(flits)+3; i++ {
+		if i < len(flits) {
+			if err := in.Send(flits[i]); err != nil {
+				t.Fatal(err)
+			}
+		}
+		ej.Pump(cycle, func(*flit.Flit) { gotFlits++ }, func(pkt *flit.Packet, last *flit.Flit) {
+			gotPkts = append(gotPkts, pkt)
+		})
+		in.Commit(cycle)
+		cr.Commit(cycle)
+		ej.Commit(cycle)
+		cycle++
+	}
+	if gotFlits != 3 {
+		t.Errorf("flits delivered = %d", gotFlits)
+	}
+	if len(gotPkts) != 1 || gotPkts[0].ID != p.ID {
+		t.Fatalf("packets = %v", gotPkts)
+	}
+	if ej.FlitsReceived() != 3 {
+		t.Errorf("FlitsReceived = %d", ej.FlitsReceived())
+	}
+	if ej.PendingPackets() != 0 {
+		t.Errorf("pending = %d", ej.PendingPackets())
+	}
+	if cr.TotalSent() != 3 {
+		t.Errorf("credits returned = %d, want 3", cr.TotalSent())
+	}
+}
+
+func TestEjectorPanicsOnMisroute(t *testing.T) {
+	in := link.NewLink("in")
+	cr := link.NewCreditLink("cr")
+	ej, err := NewEjector(9, in, cr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrong := &flit.Flit{Kind: flit.HeadTail, Packet: flit.MakePacketID(1, 0), Src: 1, Dst: 8, PacketLen: 1}
+	if err := in.Send(wrong); err != nil {
+		t.Fatal(err)
+	}
+	in.Commit(0)
+	ej.Pump(1, nil, nil)
+	ej.Commit(1)
+	in.Commit(1)
+	defer func() {
+		if recover() == nil {
+			t.Error("misrouted flit not detected")
+		}
+	}()
+	ej.Pump(2, nil, nil)
+}

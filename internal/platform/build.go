@@ -1,0 +1,415 @@
+package platform
+
+import (
+	"fmt"
+
+	"nocemu/internal/bus"
+	"nocemu/internal/control"
+	"nocemu/internal/engine"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/nic"
+	"nocemu/internal/receptor"
+	"nocemu/internal/regmap"
+	"nocemu/internal/routing"
+	"nocemu/internal/switchfab"
+	"nocemu/internal/topology"
+	"nocemu/internal/traffic"
+)
+
+// Bus assignment: control module on bus 0 slot 0, switches after it,
+// TGs on bus 1, TRs on bus 2 (bus 3 is free for user devices).
+const (
+	BusControl = 0
+	BusTG      = 1
+	BusTR      = 2
+)
+
+// Platform is a fully wired emulation platform.
+type Platform struct {
+	cfg   Config
+	eng   *engine.Engine
+	sys   *bus.System
+	table *routing.Table
+
+	switches []*switchfab.Switch
+	tgs      []*traffic.TG
+	trs      []*receptor.TR
+	links    []*link.Link // indexed by topology link index
+	ctrl     *control.Module
+	proc     *control.Processor
+
+	tgByEndpoint map[flit.EndpointID]*traffic.TG
+	trByEndpoint map[flit.EndpointID]*receptor.TR
+}
+
+// Build compiles a platform from its configuration.
+func Build(cfg Config) (*Platform, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	topo := cfg.Topology
+
+	// Routing table generation plus overrides, then validation.
+	var table *routing.Table
+	var err error
+	switch cfg.Routing {
+	case RoutingShortest:
+		table, err = routing.BuildShortestPath(topo)
+	case RoutingXY:
+		table, err = routing.BuildXY(topo, cfg.MeshWidth)
+	default:
+		return nil, fmt.Errorf("platform %s: unknown routing scheme %q", cfg.Name, cfg.Routing)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+	}
+	for _, ov := range cfg.Overrides {
+		if err := table.Set(ov.Switch, ov.Dst, ov.Ports); err != nil {
+			return nil, fmt.Errorf("platform %s: override: %w", cfg.Name, err)
+		}
+	}
+	if err := routing.Validate(topo, table); err != nil {
+		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+	}
+
+	p := &Platform{
+		cfg: cfg, eng: engine.New(), sys: bus.NewSystem(), table: table,
+		tgByEndpoint: make(map[flit.EndpointID]*traffic.TG),
+		trByEndpoint: make(map[flit.EndpointID]*receptor.TR),
+	}
+	bank := &wireBank{name: "wires"}
+	registerWires := func(l *link.Link, c *link.CreditLink) {
+		if cfg.SeparateWires {
+			p.eng.MustRegister(l)
+			p.eng.MustRegister(c)
+			return
+		}
+		bank.links = append(bank.links, l)
+		bank.credits = append(bank.credits, c)
+	}
+
+	// Switches.
+	p.switches = make([]*switchfab.Switch, topo.NumSwitches())
+	for s := topology.NodeID(0); int(s) < topo.NumSwitches(); s++ {
+		ins, outs := topo.SwitchInputs(s), topo.SwitchOutputs(s)
+		numIn, numOut := len(ins), len(outs)
+		if numIn == 0 || numOut == 0 {
+			return nil, fmt.Errorf("platform %s: switch %d has %d inputs and %d outputs; every switch needs both",
+				cfg.Name, s, numIn, numOut)
+		}
+		sw, err := switchfab.New(switchfab.Config{
+			Name: fmt.Sprintf("sw%d", s), Node: s,
+			NumIn: numIn, NumOut: numOut,
+			BufDepth: cfg.SwitchBufDepth, Arb: cfg.Arb, Select: cfg.Select,
+			Table: table, Seed: cfg.Seed ^ uint32(0x5157C000+s),
+		})
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		p.switches[s] = sw
+	}
+
+	// Inter-switch links: one flit link + one credit link each.
+	specs := topo.Links()
+	p.links = make([]*link.Link, len(specs))
+	credits := make([]*link.CreditLink, len(specs))
+	for i, ls := range specs {
+		p.links[i] = link.NewLink(fmt.Sprintf("link%d.s%d-s%d", i, ls.From, ls.To))
+		credits[i] = link.NewCreditLink(fmt.Sprintf("credit%d.s%d-s%d", i, ls.To, ls.From))
+	}
+	// Wire link endpoints to switch ports by canonical port order.
+	for s := topology.NodeID(0); int(s) < topo.NumSwitches(); s++ {
+		for portIdx, ic := range topo.SwitchInputs(s) {
+			if ic.Link >= 0 {
+				if err := p.switches[s].ConnectInput(portIdx, p.links[ic.Link], credits[ic.Link]); err != nil {
+					return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+				}
+			}
+		}
+		for portIdx, oc := range topo.SwitchOutputs(s) {
+			if oc.Link >= 0 {
+				downstream := p.switches[specs[oc.Link].To]
+				if err := p.switches[s].ConnectOutput(portIdx, p.links[oc.Link], credits[oc.Link], downstream.BufDepth()); err != nil {
+					return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+				}
+			}
+		}
+	}
+
+	// Traffic generators.
+	for i, spec := range cfg.TGs {
+		ep, _ := topo.Endpoint(spec.Endpoint)
+		sw := p.switches[ep.Switch]
+		portIdx := -1
+		for pi, ic := range topo.SwitchInputs(ep.Switch) {
+			if ic.Link == -1 && ic.Endpoint == spec.Endpoint {
+				portIdx = pi
+				break
+			}
+		}
+		if portIdx < 0 {
+			return nil, fmt.Errorf("platform %s: no input port for TG endpoint %d", cfg.Name, spec.Endpoint)
+		}
+		injL := link.NewLink(fmt.Sprintf("inj%d", spec.Endpoint))
+		injCr := link.NewCreditLink(fmt.Sprintf("injcr%d", spec.Endpoint))
+		if err := sw.ConnectInput(portIdx, injL, injCr); err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		queue := spec.QueueFlits
+		if queue == 0 {
+			queue = 32
+		}
+		inj, err := nic.NewInjector(spec.Endpoint, injL, injCr, sw.BufDepth(), queue)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		gen, err := BuildGenerator(spec)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: TG %d: %w", cfg.Name, i, err)
+		}
+		seed := DeriveTGSeed(cfg.Seed, spec)
+		tg, err := traffic.NewTG(traffic.TGConfig{
+			Name: fmt.Sprintf("tg%d", spec.Endpoint), Seed: seed, Limit: spec.Limit,
+		}, gen, inj)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		p.tgs = append(p.tgs, tg)
+		p.tgByEndpoint[spec.Endpoint] = tg
+		p.eng.MustRegister(tg)
+		registerWires(injL, injCr)
+	}
+
+	// Traffic receptors.
+	for _, spec := range cfg.TRs {
+		ep, _ := topo.Endpoint(spec.Endpoint)
+		sw := p.switches[ep.Switch]
+		portIdx := -1
+		for pi, oc := range topo.SwitchOutputs(ep.Switch) {
+			if oc.Link == -1 && oc.Endpoint == spec.Endpoint {
+				portIdx = pi
+				break
+			}
+		}
+		if portIdx < 0 {
+			return nil, fmt.Errorf("platform %s: no output port for TR endpoint %d", cfg.Name, spec.Endpoint)
+		}
+		ejL := link.NewLink(fmt.Sprintf("ej%d", spec.Endpoint))
+		ejCr := link.NewCreditLink(fmt.Sprintf("ejcr%d", spec.Endpoint))
+		depth := spec.BufDepth
+		if depth == 0 {
+			depth = cfg.SwitchBufDepth
+		}
+		ej, err := nic.NewEjector(spec.Endpoint, ejL, ejCr, depth)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		if err := sw.ConnectOutput(portIdx, ejL, ejCr, ej.Depth()); err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		tr, err := receptor.New(receptor.Config{
+			Name: fmt.Sprintf("tr%d", spec.Endpoint), Endpoint: spec.Endpoint,
+			Mode: spec.Mode, ExpectPackets: spec.ExpectPackets,
+			SizeBinWidth: spec.SizeBinWidth, SizeBins: spec.SizeBins,
+			GapBinWidth: spec.GapBinWidth, GapBins: spec.GapBins,
+			LatBinWidth: spec.LatBinWidth, LatBins: spec.LatBins,
+			RecordTrace: spec.RecordTrace,
+		}, ej)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		p.trs = append(p.trs, tr)
+		p.trByEndpoint[spec.Endpoint] = tr
+		p.eng.MustRegister(tr)
+		registerWires(ejL, ejCr)
+	}
+
+	// Register switches and inter-switch wires after endpoints so
+	// engine names stay grouped; order does not affect results.
+	for _, sw := range p.switches {
+		if err := sw.CheckWired(); err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		p.eng.MustRegister(sw)
+	}
+	for i := range p.links {
+		registerWires(p.links[i], credits[i])
+	}
+	if !cfg.SeparateWires {
+		p.eng.MustRegister(bank)
+	}
+
+	// Bus attachment and control plane.
+	enablers := make([]control.Enabler, len(p.tgs))
+	for i, tg := range p.tgs {
+		enablers[i] = tg
+	}
+	ctrl, err := control.NewModule("ctl", p.eng.Cycle, enablers, len(p.trs), len(p.switches))
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+	}
+	p.ctrl = ctrl
+	if err := p.sys.Attach(BusControl, 0, ctrl); err != nil {
+		return nil, err
+	}
+	for _, sw := range p.switches {
+		if _, err := p.sys.AttachNext(BusControl, regmap.NewSwitchDevice(sw)); err != nil {
+			return nil, err
+		}
+	}
+	for _, tg := range p.tgs {
+		if _, err := p.sys.AttachNext(BusTG, regmap.NewTGDevice(tg)); err != nil {
+			return nil, err
+		}
+	}
+	for _, tr := range p.trs {
+		if _, err := p.sys.AttachNext(BusTR, regmap.NewTRDevice(tr)); err != nil {
+			return nil, err
+		}
+	}
+	proc, err := control.NewProcessor(p.sys, p.eng)
+	if err != nil {
+		return nil, err
+	}
+	p.proc = proc
+	return p, nil
+}
+
+// wireBank commits every passive wire of the platform in one engine
+// component — the software analogue of the FPGA clocking all nets at
+// once. With Config.SeparateWires each wire schedules individually
+// instead.
+type wireBank struct {
+	name    string
+	links   []*link.Link
+	credits []*link.CreditLink
+}
+
+func (w *wireBank) ComponentName() string { return w.name }
+
+func (w *wireBank) Tick(cycle uint64) {}
+
+func (w *wireBank) Commit(cycle uint64) {
+	for _, l := range w.links {
+		l.Commit(cycle)
+	}
+	for _, c := range w.credits {
+		c.Commit(cycle)
+	}
+}
+
+// DeriveTGSeed returns the random seed a TG gets: the spec's own seed,
+// or a platform-seed-derived default. Exported so alternative backends
+// (internal/rtl, internal/tlm) generate identical traffic.
+func DeriveTGSeed(platformSeed uint32, spec TGSpec) uint32 {
+	if spec.Seed != 0 {
+		return spec.Seed
+	}
+	return platformSeed*2654435761 + uint32(spec.Endpoint) + 1
+}
+
+// BuildGenerator instantiates the generator named by a TG spec.
+// Exported so alternative backends drive the same traffic models.
+func BuildGenerator(spec TGSpec) (traffic.Generator, error) {
+	switch spec.Model {
+	case ModelUniform:
+		if spec.Uniform == nil {
+			return nil, fmt.Errorf("uniform model without config")
+		}
+		return traffic.NewUniform(*spec.Uniform)
+	case ModelBurst:
+		if spec.Burst == nil {
+			return nil, fmt.Errorf("burst model without config")
+		}
+		return traffic.NewBurst(*spec.Burst)
+	case ModelPoisson:
+		if spec.Poisson == nil {
+			return nil, fmt.Errorf("poisson model without config")
+		}
+		return traffic.NewPoisson(*spec.Poisson)
+	case ModelTrace:
+		if spec.Trace == nil {
+			return nil, fmt.Errorf("trace model without trace")
+		}
+		return traffic.NewTraceGen(spec.Trace)
+	default:
+		return nil, fmt.Errorf("unknown TG model %q", spec.Model)
+	}
+}
+
+// Name returns the platform name.
+func (p *Platform) Name() string { return p.cfg.Name }
+
+// Config returns the (defaulted) configuration the platform was built
+// from.
+func (p *Platform) Config() Config { return p.cfg }
+
+// Engine returns the cycle engine.
+func (p *Platform) Engine() *engine.Engine { return p.eng }
+
+// System returns the internal bus system.
+func (p *Platform) System() *bus.System { return p.sys }
+
+// Processor returns the control processor.
+func (p *Platform) Processor() *control.Processor { return p.proc }
+
+// Table returns the routing table.
+func (p *Platform) Table() *routing.Table { return p.table }
+
+// Switches returns the switches indexed by topology node.
+func (p *Platform) Switches() []*switchfab.Switch { return p.switches }
+
+// TGs returns the traffic generators in spec order.
+func (p *Platform) TGs() []*traffic.TG { return p.tgs }
+
+// TRs returns the traffic receptors in spec order.
+func (p *Platform) TRs() []*receptor.TR { return p.trs }
+
+// TG returns the generator for an endpoint.
+func (p *Platform) TG(ep flit.EndpointID) (*traffic.TG, bool) {
+	tg, ok := p.tgByEndpoint[ep]
+	return tg, ok
+}
+
+// TR returns the receptor for an endpoint.
+func (p *Platform) TR(ep flit.EndpointID) (*receptor.TR, bool) {
+	tr, ok := p.trByEndpoint[ep]
+	return tr, ok
+}
+
+// Link returns the inter-switch link for a topology link index.
+func (p *Platform) Link(i int) (*link.Link, bool) {
+	if i < 0 || i >= len(p.links) {
+		return nil, false
+	}
+	return p.links[i], true
+}
+
+// Run advances the platform until all stoppers are done or maxCycles
+// elapse.
+func (p *Platform) Run(maxCycles uint64) (uint64, bool) {
+	return p.eng.RunUntil(maxCycles)
+}
+
+// RunCycles advances exactly n cycles.
+func (p *Platform) RunCycles(n uint64) { p.eng.Run(n) }
+
+// ResetStats clears every statistic counter (switches, links, TGs, TRs)
+// without disturbing in-flight state — used to exclude warm-up from
+// measurements.
+func (p *Platform) ResetStats() {
+	for _, sw := range p.switches {
+		sw.ResetStats()
+	}
+	for _, l := range p.links {
+		l.ResetStats()
+	}
+	for _, tg := range p.tgs {
+		tg.ResetStats()
+	}
+	for _, tr := range p.trs {
+		tr.ResetStats()
+	}
+}

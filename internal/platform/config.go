@@ -1,0 +1,217 @@
+// Package platform assembles complete emulation platforms: the paper's
+// "platform compilation" step. A Config describes the topology, the
+// switch parameters (inputs, outputs, buffer size), the routing scheme,
+// and one traffic device per endpoint; Build wires switches, links,
+// network interfaces, statistic devices, the internal buses and the
+// control module into a runnable engine.
+package platform
+
+import (
+	"fmt"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/flit"
+	"nocemu/internal/receptor"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+	"nocemu/internal/trace"
+	"nocemu/internal/traffic"
+)
+
+// TGModel names a traffic-generator model.
+type TGModel string
+
+// Traffic-generator model names.
+const (
+	ModelUniform TGModel = "uniform"
+	ModelBurst   TGModel = "burst"
+	ModelPoisson TGModel = "poisson"
+	ModelTrace   TGModel = "trace"
+)
+
+// TGSpec configures the traffic generator for one source endpoint.
+type TGSpec struct {
+	// Endpoint must name a source in the topology.
+	Endpoint flit.EndpointID
+	// Model selects the generator; exactly the matching config field
+	// must be set.
+	Model   TGModel
+	Uniform *traffic.UniformConfig
+	Burst   *traffic.BurstConfig
+	Poisson *traffic.PoissonConfig
+	Trace   *trace.Trace
+	// Seed seeds this TG's random registers (0 uses a derived seed).
+	Seed uint32
+	// Limit bounds the packets generated (0 = unlimited/trace length).
+	Limit uint64
+	// QueueFlits is the source-queue capacity (default 32).
+	QueueFlits int
+}
+
+// TRSpec configures the traffic receptor for one sink endpoint.
+type TRSpec struct {
+	// Endpoint must name a sink in the topology.
+	Endpoint flit.EndpointID
+	// Mode selects stochastic or trace-driven analysis.
+	Mode receptor.Mode
+	// ExpectPackets lets the run stop once this receptor has seen that
+	// many packets (0 = not a stop condition).
+	ExpectPackets uint64
+	// BufDepth is the ejector buffer depth (default: switch buffer
+	// depth).
+	BufDepth int
+	// RecordTrace makes this receptor record arrivals for later replay.
+	RecordTrace bool
+	// Histogram shaping (zero values use receptor defaults).
+	SizeBinWidth uint64
+	SizeBins     int
+	GapBinWidth  uint64
+	GapBins      int
+	LatBinWidth  uint64
+	LatBins      int
+}
+
+// RouteOverride pins the candidate output ports for one (switch,
+// destination) pair, replacing the generated entry.
+type RouteOverride struct {
+	Switch topology.NodeID
+	Dst    flit.EndpointID
+	Ports  []int
+}
+
+// RoutingScheme selects how the routing table is generated.
+type RoutingScheme string
+
+// Routing scheme names.
+const (
+	RoutingShortest RoutingScheme = "shortest"
+	RoutingXY       RoutingScheme = "xy"
+)
+
+// Config describes a complete emulation platform.
+type Config struct {
+	// Name labels the platform in reports.
+	Name string
+	// Topology is the switch graph with endpoint attachments.
+	Topology *topology.Topology
+	// SwitchBufDepth is the per-input FIFO depth (default 4) — the
+	// "size of buffers" switch parameter.
+	SwitchBufDepth int
+	// Arb is the output arbitration policy (default round-robin).
+	Arb arb.Policy
+	// Select is the route-candidate selection policy (default first).
+	Select routing.Policy
+	// Routing picks the table generator (default shortest).
+	Routing RoutingScheme
+	// MeshWidth is required for the xy scheme.
+	MeshWidth int
+	// Overrides pin specific routes after table generation.
+	Overrides []RouteOverride
+	// TGs and TRs configure the traffic devices, one per endpoint.
+	TGs []TGSpec
+	TRs []TRSpec
+	// Seed is the platform base seed; device seeds derive from it.
+	Seed uint32
+	// SeparateWires registers every link and credit wire as its own
+	// engine component instead of one bundled wire bank. The bundled
+	// default is the emulator's static-netlist optimization; alternative
+	// schedulers (internal/tlm) set this to model per-signal kernel
+	// costs, as a SystemC primitive channel would incur.
+	SeparateWires bool
+}
+
+func (c *Config) applyDefaults() {
+	if c.SwitchBufDepth == 0 {
+		c.SwitchBufDepth = 4
+	}
+	if c.Arb == "" {
+		c.Arb = arb.RoundRobin
+	}
+	if c.Select == "" {
+		c.Select = routing.First
+	}
+	if c.Routing == "" {
+		c.Routing = RoutingShortest
+	}
+	if c.Seed == 0 {
+		c.Seed = 0x0C0FFEE
+	}
+}
+
+// Normalize applies defaults and validates a configuration without
+// building a platform, returning the defaulted copy. Alternative
+// backends (internal/rtl, internal/tlm) use it to interpret a Config
+// exactly as Build would.
+func Normalize(cfg Config) (Config, error) {
+	cfg.applyDefaults()
+	if err := cfg.validate(); err != nil {
+		return Config{}, err
+	}
+	return cfg, nil
+}
+
+// validate checks config coherence before building.
+func (c *Config) validate() error {
+	if c.Name == "" {
+		return fmt.Errorf("platform: empty name")
+	}
+	if c.Topology == nil {
+		return fmt.Errorf("platform %s: nil topology", c.Name)
+	}
+	if err := c.Topology.Validate(); err != nil {
+		return fmt.Errorf("platform %s: %w", c.Name, err)
+	}
+	if c.SwitchBufDepth < 1 {
+		return fmt.Errorf("platform %s: buffer depth %d", c.Name, c.SwitchBufDepth)
+	}
+	if !routing.ValidPolicy(c.Select) {
+		return fmt.Errorf("platform %s: selection policy %q", c.Name, c.Select)
+	}
+	srcs := c.Topology.Sources()
+	if len(c.TGs) != len(srcs) {
+		return fmt.Errorf("platform %s: %d TG specs for %d sources", c.Name, len(c.TGs), len(srcs))
+	}
+	seen := map[flit.EndpointID]bool{}
+	for i, spec := range c.TGs {
+		ep, ok := c.Topology.Endpoint(spec.Endpoint)
+		if !ok || ep.Role != topology.Source {
+			return fmt.Errorf("platform %s: TG %d endpoint %d is not a source", c.Name, i, spec.Endpoint)
+		}
+		if seen[spec.Endpoint] {
+			return fmt.Errorf("platform %s: duplicate TG for endpoint %d", c.Name, spec.Endpoint)
+		}
+		seen[spec.Endpoint] = true
+		n := 0
+		if spec.Uniform != nil {
+			n++
+		}
+		if spec.Burst != nil {
+			n++
+		}
+		if spec.Poisson != nil {
+			n++
+		}
+		if spec.Trace != nil {
+			n++
+		}
+		if n != 1 {
+			return fmt.Errorf("platform %s: TG %d must set exactly one model config, has %d", c.Name, i, n)
+		}
+	}
+	sinks := c.Topology.Sinks()
+	if len(c.TRs) != len(sinks) {
+		return fmt.Errorf("platform %s: %d TR specs for %d sinks", c.Name, len(c.TRs), len(sinks))
+	}
+	seen = map[flit.EndpointID]bool{}
+	for i, spec := range c.TRs {
+		ep, ok := c.Topology.Endpoint(spec.Endpoint)
+		if !ok || ep.Role != topology.Sink {
+			return fmt.Errorf("platform %s: TR %d endpoint %d is not a sink", c.Name, i, spec.Endpoint)
+		}
+		if seen[spec.Endpoint] {
+			return fmt.Errorf("platform %s: duplicate TR for endpoint %d", c.Name, spec.Endpoint)
+		}
+		seen[spec.Endpoint] = true
+	}
+	return nil
+}

@@ -1,0 +1,97 @@
+package platform
+
+import (
+	"fmt"
+
+	"nocemu/internal/fault"
+)
+
+// Watchdog aborts a run when traffic is in flight but no receptor makes
+// progress for `patience` cycles — the symptom of a routing deadlock
+// (e.g. a cyclic wormhole dependency) or a permanently stuck link.
+// It implements engine.Aborter, so Platform.Run stops as soon as it
+// fires.
+type Watchdog struct {
+	name     string
+	p        *Platform
+	patience uint64
+
+	lastRecv   uint64
+	lastChange uint64
+	stalled    bool
+	stalledAt  uint64
+}
+
+// AttachWatchdog registers a progress watchdog with the given patience
+// (cycles without receptor progress while flits are outstanding).
+func (p *Platform) AttachWatchdog(patience uint64) (*Watchdog, error) {
+	if patience == 0 {
+		return nil, fmt.Errorf("platform %s: watchdog with zero patience", p.cfg.Name)
+	}
+	w := &Watchdog{name: "watchdog", p: p, patience: patience}
+	if err := p.eng.Register(w); err != nil {
+		return nil, err
+	}
+	return w, nil
+}
+
+// ComponentName implements engine.Component.
+func (w *Watchdog) ComponentName() string { return w.name }
+
+// Tick implements engine.Component.
+func (w *Watchdog) Tick(cycle uint64) {
+	var sent, recv uint64
+	for _, tg := range w.p.tgs {
+		sent += tg.Stats().Injector.FlitsSent
+	}
+	for _, tr := range w.p.trs {
+		recv += tr.Stats().Flits
+	}
+	if recv != w.lastRecv {
+		w.lastRecv, w.lastChange = recv, cycle
+		return
+	}
+	if sent > recv && cycle-w.lastChange > w.patience && !w.stalled {
+		w.stalled = true
+		w.stalledAt = cycle
+	}
+}
+
+// Commit implements engine.Component.
+func (w *Watchdog) Commit(cycle uint64) {}
+
+// Aborted implements engine.Aborter.
+func (w *Watchdog) Aborted() bool { return w.stalled }
+
+// Stalled reports whether the watchdog fired, and at which cycle.
+func (w *Watchdog) Stalled() (bool, uint64) { return w.stalled, w.stalledAt }
+
+// Reset re-arms the watchdog (after clearing the stall cause).
+func (w *Watchdog) Reset(cycle uint64) {
+	w.stalled = false
+	w.lastChange = cycle
+}
+
+// AddFaults registers a fault-injection campaign against the platform's
+// inter-switch links and returns its controller. Must be called before
+// the run starts.
+func (p *Platform) AddFaults(specs []fault.Spec) (*fault.Controller, error) {
+	ctrl, err := fault.NewController(fmt.Sprintf("faults%d", p.eng.NumComponents()), p.links, specs)
+	if err != nil {
+		return nil, err
+	}
+	if err := p.eng.Register(ctrl); err != nil {
+		return nil, err
+	}
+	return ctrl, nil
+}
+
+// CorruptedFlits sums the corruption detections of every receptor's
+// network interface.
+func (p *Platform) CorruptedFlits() uint64 {
+	var n uint64
+	for _, tr := range p.trs {
+		n += tr.Ejector().CorruptedFlits()
+	}
+	return n
+}

@@ -1,0 +1,447 @@
+// Package regmap exposes the emulation devices as memory-mapped
+// register banks on the internal buses — the paper's "bench of
+// registers" in every TG/TR and the statistics registers the monitor
+// reads out.
+//
+// Common layout (12-bit register offsets):
+//
+//	0x000  TYPE      ro  device class (1 TG, 2 TR, 3 switch, 4 control)
+//	0x001  SUBTYPE   ro  TG model / TR mode code
+//	0x002  CTRL      rw  bit0 enable (TG), bit1 reset-stats (all)
+//	0x003  SEED      wo  reseed random registers (TG)
+//	0x004  LIMIT_LO  rw  packet budget (TG) / expected packets (TR)
+//	0x005  LIMIT_HI  rw
+//	0x010+ stats     ro  64-bit counters as lo/hi pairs (see constants)
+//	0x020+ params    rw  model parameters (traffic.Parameterized)
+//	0x030+ histogram ro  indexed histogram readout (TR)
+package regmap
+
+import (
+	"fmt"
+
+	"nocemu/internal/receptor"
+	"nocemu/internal/switchfab"
+	"nocemu/internal/traffic"
+)
+
+// Device class codes (register TYPE).
+const (
+	TypeTG      = 1
+	TypeTR      = 2
+	TypeSwitch  = 3
+	TypeControl = 4
+)
+
+// Common register offsets.
+const (
+	RegType    = 0x000
+	RegSubtype = 0x001
+	RegCtrl    = 0x002
+	RegSeed    = 0x003
+	RegLimitLo = 0x004
+	RegLimitHi = 0x005
+)
+
+// CTRL bits.
+const (
+	CtrlEnable     = 1 << 0
+	CtrlResetStats = 1 << 1
+)
+
+// TG statistics registers (64-bit lo/hi pairs).
+const (
+	RegTGOffered      = 0x010 // packets created by the generator
+	RegTGPacketsSent  = 0x012
+	RegTGFlitsSent    = 0x014
+	RegTGStallCycles  = 0x016
+	RegTGBackpressure = 0x018
+)
+
+// TG model parameter window.
+const (
+	RegParamBase = 0x020
+	NumParamRegs = 0x010
+)
+
+// TR statistics registers.
+const (
+	RegTRPackets     = 0x010
+	RegTRFlits       = 0x012
+	RegTRRunningTime = 0x014
+	RegTRCongestion  = 0x016
+	// Latency registers are Q8 fixed point (value << 8) where noted.
+	RegTRNetLatMeanQ8 = 0x018
+	RegTRNetLatMin    = 0x019
+	RegTRNetLatMax    = 0x01A
+	RegTRNetLatStdQ8  = 0x01B
+	RegTRTotLatMeanQ8 = 0x01C
+	// RegTRNetLatP95 is the 95th-percentile latency bound (cycles).
+	RegTRNetLatP95 = 0x01D
+)
+
+// TR histogram readout registers.
+const (
+	RegHistSel   = 0x030 // 0 = size, 1 = gap, 2 = latency
+	RegHistIdx   = 0x031
+	RegHistData  = 0x032 // ro: selected histogram bin[idx]
+	RegHistBins  = 0x033 // ro: number of bins
+	RegHistWidth = 0x034 // ro: bin width
+	RegHistOver  = 0x035 // ro: overflow count
+)
+
+// Histogram selector values.
+const (
+	HistSize = 0
+	HistGap  = 1
+	HistLat  = 2
+)
+
+// Switch statistics registers.
+const (
+	RegSwFlitsRouted   = 0x010
+	RegSwPacketsRouted = 0x012
+	RegSwBlocked       = 0x014
+	RegSwCycles        = 0x016
+)
+
+// TG model subtype codes.
+const (
+	SubtypeUniform = 1
+	SubtypeBurst   = 2
+	SubtypePoisson = 3
+	SubtypeTrace   = 4
+)
+
+// TR mode subtype codes.
+const (
+	SubtypeStochastic = 1
+	SubtypeTraceTR    = 2
+)
+
+func lo(v uint64) uint32 { return uint32(v) }
+func hi(v uint64) uint32 { return uint32(v >> 32) }
+
+func q8(v float64) uint32 {
+	if v < 0 {
+		return 0
+	}
+	return uint32(v * 256)
+}
+
+// errBadReg builds the uniform unknown-register error.
+func errBadReg(op string, reg uint32) error {
+	return fmt.Errorf("regmap: %s of unmapped register 0x%03x", op, reg)
+}
+
+// TGDevice is the register bank of a traffic generator.
+type TGDevice struct {
+	tg      *traffic.TG
+	limitLo uint32
+	limitHi uint32
+}
+
+// NewTGDevice wraps a TG.
+func NewTGDevice(tg *traffic.TG) *TGDevice { return &TGDevice{tg: tg} }
+
+// DeviceName implements bus.Device.
+func (d *TGDevice) DeviceName() string { return d.tg.ComponentName() }
+
+func tgSubtype(g traffic.Generator) uint32 {
+	switch g.ModelName() {
+	case "uniform":
+		return SubtypeUniform
+	case "burst":
+		return SubtypeBurst
+	case "poisson":
+		return SubtypePoisson
+	case "trace":
+		return SubtypeTrace
+	}
+	return 0
+}
+
+// ReadReg implements bus.Device.
+func (d *TGDevice) ReadReg(reg uint32) (uint32, error) {
+	st := d.tg.Stats()
+	switch reg {
+	case RegType:
+		return TypeTG, nil
+	case RegSubtype:
+		return tgSubtype(d.tg.Generator()), nil
+	case RegCtrl:
+		if d.tg.Enabled() {
+			return CtrlEnable, nil
+		}
+		return 0, nil
+	case RegLimitLo:
+		return d.limitLo, nil
+	case RegLimitHi:
+		return d.limitHi, nil
+	case RegTGOffered:
+		return lo(st.Offered), nil
+	case RegTGOffered + 1:
+		return hi(st.Offered), nil
+	case RegTGPacketsSent:
+		return lo(st.Injector.PacketsSent), nil
+	case RegTGPacketsSent + 1:
+		return hi(st.Injector.PacketsSent), nil
+	case RegTGFlitsSent:
+		return lo(st.Injector.FlitsSent), nil
+	case RegTGFlitsSent + 1:
+		return hi(st.Injector.FlitsSent), nil
+	case RegTGStallCycles:
+		return lo(st.Injector.StallCycles), nil
+	case RegTGStallCycles + 1:
+		return hi(st.Injector.StallCycles), nil
+	case RegTGBackpressure:
+		return lo(st.BackpressureCycles), nil
+	case RegTGBackpressure + 1:
+		return hi(st.BackpressureCycles), nil
+	}
+	if reg >= RegParamBase && reg < RegParamBase+NumParamRegs {
+		if p, ok := d.tg.Generator().(traffic.Parameterized); ok {
+			if v, ok := p.ReadParam(reg - RegParamBase); ok {
+				return v, nil
+			}
+		}
+		return 0, errBadReg("read", reg)
+	}
+	return 0, errBadReg("read", reg)
+}
+
+// WriteReg implements bus.Device.
+func (d *TGDevice) WriteReg(reg, v uint32) error {
+	switch reg {
+	case RegCtrl:
+		d.tg.SetEnabled(v&CtrlEnable != 0)
+		if v&CtrlResetStats != 0 {
+			d.tg.ResetStats()
+		}
+		return nil
+	case RegSeed:
+		d.tg.Reseed(v)
+		return nil
+	case RegLimitLo:
+		d.limitLo = v
+		d.tg.SetLimit(uint64(d.limitHi)<<32 | uint64(d.limitLo))
+		return nil
+	case RegLimitHi:
+		d.limitHi = v
+		d.tg.SetLimit(uint64(d.limitHi)<<32 | uint64(d.limitLo))
+		return nil
+	}
+	if reg >= RegParamBase && reg < RegParamBase+NumParamRegs {
+		p, ok := d.tg.Generator().(traffic.Parameterized)
+		if !ok {
+			return fmt.Errorf("regmap: %s has no parameter registers", d.DeviceName())
+		}
+		if !p.WriteParam(reg-RegParamBase, v) {
+			return fmt.Errorf("regmap: %s rejected parameter 0x%03x = %d", d.DeviceName(), reg, v)
+		}
+		return nil
+	}
+	return errBadReg("write", reg)
+}
+
+// TRDevice is the register bank of a traffic receptor.
+type TRDevice struct {
+	tr       *receptor.TR
+	expectLo uint32
+	expectHi uint32
+	histSel  uint32
+	histIdx  uint32
+}
+
+// NewTRDevice wraps a TR.
+func NewTRDevice(tr *receptor.TR) *TRDevice { return &TRDevice{tr: tr} }
+
+// DeviceName implements bus.Device.
+func (d *TRDevice) DeviceName() string { return d.tr.ComponentName() }
+
+func (d *TRDevice) hist() (bins int, width, over uint64, bin func(int) uint64, ok bool) {
+	var h interface {
+		NumBins() int
+		BinWidth() uint64
+		Overflow() uint64
+		Bin(int) uint64
+	}
+	switch d.histSel {
+	case HistSize:
+		if d.tr.SizeHist() == nil {
+			return 0, 0, 0, nil, false
+		}
+		h = d.tr.SizeHist()
+	case HistGap:
+		if d.tr.GapHist() == nil {
+			return 0, 0, 0, nil, false
+		}
+		h = d.tr.GapHist()
+	case HistLat:
+		if d.tr.LatHist() == nil {
+			return 0, 0, 0, nil, false
+		}
+		h = d.tr.LatHist()
+	default:
+		return 0, 0, 0, nil, false
+	}
+	return h.NumBins(), h.BinWidth(), h.Overflow(), h.Bin, true
+}
+
+// ReadReg implements bus.Device.
+func (d *TRDevice) ReadReg(reg uint32) (uint32, error) {
+	st := d.tr.Stats()
+	switch reg {
+	case RegType:
+		return TypeTR, nil
+	case RegSubtype:
+		if d.tr.Mode() == receptor.Stochastic {
+			return SubtypeStochastic, nil
+		}
+		return SubtypeTraceTR, nil
+	case RegCtrl:
+		return 0, nil
+	case RegLimitLo:
+		return d.expectLo, nil
+	case RegLimitHi:
+		return d.expectHi, nil
+	case RegTRPackets:
+		return lo(st.Packets), nil
+	case RegTRPackets + 1:
+		return hi(st.Packets), nil
+	case RegTRFlits:
+		return lo(st.Flits), nil
+	case RegTRFlits + 1:
+		return hi(st.Flits), nil
+	case RegTRRunningTime:
+		return lo(st.RunningTime), nil
+	case RegTRRunningTime + 1:
+		return hi(st.RunningTime), nil
+	case RegTRCongestion:
+		return lo(st.CongestionCycles), nil
+	case RegTRCongestion + 1:
+		return hi(st.CongestionCycles), nil
+	case RegTRNetLatMeanQ8:
+		return q8(st.NetLatencyMean), nil
+	case RegTRNetLatMin:
+		return uint32(st.NetLatencyMin), nil
+	case RegTRNetLatMax:
+		return uint32(st.NetLatencyMax), nil
+	case RegTRNetLatStdQ8:
+		return q8(st.NetLatencyStd), nil
+	case RegTRTotLatMeanQ8:
+		return q8(st.TotLatencyMean), nil
+	case RegTRNetLatP95:
+		return uint32(st.NetLatencyP95), nil
+	case RegHistSel:
+		return d.histSel, nil
+	case RegHistIdx:
+		return d.histIdx, nil
+	case RegHistData:
+		_, _, _, bin, ok := d.hist()
+		if !ok {
+			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
+		}
+		return uint32(bin(int(d.histIdx))), nil
+	case RegHistBins:
+		bins, _, _, _, ok := d.hist()
+		if !ok {
+			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
+		}
+		return uint32(bins), nil
+	case RegHistWidth:
+		_, width, _, _, ok := d.hist()
+		if !ok {
+			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
+		}
+		return uint32(width), nil
+	case RegHistOver:
+		_, _, over, _, ok := d.hist()
+		if !ok {
+			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
+		}
+		return uint32(over), nil
+	}
+	return 0, errBadReg("read", reg)
+}
+
+// WriteReg implements bus.Device.
+func (d *TRDevice) WriteReg(reg, v uint32) error {
+	switch reg {
+	case RegCtrl:
+		if v&CtrlResetStats != 0 {
+			d.tr.ResetStats()
+		}
+		return nil
+	case RegLimitLo:
+		d.expectLo = v
+		d.tr.SetExpect(uint64(d.expectHi)<<32 | uint64(d.expectLo))
+		return nil
+	case RegLimitHi:
+		d.expectHi = v
+		d.tr.SetExpect(uint64(d.expectHi)<<32 | uint64(d.expectLo))
+		return nil
+	case RegHistSel:
+		if v > HistLat {
+			return fmt.Errorf("regmap: %s histogram selector %d", d.DeviceName(), v)
+		}
+		d.histSel = v
+		return nil
+	case RegHistIdx:
+		d.histIdx = v
+		return nil
+	}
+	return errBadReg("write", reg)
+}
+
+// SwitchDevice is the register bank of a switch.
+type SwitchDevice struct {
+	sw *switchfab.Switch
+}
+
+// NewSwitchDevice wraps a switch.
+func NewSwitchDevice(sw *switchfab.Switch) *SwitchDevice { return &SwitchDevice{sw: sw} }
+
+// DeviceName implements bus.Device.
+func (d *SwitchDevice) DeviceName() string { return d.sw.ComponentName() }
+
+// ReadReg implements bus.Device.
+func (d *SwitchDevice) ReadReg(reg uint32) (uint32, error) {
+	st := d.sw.Stats()
+	switch reg {
+	case RegType:
+		return TypeSwitch, nil
+	case RegSubtype:
+		return 0, nil
+	case RegCtrl:
+		return 0, nil
+	case RegSwFlitsRouted:
+		return lo(st.FlitsRouted), nil
+	case RegSwFlitsRouted + 1:
+		return hi(st.FlitsRouted), nil
+	case RegSwPacketsRouted:
+		return lo(st.PacketsRouted), nil
+	case RegSwPacketsRouted + 1:
+		return hi(st.PacketsRouted), nil
+	case RegSwBlocked:
+		return lo(st.BlockedCycles), nil
+	case RegSwBlocked + 1:
+		return hi(st.BlockedCycles), nil
+	case RegSwCycles:
+		return lo(st.Cycles), nil
+	case RegSwCycles + 1:
+		return hi(st.Cycles), nil
+	}
+	return 0, errBadReg("read", reg)
+}
+
+// WriteReg implements bus.Device.
+func (d *SwitchDevice) WriteReg(reg, v uint32) error {
+	switch reg {
+	case RegCtrl:
+		if v&CtrlResetStats != 0 {
+			d.sw.ResetStats()
+		}
+		return nil
+	}
+	return errBadReg("write", reg)
+}

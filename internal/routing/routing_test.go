@@ -1,0 +1,355 @@
+package routing
+
+import (
+	"testing"
+	"testing/quick"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/topology"
+)
+
+func TestValidPolicy(t *testing.T) {
+	for _, p := range []Policy{First, PacketModulo, Random, Adaptive} {
+		if !ValidPolicy(p) {
+			t.Errorf("%s rejected", p)
+		}
+	}
+	if ValidPolicy(Policy("bogus")) {
+		t.Error("bogus policy accepted")
+	}
+}
+
+func TestTableSetLookup(t *testing.T) {
+	tb := NewTable(2)
+	if tb.NumSwitches() != 2 {
+		t.Errorf("NumSwitches = %d", tb.NumSwitches())
+	}
+	if err := tb.Set(5, 1, []int{0}); err == nil {
+		t.Error("out-of-range switch accepted")
+	}
+	if err := tb.Set(0, 1, nil); err == nil {
+		t.Error("empty port list accepted")
+	}
+	if err := tb.Set(0, 1, []int{2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	ports, err := tb.Lookup(0, 1)
+	if err != nil || len(ports) != 2 || ports[0] != 2 {
+		t.Errorf("lookup = %v, %v", ports, err)
+	}
+	if _, err := tb.Lookup(0, 99); err == nil {
+		t.Error("missing route lookup succeeded")
+	}
+	if _, err := tb.Lookup(9, 1); err == nil {
+		t.Error("out-of-range lookup succeeded")
+	}
+	// Set copies its input.
+	src := []int{7}
+	if err := tb.Set(1, 2, src); err != nil {
+		t.Fatal(err)
+	}
+	src[0] = 8
+	ports, _ = tb.Lookup(1, 2)
+	if ports[0] != 7 {
+		t.Error("Set aliased caller slice")
+	}
+	if ds := tb.Destinations(1); len(ds) != 1 || ds[0] != 2 {
+		t.Errorf("destinations = %v", ds)
+	}
+}
+
+func lineWithEndpoints(t *testing.T, n int) *topology.Topology {
+	t.Helper()
+	tp, err := topology.Line(n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, topology.NodeID(n-1)); err != nil {
+		t.Fatal(err)
+	}
+	return tp
+}
+
+func TestBuildShortestPathLine(t *testing.T) {
+	tp := lineWithEndpoints(t, 4)
+	tb, err := BuildShortestPath(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Every switch routes toward switch 3; switch 3 ejects locally.
+	links := tp.Links()
+	for sw := topology.NodeID(0); sw < 3; sw++ {
+		ports, err := tb.Lookup(sw, 100)
+		if err != nil {
+			t.Fatalf("switch %d: %v", sw, err)
+		}
+		if len(ports) != 1 {
+			t.Fatalf("switch %d candidates = %v", sw, ports)
+		}
+		oc := tp.SwitchOutputs(sw)[ports[0]]
+		if oc.Link < 0 || links[oc.Link].To != sw+1 {
+			t.Errorf("switch %d routes to %+v", sw, oc)
+		}
+	}
+	ports, err := tb.Lookup(3, 100)
+	if err != nil || len(ports) != 1 {
+		t.Fatalf("sink switch route: %v %v", ports, err)
+	}
+	if oc := tp.SwitchOutputs(3)[ports[0]]; oc.Link != -1 || oc.Endpoint != 100 {
+		t.Errorf("sink switch ejects to %+v", oc)
+	}
+	if err := Validate(tp, tb); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestBuildShortestPathMultipath(t *testing.T) {
+	tp, err := topology.PaperSix()
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildShortestPath(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// From S0, sink 100 (on S4) is reachable via S2 and S3: two
+	// candidates — the paper's "two routing possibilities".
+	ports, err := tb.Lookup(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ports) != 2 {
+		t.Errorf("candidates from S0 = %v, want 2 ports", ports)
+	}
+	if err := Validate(tp, tb); err != nil {
+		t.Errorf("validate: %v", err)
+	}
+}
+
+func TestBuildShortestPathUnreachableSinkSkipped(t *testing.T) {
+	tp, err := topology.New("t", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0 -> 1; switch 2 isolated with its own sink.
+	if err := tp.AddLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(101, 2); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildShortestPath(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tb.Lookup(0, 101); err == nil {
+		t.Error("route to unreachable sink exists")
+	}
+	if _, err := tb.Lookup(0, 100); err != nil {
+		t.Errorf("route to reachable sink missing: %v", err)
+	}
+}
+
+func TestBuildXYMesh(t *testing.T) {
+	tp, err := topology.Mesh(3, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 8); err != nil { // corner (2,2)
+		t.Fatal(err)
+	}
+	tb, err := BuildXY(tp, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tp, tb); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	// From (0,0), XY goes east first: next hop must be switch 1.
+	ports, err := tb.Lookup(0, 100)
+	if err != nil || len(ports) != 1 {
+		t.Fatalf("lookup: %v %v", ports, err)
+	}
+	oc := tp.SwitchOutputs(0)[ports[0]]
+	if tp.Links()[oc.Link].To != 1 {
+		t.Errorf("first hop = %d, want 1", tp.Links()[oc.Link].To)
+	}
+	// From (2,0) x matches: go south to (2,1) = switch 5.
+	ports, err = tb.Lookup(2, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oc = tp.SwitchOutputs(2)[ports[0]]
+	if tp.Links()[oc.Link].To != 5 {
+		t.Errorf("hop from (2,0) = %d, want 5", tp.Links()[oc.Link].To)
+	}
+}
+
+func TestBuildXYErrors(t *testing.T) {
+	tp, _ := topology.Mesh(3, 2)
+	if _, err := BuildXY(tp, 0); err == nil {
+		t.Error("width 0 accepted")
+	}
+	if _, err := BuildXY(tp, 4); err == nil {
+		t.Error("mismatched width accepted")
+	}
+}
+
+func TestValidateCatchesLoop(t *testing.T) {
+	tp, err := topology.New("loop", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddBiLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(2)
+	// 0 -> 1 -> 0 -> ... never ejects.
+	if err := tb.Set(0, 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Set(1, 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tp, tb); err == nil {
+		t.Error("routing loop accepted")
+	}
+}
+
+func TestValidateCatchesWrongEject(t *testing.T) {
+	tp, err := topology.New("w", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(101, 0); err != nil {
+		t.Fatal(err)
+	}
+	tb := NewTable(1)
+	outs := tp.SwitchOutputs(0)
+	// Route everything to sink 100's port, including traffic for 101.
+	var port100 int
+	for p, oc := range outs {
+		if oc.Endpoint == 100 {
+			port100 = p
+		}
+	}
+	if err := tb.Set(0, 100, []int{port100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := tb.Set(0, 101, []int{port100}); err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tp, tb); err == nil {
+		t.Error("wrong ejection accepted")
+	}
+}
+
+// Property: shortest-path tables on random meshes validate and route
+// every pair within mesh-diameter hops.
+func TestShortestPathMeshProperty(t *testing.T) {
+	f := func(wSeed, hSeed, srcSeed, dstSeed uint8) bool {
+		w := int(wSeed%3) + 2
+		h := int(hSeed%3) + 2
+		tp, err := topology.Mesh(w, h)
+		if err != nil {
+			return false
+		}
+		srcSw := topology.NodeID(int(srcSeed) % (w * h))
+		dstSw := topology.NodeID(int(dstSeed) % (w * h))
+		if err := tp.AddSource(flit.EndpointID(0), srcSw); err != nil {
+			return false
+		}
+		if err := tp.AddSink(flit.EndpointID(100), dstSw); err != nil {
+			return false
+		}
+		tb, err := BuildShortestPath(tp)
+		if err != nil {
+			return false
+		}
+		return Validate(tp, tb) == nil
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: shortest-path routing validates on every topology family
+// with endpoints at extreme positions.
+func TestShortestPathAllShapesProperty(t *testing.T) {
+	shapes := []struct {
+		name string
+		mk   func() (*topology.Topology, error)
+		last func(tp *topology.Topology) topology.NodeID
+	}{
+		{"line", func() (*topology.Topology, error) { return topology.Line(5) },
+			func(tp *topology.Topology) topology.NodeID { return 4 }},
+		{"ring", func() (*topology.Topology, error) { return topology.Ring(6) },
+			func(tp *topology.Topology) topology.NodeID { return 3 }},
+		{"mesh", func() (*topology.Topology, error) { return topology.Mesh(3, 4) },
+			func(tp *topology.Topology) topology.NodeID { return 11 }},
+		{"torus", func() (*topology.Topology, error) { return topology.Torus(3, 3) },
+			func(tp *topology.Topology) topology.NodeID { return 8 }},
+		{"star", func() (*topology.Topology, error) { return topology.Star(5) },
+			func(tp *topology.Topology) topology.NodeID { return 5 }},
+		{"tree", func() (*topology.Topology, error) { return topology.Tree(2, 3) },
+			func(tp *topology.Topology) topology.NodeID { return topology.NodeID(tp.NumSwitches() - 1) }},
+		{"full", func() (*topology.Topology, error) { return topology.FullyConnected(5) },
+			func(tp *topology.Topology) topology.NodeID { return 4 }},
+	}
+	for _, shape := range shapes {
+		tp, err := shape.mk()
+		if err != nil {
+			t.Fatalf("%s: %v", shape.name, err)
+		}
+		if err := tp.AddSource(0, 0); err != nil {
+			t.Fatalf("%s: %v", shape.name, err)
+		}
+		if err := tp.AddSink(100, shape.last(tp)); err != nil {
+			t.Fatalf("%s: %v", shape.name, err)
+		}
+		// A second sink next to the source exercises short routes.
+		if err := tp.AddSink(101, 0); err != nil {
+			t.Fatalf("%s: %v", shape.name, err)
+		}
+		tb, err := BuildShortestPath(tp)
+		if err != nil {
+			t.Errorf("%s: build: %v", shape.name, err)
+			continue
+		}
+		if err := Validate(tp, tb); err != nil {
+			t.Errorf("%s: validate: %v", shape.name, err)
+		}
+		// Torus wrap-around: distance from 0 to 8 in a 3x3 torus is 2
+		// via wrap links, so switch 0 must have >= 2 candidates.
+		if shape.name == "torus" {
+			ports, err := tb.Lookup(0, 100)
+			if err != nil || len(ports) < 2 {
+				t.Errorf("torus multipath candidates = %v, %v", ports, err)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package rtl
+
+import (
+	"testing"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/platform"
+	"nocemu/internal/routing"
+)
+
+func TestRTLDeliversPaperTraffic(t *testing.T) {
+	cfg, err := platform.PaperConfig(platform.PaperOptions{
+		Traffic: platform.PaperUniform, PacketsPerTG: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run, done := p.RunUntilDone(200_000)
+	if !done {
+		t.Fatalf("not done after %d cycles (recv %d)", run, p.PacketsReceived())
+	}
+	if p.PacketsReceived() != 200 {
+		t.Errorf("received = %d, want 200", p.PacketsReceived())
+	}
+	if p.FlitsReceived() != 200*9 {
+		t.Errorf("flits = %d", p.FlitsReceived())
+	}
+	for _, ep := range []flit.EndpointID{100, 101, 102, 103} {
+		if got := p.PacketsReceivedAt(ep); got != 50 {
+			t.Errorf("TR %d packets = %d", ep, got)
+		}
+	}
+	st := p.KernelStats()
+	if st.Events == 0 || st.Activations == 0 || st.DeltaCycles == 0 {
+		t.Errorf("kernel stats empty: %+v", st)
+	}
+}
+
+// The headline equivalence check: the RTL backend and the fast
+// emulation engine, given the same configuration and seeds, deliver
+// exactly the same packets to the same receptors.
+func TestRTLMatchesEmulator(t *testing.T) {
+	for _, traf := range []platform.PaperTraffic{platform.PaperUniform, platform.PaperBurst} {
+		cfg, err := platform.PaperConfig(platform.PaperOptions{
+			Traffic: traf, PacketsPerTG: 80, Seed: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		emu, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, stopped := emu.Run(2_000_000); !stopped {
+			t.Fatalf("%s: emulator did not finish", traf)
+		}
+		sim, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, done := sim.RunUntilDone(2_000_000); !done {
+			t.Fatalf("%s: rtl did not finish", traf)
+		}
+		for _, ep := range []flit.EndpointID{100, 101, 102, 103} {
+			etr, _ := emu.TR(ep)
+			if got, want := sim.PacketsReceivedAt(ep), etr.Stats().Packets; got != want {
+				t.Errorf("%s: TR %d rtl=%d emu=%d", traf, ep, got, want)
+			}
+		}
+		if sim.FlitsReceived() != emu.Totals().FlitsReceived {
+			t.Errorf("%s: flits rtl=%d emu=%d", traf, sim.FlitsReceived(), emu.Totals().FlitsReceived)
+		}
+	}
+}
+
+func TestRTLRejectsAdaptive(t *testing.T) {
+	cfg, err := platform.PaperConfig(platform.PaperOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Select = routing.Adaptive
+	if _, err := Build(cfg); err == nil {
+		t.Error("adaptive selection accepted")
+	}
+}
+
+func TestRTLRejectsInvalidConfig(t *testing.T) {
+	if _, err := Build(platform.Config{Name: "x"}); err == nil {
+		t.Error("invalid config accepted")
+	}
+}
+
+func TestRTLKernelWorkScalesWithTraffic(t *testing.T) {
+	// More packets -> more signal events; the dynamic-work story of
+	// Table 2 must hold within the backend itself.
+	load := func(n uint64) uint64 {
+		cfg, err := platform.PaperConfig(platform.PaperOptions{
+			Traffic: platform.PaperUniform, PacketsPerTG: n,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RunUntilDone(500_000)
+		return p.KernelStats().Events
+	}
+	if e10, e40 := load(10), load(40); e40 <= e10 {
+		t.Errorf("events did not grow with traffic: %d vs %d", e10, e40)
+	}
+}

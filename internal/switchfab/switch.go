@@ -1,0 +1,356 @@
+// Package switchfab implements the emulated NoC switch.
+//
+// The paper's platform emulates "any NoC packet-switching
+// intercommunication scheme" with a network of parameterizable
+// switches; the parameters it studies are the number of inputs, the
+// number of outputs, and the size of the buffers. This switch is
+// input-buffered and wormhole-switched: a head flit arbitrates for an
+// output port, the port stays locked to that input until the tail flit
+// passes, and credit-based flow control guarantees buffers never
+// overflow. Each output port has its own arbiter; route candidates come
+// from a routing table and are narrowed to one port by a selection
+// policy (first / packet-modulo / random / adaptive).
+package switchfab
+
+import (
+	"fmt"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/buffer"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/rng"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+)
+
+// Config parameterizes one switch instance.
+type Config struct {
+	// Name is the engine component name.
+	Name string
+	// Node is this switch's identifier in the topology.
+	Node topology.NodeID
+	// NumIn and NumOut are the port counts.
+	NumIn, NumOut int
+	// BufDepth is the per-input FIFO depth in flits.
+	BufDepth int
+	// Arb selects the output-port arbitration policy.
+	Arb arb.Policy
+	// Select picks among multiple route candidates.
+	Select routing.Policy
+	// Table is the routing table shared across the platform.
+	Table *routing.Table
+	// Seed seeds the switch-local LFSR (used by the Random policy).
+	Seed uint32
+}
+
+// Stats is a snapshot of a switch's activity counters.
+type Stats struct {
+	// FlitsRouted counts flits forwarded through any output.
+	FlitsRouted uint64
+	// PacketsRouted counts tail flits forwarded (completed packets).
+	PacketsRouted uint64
+	// BlockedCycles counts input-head stalls: cycles in which a buffered
+	// head-of-queue flit could not advance (lost arbitration or no
+	// downstream credit). This is the congestion signal of the paper's
+	// congestion counters.
+	BlockedCycles uint64
+	// Cycles counts committed cycles.
+	Cycles uint64
+}
+
+// CongestionRate returns the fraction of flit-forwarding opportunities
+// lost to blocking: blocked / (blocked + routed). Zero when idle.
+func (s Stats) CongestionRate() float64 {
+	den := s.BlockedCycles + s.FlitsRouted
+	if den == 0 {
+		return 0
+	}
+	return float64(s.BlockedCycles) / float64(den)
+}
+
+// Switch is one emulated NoC switch. Wire it with ConnectInput /
+// ConnectOutput, then register it (and its links) with the engine.
+type Switch struct {
+	cfg  Config
+	lfsr *rng.LFSR
+
+	inBufs    []*buffer.FIFO
+	inLinks   []*link.Link
+	creditOut []*link.CreditLink // per input: returns credits upstream
+
+	outLinks  []*link.Link
+	creditIn  []*link.CreditLink // per output: credits from downstream
+	credits   []int              // per output: available credits
+	lock      []int              // per output: input holding the wormhole lock, or -1
+	arbiters  []arb.Arbiter      // per output
+	inRoute   []int              // per input: chosen output for the packet in flight, or -1
+	granted   []bool             // per input: forwarded this cycle (reused scratch)
+	reqOut    int                // output being arbitrated (parameter of reqFn)
+	reqFn     arb.Requests       // pre-bound request predicate (no per-cycle closure)
+	wired     int
+	wiredOuts int
+
+	stats Stats
+}
+
+// New builds a switch from its configuration.
+func New(cfg Config) (*Switch, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("switchfab: empty name")
+	}
+	if cfg.NumIn < 1 || cfg.NumOut < 1 {
+		return nil, fmt.Errorf("switchfab %s: %d inputs, %d outputs", cfg.Name, cfg.NumIn, cfg.NumOut)
+	}
+	if cfg.BufDepth < 1 {
+		return nil, fmt.Errorf("switchfab %s: buffer depth %d", cfg.Name, cfg.BufDepth)
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("switchfab %s: nil routing table", cfg.Name)
+	}
+	if !routing.ValidPolicy(cfg.Select) {
+		return nil, fmt.Errorf("switchfab %s: bad selection policy %q", cfg.Name, cfg.Select)
+	}
+	s := &Switch{
+		cfg:       cfg,
+		lfsr:      rng.New(cfg.Seed),
+		inBufs:    make([]*buffer.FIFO, cfg.NumIn),
+		inLinks:   make([]*link.Link, cfg.NumIn),
+		creditOut: make([]*link.CreditLink, cfg.NumIn),
+		outLinks:  make([]*link.Link, cfg.NumOut),
+		creditIn:  make([]*link.CreditLink, cfg.NumOut),
+		credits:   make([]int, cfg.NumOut),
+		lock:      make([]int, cfg.NumOut),
+		arbiters:  make([]arb.Arbiter, cfg.NumOut),
+		inRoute:   make([]int, cfg.NumIn),
+		granted:   make([]bool, cfg.NumIn),
+	}
+	s.reqFn = func(i int) bool {
+		return !s.granted[i] && s.inRoute[i] == s.reqOut && s.inBufs[i].Peek() != nil
+	}
+	for i := 0; i < cfg.NumIn; i++ {
+		s.inBufs[i] = buffer.MustNew(fmt.Sprintf("%s/in%d", cfg.Name, i), cfg.BufDepth)
+		s.inRoute[i] = -1
+	}
+	for o := 0; o < cfg.NumOut; o++ {
+		a, err := arb.New(cfg.Arb, cfg.NumIn)
+		if err != nil {
+			return nil, fmt.Errorf("switchfab %s: %w", cfg.Name, err)
+		}
+		s.arbiters[o] = a
+		s.lock[o] = -1
+	}
+	return s, nil
+}
+
+// ComponentName implements engine.Component.
+func (s *Switch) ComponentName() string { return s.cfg.Name }
+
+// Node returns the switch's topology identifier.
+func (s *Switch) Node() topology.NodeID { return s.cfg.Node }
+
+// BufDepth returns the input buffer depth; the upstream sender must use
+// it as its initial credit count.
+func (s *Switch) BufDepth() int { return s.cfg.BufDepth }
+
+// ConnectInput wires input port i: flits arrive on in, credits are
+// returned on creditBack (nil for a port without flow-control return,
+// which is invalid for NoC ports and only used in tests).
+func (s *Switch) ConnectInput(i int, in *link.Link, creditBack *link.CreditLink) error {
+	if i < 0 || i >= s.cfg.NumIn {
+		return fmt.Errorf("switchfab %s: input %d out of range", s.cfg.Name, i)
+	}
+	if s.inLinks[i] != nil {
+		return fmt.Errorf("switchfab %s: input %d already wired", s.cfg.Name, i)
+	}
+	if in == nil || creditBack == nil {
+		return fmt.Errorf("switchfab %s: input %d nil wiring", s.cfg.Name, i)
+	}
+	s.inLinks[i] = in
+	s.creditOut[i] = creditBack
+	s.wired++
+	return nil
+}
+
+// ConnectOutput wires output port o: flits leave on out, credits arrive
+// on creditIn, and initialCredits must equal the downstream input
+// buffer depth.
+func (s *Switch) ConnectOutput(o int, out *link.Link, creditIn *link.CreditLink, initialCredits int) error {
+	if o < 0 || o >= s.cfg.NumOut {
+		return fmt.Errorf("switchfab %s: output %d out of range", s.cfg.Name, o)
+	}
+	if s.outLinks[o] != nil {
+		return fmt.Errorf("switchfab %s: output %d already wired", s.cfg.Name, o)
+	}
+	if out == nil || creditIn == nil {
+		return fmt.Errorf("switchfab %s: output %d nil wiring", s.cfg.Name, o)
+	}
+	if initialCredits < 1 {
+		return fmt.Errorf("switchfab %s: output %d with %d credits", s.cfg.Name, o, initialCredits)
+	}
+	s.outLinks[o] = out
+	s.creditIn[o] = creditIn
+	s.credits[o] = initialCredits
+	s.wiredOuts++
+	return nil
+}
+
+// CheckWired verifies every port is connected; the platform builder
+// calls it before the first cycle.
+func (s *Switch) CheckWired() error {
+	if s.wired != s.cfg.NumIn {
+		return fmt.Errorf("switchfab %s: %d of %d inputs wired", s.cfg.Name, s.wired, s.cfg.NumIn)
+	}
+	if s.wiredOuts != s.cfg.NumOut {
+		return fmt.Errorf("switchfab %s: %d of %d outputs wired", s.cfg.Name, s.wiredOuts, s.cfg.NumOut)
+	}
+	return nil
+}
+
+// selectPort narrows route candidates to one output according to the
+// configured policy. Selection happens once per packet, when its head
+// flit reaches the front of an input buffer (route-computation stage).
+func (s *Switch) selectPort(candidates []int, f *flit.Flit) int {
+	if len(candidates) == 1 {
+		return candidates[0]
+	}
+	switch s.cfg.Select {
+	case routing.PacketModulo:
+		return candidates[int(f.Packet.Seq())%len(candidates)]
+	case routing.Random:
+		return candidates[s.lfsr.Intn(len(candidates))]
+	case routing.Adaptive:
+		best := candidates[0]
+		for _, c := range candidates[1:] {
+			if s.credits[c] > s.credits[best] {
+				best = c
+			}
+		}
+		return best
+	default: // routing.First
+		return candidates[0]
+	}
+}
+
+// Tick implements engine.Component: accept arrivals, collect credits,
+// compute routes, arbitrate outputs and forward flits.
+func (s *Switch) Tick(cycle uint64) {
+	// Collect returned credits first so this cycle's arbitration sees
+	// them (they were committed last cycle).
+	for o := range s.creditIn {
+		s.credits[o] += int(s.creditIn[o].Take())
+	}
+
+	// Accept arriving flits into input buffers. Credit flow control
+	// guarantees space; a push failure indicates a protocol bug and is
+	// surfaced via panic in this internal invariant.
+	for i, in := range s.inLinks {
+		if f := in.Take(); f != nil {
+			if err := s.inBufs[i].Push(f); err != nil {
+				panic(fmt.Sprintf("switchfab %s: %v", s.cfg.Name, err))
+			}
+		}
+	}
+
+	// Route computation for heads newly at the front of their buffers.
+	for i, q := range s.inBufs {
+		f := q.Peek()
+		if f == nil {
+			continue
+		}
+		if s.inRoute[i] == -1 {
+			if !f.Kind.IsHead() {
+				panic(fmt.Sprintf("switchfab %s: input %d has unrouted %s flit at head", s.cfg.Name, i, f.Kind))
+			}
+			candidates, err := s.cfg.Table.Lookup(s.cfg.Node, f.Dst)
+			if err != nil {
+				panic(fmt.Sprintf("switchfab %s: %v", s.cfg.Name, err))
+			}
+			s.inRoute[i] = s.selectPort(candidates, f)
+		}
+	}
+
+	// Per-output arbitration and forwarding.
+	granted := s.granted
+	for i := range granted {
+		granted[i] = false
+	}
+	for o := range s.outLinks {
+		var winner int
+		switch {
+		case s.lock[o] >= 0:
+			winner = s.lock[o]
+			if s.inBufs[winner].Peek() == nil {
+				continue // next flit of the locked packet not here yet
+			}
+		default:
+			s.reqOut = o
+			w, ok := s.arbiters[o].Grant(s.reqFn)
+			if !ok {
+				continue
+			}
+			winner = w
+		}
+		if s.credits[o] == 0 || s.outLinks[o].Busy() {
+			continue // counted as blocked in the sweep below
+		}
+		f := s.inBufs[winner].Pop()
+		if f == nil {
+			panic(fmt.Sprintf("switchfab %s: pop failed on granted input %d", s.cfg.Name, winner))
+		}
+		if err := s.outLinks[o].Send(f); err != nil {
+			panic(fmt.Sprintf("switchfab %s: %v", s.cfg.Name, err))
+		}
+		s.credits[o]--
+		s.creditOut[winner].Send(1)
+		granted[winner] = true
+		s.stats.FlitsRouted++
+		if f.Kind.IsTail() {
+			s.stats.PacketsRouted++
+			s.lock[o] = -1
+			s.inRoute[winner] = -1
+		} else {
+			s.lock[o] = winner
+		}
+	}
+
+	// Every input whose head flit existed this cycle but did not move is
+	// blocked: it lost arbitration, found no downstream credit, or sits
+	// behind another packet's wormhole lock. Each stalled head counts
+	// exactly once per cycle.
+	for i, q := range s.inBufs {
+		if !granted[i] && q.Peek() != nil && s.inRoute[i] >= 0 {
+			q.MarkBlocked()
+			s.stats.BlockedCycles++
+		}
+	}
+}
+
+// Commit implements engine.Component.
+func (s *Switch) Commit(cycle uint64) {
+	for _, q := range s.inBufs {
+		q.Commit(cycle)
+	}
+	s.stats.Cycles++
+}
+
+// Stats returns the activity counters.
+func (s *Switch) Stats() Stats { return s.stats }
+
+// BufferStats returns the per-input buffer statistics.
+func (s *Switch) BufferStats() []buffer.Stats {
+	out := make([]buffer.Stats, len(s.inBufs))
+	for i, q := range s.inBufs {
+		out[i] = q.Stats()
+	}
+	return out
+}
+
+// ResetStats clears the activity counters (and buffer counters) without
+// disturbing in-flight traffic, so measurements can exclude warm-up.
+func (s *Switch) ResetStats() {
+	s.stats = Stats{}
+	for _, q := range s.inBufs {
+		q.ResetStats()
+	}
+}

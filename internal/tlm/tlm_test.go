@@ -1,0 +1,135 @@
+package tlm
+
+import (
+	"testing"
+
+	"nocemu/internal/engine"
+	"nocemu/internal/flit"
+	"nocemu/internal/platform"
+)
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil); err == nil {
+		t.Error("nil engine accepted")
+	}
+	if _, err := New(engine.New()); err == nil {
+		t.Error("empty engine accepted")
+	}
+}
+
+// recorder checks phase ordering under the dynamic scheduler.
+type recorder struct {
+	name string
+	log  *[]string
+}
+
+func (r *recorder) ComponentName() string { return r.name }
+func (r *recorder) Tick(c uint64)         { *r.log = append(*r.log, r.name+":tick") }
+func (r *recorder) Commit(c uint64)       { *r.log = append(*r.log, r.name+":commit") }
+
+func TestPhaseOrderingPreserved(t *testing.T) {
+	eng := engine.New()
+	var log []string
+	eng.MustRegister(&recorder{name: "a", log: &log})
+	eng.MustRegister(&recorder{name: "b", log: &log})
+	sim, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim.Run(1)
+	want := []string{"a:tick", "b:tick", "a:commit", "b:commit"}
+	if len(log) != len(want) {
+		t.Fatalf("log = %v", log)
+	}
+	for i := range want {
+		if log[i] != want[i] {
+			t.Fatalf("log = %v, want %v", log, want)
+		}
+	}
+	if sim.Cycle() != 1 {
+		t.Errorf("cycle = %d", sim.Cycle())
+	}
+}
+
+// The equivalence check: TLM scheduling produces exactly the emulator's
+// results on the paper platform, because the components are shared and
+// the phase order is preserved.
+func TestTLMMatchesEmulator(t *testing.T) {
+	cfg, err := platform.PaperConfig(platform.PaperOptions{
+		Traffic: platform.PaperBurst, PacketsPerTG: 60, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Engine run.
+	pe, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := pe.Run(2_000_000); !stopped {
+		t.Fatal("emulator did not finish")
+	}
+	// TLM run over a fresh identical platform.
+	pt, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim, err := New(pt.Engine())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := sim.RunUntil(2_000_000); !stopped {
+		t.Fatal("tlm did not finish")
+	}
+	for _, ep := range []flit.EndpointID{100, 101, 102, 103} {
+		a, _ := pe.TR(ep)
+		b, _ := pt.TR(ep)
+		if a.Stats() != b.Stats() {
+			t.Errorf("TR %d stats differ:\n%+v\n%+v", ep, a.Stats(), b.Stats())
+		}
+	}
+	if st := sim.Stats(); st.HeapOps == 0 || st.Dispatches == 0 {
+		t.Errorf("stats empty: %+v", st)
+	}
+}
+
+func TestRunUntilCap(t *testing.T) {
+	eng := engine.New()
+	var log []string
+	eng.MustRegister(&recorder{name: "a", log: &log})
+	sim, err := New(eng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// No stoppers: run to cap.
+	if n, stopped := sim.RunUntil(7); stopped || n != 7 {
+		t.Errorf("n=%d stopped=%v", n, stopped)
+	}
+}
+
+func TestHeapOpsScaleWithComponentsAndCycles(t *testing.T) {
+	mk := func(n int) *Simulator {
+		eng := engine.New()
+		var log []string
+		for i := 0; i < n; i++ {
+			eng.MustRegister(&recorder{name: string(rune('a' + i)), log: &log})
+		}
+		sim, err := New(eng)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return sim
+	}
+	a := mk(2)
+	a.Run(10)
+	b := mk(8)
+	b.Run(10)
+	if b.Stats().HeapOps <= a.Stats().HeapOps {
+		t.Error("heap ops do not scale with component count")
+	}
+	c := mk(2)
+	c.Run(100)
+	if c.Stats().HeapOps <= a.Stats().HeapOps {
+		t.Error("heap ops do not scale with cycles")
+	}
+}

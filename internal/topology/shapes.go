@@ -1,0 +1,255 @@
+package topology
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+)
+
+// Line returns an n-switch chain with bidirectional links
+// 0 <-> 1 <-> ... <-> n-1. Endpoints are attached by the caller.
+func Line(n int) (*Topology, error) {
+	t, err := New(fmt.Sprintf("line-%d", n), n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n-1; i++ {
+		if err := t.AddBiLink(NodeID(i), NodeID(i+1)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Ring returns an n-switch bidirectional ring (n >= 3).
+func Ring(n int) (*Topology, error) {
+	if n < 3 {
+		return nil, fmt.Errorf("topology: ring needs >= 3 switches, got %d", n)
+	}
+	t, err := New(fmt.Sprintf("ring-%d", n), n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		if err := t.AddBiLink(NodeID(i), NodeID((i+1)%n)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Mesh returns a w x h 2-D mesh with bidirectional links. Switch (x, y)
+// has identifier y*w + x.
+func Mesh(w, h int) (*Topology, error) {
+	if w < 1 || h < 1 {
+		return nil, fmt.Errorf("topology: mesh %dx%d", w, h)
+	}
+	t, err := New(fmt.Sprintf("mesh-%dx%d", w, h), w*h)
+	if err != nil {
+		return nil, err
+	}
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			if x+1 < w {
+				if err := t.AddBiLink(id(x, y), id(x+1, y)); err != nil {
+					return nil, err
+				}
+			}
+			if y+1 < h {
+				if err := t.AddBiLink(id(x, y), id(x, y+1)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	return t, nil
+}
+
+// Torus returns a w x h 2-D torus (wrap-around mesh); w and h must be
+// at least 3 so wrap links do not duplicate mesh links.
+func Torus(w, h int) (*Topology, error) {
+	if w < 3 || h < 3 {
+		return nil, fmt.Errorf("topology: torus %dx%d needs both dims >= 3", w, h)
+	}
+	t, err := Mesh(w, h)
+	if err != nil {
+		return nil, err
+	}
+	t.name = fmt.Sprintf("torus-%dx%d", w, h)
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		if err := t.AddBiLink(id(w-1, y), id(0, y)); err != nil {
+			return nil, err
+		}
+	}
+	for x := 0; x < w; x++ {
+		if err := t.AddBiLink(id(x, h-1), id(x, 0)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// Star returns a hub-and-spoke topology: switch 0 is the hub joined by
+// bidirectional links to leaves 1..n.
+func Star(leaves int) (*Topology, error) {
+	if leaves < 1 {
+		return nil, fmt.Errorf("topology: star with %d leaves", leaves)
+	}
+	t, err := New(fmt.Sprintf("star-%d", leaves), leaves+1)
+	if err != nil {
+		return nil, err
+	}
+	for i := 1; i <= leaves; i++ {
+		if err := t.AddBiLink(0, NodeID(i)); err != nil {
+			return nil, err
+		}
+	}
+	return t, nil
+}
+
+// MeshXY returns the switch coordinates of switch s in a w-wide mesh,
+// for XY routing.
+func MeshXY(s NodeID, w int) (x, y int) {
+	return int(s) % w, int(s) / w
+}
+
+// PaperSix returns the paper's experimental platform (slides 17-19):
+// six switches, four traffic generators, four traffic receptors.
+//
+// Layout (traffic flows left to right; all inter-switch links exist in
+// both directions):
+//
+//	TG0,TG1 -> S0 --\            /-- S4 -> TR0,TR1
+//	                 >-- S2, S3 --<
+//	TG2,TG3 -> S1 --/            \-- S5 -> TR2,TR3
+//
+// Every source has two routing possibilities towards any sink (via S2
+// or via S3). Under the paper's experiment routing, TG0/TG1 traffic to
+// S4 shares link S2->S4 and TG2/TG3 traffic to S5 shares link S3->S5,
+// so with each TG at 45% of link bandwidth those two links carry 90%.
+func PaperSix() (*Topology, error) {
+	t, err := New("paper-six", 6)
+	if err != nil {
+		return nil, err
+	}
+	pairs := [][2]NodeID{
+		{0, 2}, {0, 3},
+		{1, 2}, {1, 3},
+		{2, 4}, {2, 5},
+		{3, 4}, {3, 5},
+	}
+	for _, p := range pairs {
+		if err := t.AddBiLink(p[0], p[1]); err != nil {
+			return nil, err
+		}
+	}
+	for i, sw := range []NodeID{0, 0, 1, 1} {
+		if err := t.AddSource(flit.EndpointID(i), sw); err != nil {
+			return nil, err
+		}
+	}
+	for i, sw := range []NodeID{4, 4, 5, 5} {
+		if err := t.AddSink(flit.EndpointID(100+i), sw); err != nil {
+			return nil, err
+		}
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// HotLinks returns the indices of the two links the paper's setup loads
+// to 90% (S2->S4 and S3->S5) in a PaperSix topology.
+func HotLinks(t *Topology) (s2s4, s3s5 int, err error) {
+	s2s4, s3s5 = -1, -1
+	for i, l := range t.Links() {
+		if l.From == 2 && l.To == 4 {
+			s2s4 = i
+		}
+		if l.From == 3 && l.To == 5 {
+			s3s5 = i
+		}
+	}
+	if s2s4 < 0 || s3s5 < 0 {
+		return 0, 0, fmt.Errorf("topology %s: hot links not found", t.Name())
+	}
+	return s2s4, s3s5, nil
+}
+
+// FullyConnected returns n switches (n >= 2) with a bidirectional link
+// between every pair — the upper bound on switch degree, useful as a
+// routing/arbitration stress shape.
+func FullyConnected(n int) (*Topology, error) {
+	if n < 2 {
+		return nil, fmt.Errorf("topology: fully connected needs >= 2 switches, got %d", n)
+	}
+	t, err := New(fmt.Sprintf("full-%d", n), n)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if err := t.AddBiLink(NodeID(i), NodeID(j)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// Tree returns a complete fanout-ary tree of the given depth
+// (depth >= 1 levels below the root) with bidirectional links. Switches
+// are numbered in breadth-first order from the root (switch 0); leaves
+// occupy the last level. Aggregation traffic (leaves to root) is the
+// classic use.
+func Tree(depth, fanout int) (*Topology, error) {
+	if depth < 1 || fanout < 2 {
+		return nil, fmt.Errorf("topology: tree depth %d fanout %d", depth, fanout)
+	}
+	// Total nodes of a complete tree: (fanout^(depth+1) - 1) / (fanout - 1).
+	total := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= fanout
+		total += level
+	}
+	t, err := New(fmt.Sprintf("tree-%dx%d", depth, fanout), total)
+	if err != nil {
+		return nil, err
+	}
+	for parent := 0; ; parent++ {
+		firstChild := parent*fanout + 1
+		if firstChild >= total {
+			break
+		}
+		for c := 0; c < fanout; c++ {
+			child := firstChild + c
+			if child >= total {
+				break
+			}
+			if err := t.AddBiLink(NodeID(parent), NodeID(child)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return t, nil
+}
+
+// TreeLeaves returns the switch identifiers of the last level of a
+// Tree(depth, fanout) topology.
+func TreeLeaves(depth, fanout int) []NodeID {
+	total := 1
+	level := 1
+	for d := 0; d < depth; d++ {
+		level *= fanout
+		total += level
+	}
+	leaves := make([]NodeID, 0, level)
+	for i := total - level; i < total; i++ {
+		leaves = append(leaves, NodeID(i))
+	}
+	return leaves
+}

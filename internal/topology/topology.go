@@ -1,0 +1,283 @@
+// Package topology describes the switch graph of an emulated NoC.
+//
+// The paper's platform is built around a configurable "switch topology":
+// a set of switches joined by unidirectional links, with traffic
+// generators (sources) and traffic receptors (sinks) attached to switch
+// local ports. The topology fixes each switch's number of inputs and
+// outputs — two of the three switch parameters the paper studies.
+package topology
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+)
+
+// NodeID identifies a switch within a topology.
+type NodeID int
+
+// Role says whether an endpoint injects or ejects traffic.
+type Role uint8
+
+const (
+	// Source endpoints inject packets (traffic generators).
+	Source Role = iota + 1
+	// Sink endpoints absorb packets (traffic receptors).
+	Sink
+)
+
+// String implements fmt.Stringer.
+func (r Role) String() string {
+	switch r {
+	case Source:
+		return "source"
+	case Sink:
+		return "sink"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// LinkSpec is a unidirectional switch-to-switch channel.
+type LinkSpec struct {
+	From, To NodeID
+}
+
+// EndpointSpec attaches an endpoint to a switch local port.
+type EndpointSpec struct {
+	ID     flit.EndpointID
+	Switch NodeID
+	Role   Role
+}
+
+// InConn describes one input port of a switch: it is fed either by an
+// inter-switch link (Link >= 0) or by a local source endpoint.
+type InConn struct {
+	// Link is the index into Links(), or -1 for a local endpoint.
+	Link int
+	// Endpoint is the injecting endpoint when Link == -1.
+	Endpoint flit.EndpointID
+}
+
+// OutConn describes one output port of a switch: it drives either an
+// inter-switch link (Link >= 0) or a local sink endpoint.
+type OutConn struct {
+	// Link is the index into Links(), or -1 for a local endpoint.
+	Link int
+	// Endpoint is the receiving endpoint when Link == -1.
+	Endpoint flit.EndpointID
+}
+
+// Topology is a switch graph plus endpoint attachments. Build one with
+// New and the Add* methods, or with the shape constructors (Line, Ring,
+// Mesh, Torus, Star, PaperSix).
+type Topology struct {
+	name        string
+	numSwitches int
+	links       []LinkSpec
+	endpoints   []EndpointSpec
+}
+
+// New returns an empty topology over n switches.
+func New(name string, n int) (*Topology, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("topology %s: %d switches", name, n)
+	}
+	return &Topology{name: name, numSwitches: n}, nil
+}
+
+// Name returns the topology name.
+func (t *Topology) Name() string { return t.name }
+
+// NumSwitches returns the number of switches.
+func (t *Topology) NumSwitches() int { return t.numSwitches }
+
+// Links returns the link list; the index of a link in this slice is its
+// stable identifier.
+func (t *Topology) Links() []LinkSpec { return t.links }
+
+// Endpoints returns all endpoint attachments.
+func (t *Topology) Endpoints() []EndpointSpec { return t.endpoints }
+
+func (t *Topology) checkNode(s NodeID) error {
+	if s < 0 || int(s) >= t.numSwitches {
+		return fmt.Errorf("topology %s: switch %d out of range [0,%d)", t.name, s, t.numSwitches)
+	}
+	return nil
+}
+
+// AddLink adds a unidirectional link. Self-loops and duplicate links are
+// rejected.
+func (t *Topology) AddLink(from, to NodeID) error {
+	if err := t.checkNode(from); err != nil {
+		return err
+	}
+	if err := t.checkNode(to); err != nil {
+		return err
+	}
+	if from == to {
+		return fmt.Errorf("topology %s: self-loop at switch %d", t.name, from)
+	}
+	for _, l := range t.links {
+		if l.From == from && l.To == to {
+			return fmt.Errorf("topology %s: duplicate link %d->%d", t.name, from, to)
+		}
+	}
+	t.links = append(t.links, LinkSpec{From: from, To: to})
+	return nil
+}
+
+// AddBiLink adds links in both directions.
+func (t *Topology) AddBiLink(a, b NodeID) error {
+	if err := t.AddLink(a, b); err != nil {
+		return err
+	}
+	return t.AddLink(b, a)
+}
+
+func (t *Topology) addEndpoint(id flit.EndpointID, sw NodeID, role Role) error {
+	if err := t.checkNode(sw); err != nil {
+		return err
+	}
+	for _, e := range t.endpoints {
+		if e.ID == id {
+			return fmt.Errorf("topology %s: duplicate endpoint %d", t.name, id)
+		}
+	}
+	t.endpoints = append(t.endpoints, EndpointSpec{ID: id, Switch: sw, Role: role})
+	return nil
+}
+
+// AddSource attaches a traffic-generator endpoint to a switch.
+func (t *Topology) AddSource(id flit.EndpointID, sw NodeID) error {
+	return t.addEndpoint(id, sw, Source)
+}
+
+// AddSink attaches a traffic-receptor endpoint to a switch.
+func (t *Topology) AddSink(id flit.EndpointID, sw NodeID) error {
+	return t.addEndpoint(id, sw, Sink)
+}
+
+// Endpoint returns the attachment of the given endpoint.
+func (t *Topology) Endpoint(id flit.EndpointID) (EndpointSpec, bool) {
+	for _, e := range t.endpoints {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return EndpointSpec{}, false
+}
+
+// Sources returns the source endpoints in attachment order.
+func (t *Topology) Sources() []EndpointSpec { return t.byRole(Source) }
+
+// Sinks returns the sink endpoints in attachment order.
+func (t *Topology) Sinks() []EndpointSpec { return t.byRole(Sink) }
+
+func (t *Topology) byRole(r Role) []EndpointSpec {
+	var out []EndpointSpec
+	for _, e := range t.endpoints {
+		if e.Role == r {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// SwitchInputs returns the input ports of switch s in canonical order:
+// link-fed ports first (by link index), then local sources (by
+// attachment order). The slice index is the input port number.
+func (t *Topology) SwitchInputs(s NodeID) []InConn {
+	var in []InConn
+	for i, l := range t.links {
+		if l.To == s {
+			in = append(in, InConn{Link: i})
+		}
+	}
+	for _, e := range t.endpoints {
+		if e.Role == Source && e.Switch == s {
+			in = append(in, InConn{Link: -1, Endpoint: e.ID})
+		}
+	}
+	return in
+}
+
+// SwitchOutputs returns the output ports of switch s in canonical
+// order: link-driven ports first, then local sinks. The slice index is
+// the output port number.
+func (t *Topology) SwitchOutputs(s NodeID) []OutConn {
+	var out []OutConn
+	for i, l := range t.links {
+		if l.From == s {
+			out = append(out, OutConn{Link: i})
+		}
+	}
+	for _, e := range t.endpoints {
+		if e.Role == Sink && e.Switch == s {
+			out = append(out, OutConn{Link: -1, Endpoint: e.ID})
+		}
+	}
+	return out
+}
+
+// Adjacency returns, for each switch, the list of (link index, neighbor)
+// pairs of its outgoing links.
+func (t *Topology) Adjacency() [][]Edge {
+	adj := make([][]Edge, t.numSwitches)
+	for i, l := range t.links {
+		adj[l.From] = append(adj[l.From], Edge{Link: i, To: l.To})
+	}
+	return adj
+}
+
+// Edge is one outgoing link in an adjacency list.
+type Edge struct {
+	Link int
+	To   NodeID
+}
+
+// Reachable returns the set of switches reachable from s (including s).
+func (t *Topology) Reachable(s NodeID) map[NodeID]bool {
+	seen := map[NodeID]bool{s: true}
+	queue := []NodeID{s}
+	adj := t.Adjacency()
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		for _, e := range adj[cur] {
+			if !seen[e.To] {
+				seen[e.To] = true
+				queue = append(queue, e.To)
+			}
+		}
+	}
+	return seen
+}
+
+// Validate checks the structural invariants needed before platform
+// compilation: at least one source and one sink, every source able to
+// reach every sink's switch, and no switch with zero ports.
+func (t *Topology) Validate() error {
+	srcs, sinks := t.Sources(), t.Sinks()
+	if len(srcs) == 0 {
+		return fmt.Errorf("topology %s: no sources", t.name)
+	}
+	if len(sinks) == 0 {
+		return fmt.Errorf("topology %s: no sinks", t.name)
+	}
+	for _, src := range srcs {
+		reach := t.Reachable(src.Switch)
+		for _, snk := range sinks {
+			if !reach[snk.Switch] {
+				return fmt.Errorf("topology %s: sink %d (switch %d) unreachable from source %d (switch %d)",
+					t.name, snk.ID, snk.Switch, src.ID, src.Switch)
+			}
+		}
+	}
+	for s := NodeID(0); int(s) < t.numSwitches; s++ {
+		if len(t.SwitchInputs(s)) == 0 && len(t.SwitchOutputs(s)) == 0 {
+			return fmt.Errorf("topology %s: switch %d has no ports", t.name, s)
+		}
+	}
+	return nil
+}

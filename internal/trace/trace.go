@@ -1,0 +1,242 @@
+// Package trace implements the trace-driven side of the paper's traffic
+// devices: the file format for traffic "recorded on a real-life
+// application", readers/writers in text and binary form, and synthetic
+// trace generators producing the burst-structured workloads the paper
+// sweeps (number of packets per burst, number of flits per packet).
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strings"
+
+	"nocemu/internal/flit"
+)
+
+// Record is one packet emission: at cycle Cycle, send a Len-flit packet
+// to Dst.
+type Record struct {
+	Cycle uint64
+	Dst   flit.EndpointID
+	Len   uint16
+}
+
+// Trace is a named sequence of packet emissions for one traffic
+// generator.
+type Trace struct {
+	Name    string
+	Records []Record
+}
+
+// Validate checks the trace invariants: non-decreasing cycles and
+// nonzero packet lengths.
+func (t *Trace) Validate() error {
+	if t == nil {
+		return fmt.Errorf("trace: nil")
+	}
+	var prev uint64
+	for i, r := range t.Records {
+		if r.Len == 0 {
+			return fmt.Errorf("trace %s: record %d has zero length", t.Name, i)
+		}
+		if r.Cycle < prev {
+			return fmt.Errorf("trace %s: record %d cycle %d < previous %d", t.Name, i, r.Cycle, prev)
+		}
+		prev = r.Cycle
+	}
+	return nil
+}
+
+// TotalFlits returns the sum of packet lengths.
+func (t *Trace) TotalFlits() uint64 {
+	var n uint64
+	for _, r := range t.Records {
+		n += uint64(r.Len)
+	}
+	return n
+}
+
+// Duration returns the cycle of the last emission (0 for an empty
+// trace).
+func (t *Trace) Duration() uint64 {
+	if len(t.Records) == 0 {
+		return 0
+	}
+	return t.Records[len(t.Records)-1].Cycle
+}
+
+// OfferedLoad returns the average flit rate over the trace duration
+// (flits per cycle), the quantity the paper sets to 45% of link
+// bandwidth.
+func (t *Trace) OfferedLoad() float64 {
+	d := t.Duration()
+	if d == 0 {
+		return 0
+	}
+	return float64(t.TotalFlits()) / float64(d)
+}
+
+const textHeader = "# nocemu-trace v1"
+
+// Write emits the trace in the line-oriented text format:
+//
+//	# nocemu-trace v1
+//	# name: <name>
+//	<cycle> <dst> <len>
+func Write(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, textHeader)
+	fmt.Fprintf(bw, "# name: %s\n", t.Name)
+	for _, r := range t.Records {
+		fmt.Fprintf(bw, "%d %d %d\n", r.Cycle, r.Dst, r.Len)
+	}
+	return bw.Flush()
+}
+
+// Read parses the text format. Blank lines and additional # comments are
+// ignored.
+func Read(r io.Reader) (*Trace, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<16), 1<<22)
+	t := &Trace{}
+	first := true
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if first {
+			if line != textHeader {
+				return nil, fmt.Errorf("trace: bad header %q", line)
+			}
+			first = false
+			continue
+		}
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			if rest, ok := strings.CutPrefix(line, "# name:"); ok {
+				t.Name = strings.TrimSpace(rest)
+			}
+			continue
+		}
+		var rec Record
+		if _, err := fmt.Sscanf(line, "%d %d %d", &rec.Cycle, &rec.Dst, &rec.Len); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %v", lineNo, err)
+		}
+		t.Records = append(t.Records, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	if first {
+		return nil, fmt.Errorf("trace: empty input")
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// binMagic marks the binary trace format.
+var binMagic = [4]byte{'N', 'T', 'R', 'C'}
+
+const binVersion uint16 = 1
+
+// WriteBinary emits the compact binary format (magic, version, name,
+// count, fixed-width records, little endian).
+func WriteBinary(w io.Writer, t *Trace) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(binMagic[:]); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, binVersion); err != nil {
+		return err
+	}
+	name := []byte(t.Name)
+	if len(name) > 0xFFFF {
+		return fmt.Errorf("trace: name too long")
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint16(len(name))); err != nil {
+		return err
+	}
+	if _, err := bw.Write(name); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, uint64(len(t.Records))); err != nil {
+		return err
+	}
+	for _, r := range t.Records {
+		if err := binary.Write(bw, binary.LittleEndian, r.Cycle); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, uint16(r.Dst)); err != nil {
+			return err
+		}
+		if err := binary.Write(bw, binary.LittleEndian, r.Len); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary parses the binary format.
+func ReadBinary(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("trace: %v", err)
+	}
+	if magic != binMagic {
+		return nil, fmt.Errorf("trace: bad magic %q", magic[:])
+	}
+	var version uint16
+	if err := binary.Read(br, binary.LittleEndian, &version); err != nil {
+		return nil, err
+	}
+	if version != binVersion {
+		return nil, fmt.Errorf("trace: unsupported version %d", version)
+	}
+	var nameLen uint16
+	if err := binary.Read(br, binary.LittleEndian, &nameLen); err != nil {
+		return nil, err
+	}
+	name := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, name); err != nil {
+		return nil, err
+	}
+	var count uint64
+	if err := binary.Read(br, binary.LittleEndian, &count); err != nil {
+		return nil, err
+	}
+	const maxRecords = 1 << 28 // 256M records ~ 3 GiB; guards corrupt counts
+	if count > maxRecords {
+		return nil, fmt.Errorf("trace: implausible record count %d", count)
+	}
+	t := &Trace{Name: string(name), Records: make([]Record, count)}
+	for i := range t.Records {
+		var dst uint16
+		if err := binary.Read(br, binary.LittleEndian, &t.Records[i].Cycle); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %v", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &dst); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %v", i, err)
+		}
+		if err := binary.Read(br, binary.LittleEndian, &t.Records[i].Len); err != nil {
+			return nil, fmt.Errorf("trace: record %d: %v", i, err)
+		}
+		t.Records[i].Dst = flit.EndpointID(dst)
+	}
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	return t, nil
+}

@@ -1,0 +1,171 @@
+package traffic
+
+// Parameterized is implemented by generators whose model parameters are
+// exposed as numbered 32-bit registers — the paper's "bench of
+// registers for traffic parameterization". Register semantics are
+// model-specific; ParamNames documents them in order.
+type Parameterized interface {
+	// ParamNames returns the register names, index-aligned.
+	ParamNames() []string
+	// ReadParam returns parameter i (false if out of range).
+	ReadParam(i uint32) (uint32, bool)
+	// WriteParam stores parameter i, rejecting values that would break
+	// model invariants against the current values of the others.
+	WriteParam(i uint32, v uint32) bool
+}
+
+// ParamNames implements Parameterized for the uniform model.
+func (u *Uniform) ParamNames() []string {
+	return []string{"len_min", "len_max", "gap_min", "gap_max"}
+}
+
+// ReadParam implements Parameterized.
+func (u *Uniform) ReadParam(i uint32) (uint32, bool) {
+	switch i {
+	case 0:
+		return uint32(u.cfg.LenMin), true
+	case 1:
+		return uint32(u.cfg.LenMax), true
+	case 2:
+		return u.cfg.GapMin, true
+	case 3:
+		return u.cfg.GapMax, true
+	}
+	return 0, false
+}
+
+// WriteParam implements Parameterized.
+func (u *Uniform) WriteParam(i uint32, v uint32) bool {
+	switch i {
+	case 0:
+		if v < 1 || v > 0xFFFF || uint16(v) > u.cfg.LenMax {
+			return false
+		}
+		u.cfg.LenMin = uint16(v)
+	case 1:
+		if v > 0xFFFF || uint16(v) < u.cfg.LenMin {
+			return false
+		}
+		u.cfg.LenMax = uint16(v)
+	case 2:
+		if v > u.cfg.GapMax {
+			return false
+		}
+		u.cfg.GapMin = v
+	case 3:
+		if v < u.cfg.GapMin {
+			return false
+		}
+		u.cfg.GapMax = v
+	default:
+		return false
+	}
+	return true
+}
+
+// ParamNames implements Parameterized for the burst model.
+func (b *Burst) ParamNames() []string {
+	return []string{"p_off_on", "p_on_off", "len_min", "len_max"}
+}
+
+// ReadParam implements Parameterized.
+func (b *Burst) ReadParam(i uint32) (uint32, bool) {
+	switch i {
+	case 0:
+		return uint32(b.cfg.POffOn), true
+	case 1:
+		return uint32(b.cfg.POnOff), true
+	case 2:
+		return uint32(b.cfg.LenMin), true
+	case 3:
+		return uint32(b.cfg.LenMax), true
+	}
+	return 0, false
+}
+
+// WriteParam implements Parameterized.
+func (b *Burst) WriteParam(i uint32, v uint32) bool {
+	switch i {
+	case 0:
+		if v == 0 || v > 0xFFFF {
+			return false
+		}
+		b.cfg.POffOn = uint16(v)
+	case 1:
+		if v == 0 || v > 0xFFFF {
+			return false
+		}
+		b.cfg.POnOff = uint16(v)
+	case 2:
+		if v < 1 || v > 0xFFFF || uint16(v) > b.cfg.LenMax {
+			return false
+		}
+		b.cfg.LenMin = uint16(v)
+	case 3:
+		if v > 0xFFFF || uint16(v) < b.cfg.LenMin {
+			return false
+		}
+		b.cfg.LenMax = uint16(v)
+	default:
+		return false
+	}
+	return true
+}
+
+// ParamNames implements Parameterized for the Poisson model.
+func (p *Poisson) ParamNames() []string {
+	return []string{"lambda", "len_min", "len_max"}
+}
+
+// ReadParam implements Parameterized.
+func (p *Poisson) ReadParam(i uint32) (uint32, bool) {
+	switch i {
+	case 0:
+		return uint32(p.cfg.Lambda), true
+	case 1:
+		return uint32(p.cfg.LenMin), true
+	case 2:
+		return uint32(p.cfg.LenMax), true
+	}
+	return 0, false
+}
+
+// WriteParam implements Parameterized.
+func (p *Poisson) WriteParam(i uint32, v uint32) bool {
+	switch i {
+	case 0:
+		if v == 0 || v > 0xFFFF {
+			return false
+		}
+		p.cfg.Lambda = uint16(v)
+	case 1:
+		if v < 1 || v > 0xFFFF || uint16(v) > p.cfg.LenMax {
+			return false
+		}
+		p.cfg.LenMin = uint16(v)
+	case 2:
+		if v > 0xFFFF || uint16(v) < p.cfg.LenMin {
+			return false
+		}
+		p.cfg.LenMax = uint16(v)
+	default:
+		return false
+	}
+	return true
+}
+
+// ParamNames implements Parameterized for trace replay (read-only
+// position information).
+func (g *TraceGen) ParamNames() []string { return []string{"remaining"} }
+
+// ReadParam implements Parameterized.
+func (g *TraceGen) ReadParam(i uint32) (uint32, bool) {
+	if i == 0 {
+		return uint32(g.Remaining()), true
+	}
+	return 0, false
+}
+
+// WriteParam implements Parameterized; trace positions are not
+// writable.
+func (g *TraceGen) WriteParam(i uint32, v uint32) bool { return false }

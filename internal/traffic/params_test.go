@@ -1,0 +1,146 @@
+package traffic
+
+import (
+	"testing"
+
+	"nocemu/internal/trace"
+)
+
+func TestUniformParams(t *testing.T) {
+	g, err := NewUniform(UniformConfig{LenMin: 2, LenMax: 5, GapMin: 1, GapMax: 9, Dst: fixedDst(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := g.ParamNames()
+	if len(names) != 4 || names[0] != "len_min" || names[3] != "gap_max" {
+		t.Errorf("names = %v", names)
+	}
+	want := []uint32{2, 5, 1, 9}
+	for i, w := range want {
+		if v, ok := g.ReadParam(uint32(i)); !ok || v != w {
+			t.Errorf("param %d = %d,%v want %d", i, v, ok, w)
+		}
+	}
+	if _, ok := g.ReadParam(4); ok {
+		t.Error("out-of-range read succeeded")
+	}
+	// Valid writes.
+	if !g.WriteParam(2, 3) || !g.WriteParam(3, 12) {
+		t.Error("valid gap writes rejected")
+	}
+	if !g.WriteParam(1, 7) || !g.WriteParam(0, 6) {
+		t.Error("valid len writes rejected")
+	}
+	// Invalid writes: each must leave state intact.
+	bad := []struct{ i, v uint32 }{
+		{0, 0},       // len_min 0
+		{0, 8},       // above len_max
+		{0, 0x10000}, // overflow
+		{1, 5},       // below len_min (6)
+		{1, 0x10000},
+		{2, 13}, // gap_min above gap_max
+		{3, 2},  // gap_max below gap_min
+		{9, 1},  // unknown index
+	}
+	for _, c := range bad {
+		if g.WriteParam(c.i, c.v) {
+			t.Errorf("invalid write (%d,%d) accepted", c.i, c.v)
+		}
+	}
+	if v, _ := g.ReadParam(0); v != 6 {
+		t.Errorf("len_min mutated to %d", v)
+	}
+}
+
+func TestBurstParams(t *testing.T) {
+	g, err := NewBurst(BurstConfig{POffOn: 100, POnOff: 200, LenMin: 1, LenMax: 4, Dst: fixedDst(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ParamNames()) != 4 {
+		t.Errorf("names = %v", g.ParamNames())
+	}
+	want := []uint32{100, 200, 1, 4}
+	for i, w := range want {
+		if v, ok := g.ReadParam(uint32(i)); !ok || v != w {
+			t.Errorf("param %d = %d want %d", i, v, w)
+		}
+	}
+	if !g.WriteParam(0, 500) || !g.WriteParam(1, 600) {
+		t.Error("probability writes rejected")
+	}
+	if !g.WriteParam(3, 9) || !g.WriteParam(2, 2) {
+		t.Error("length writes rejected")
+	}
+	bad := []struct{ i, v uint32 }{
+		{0, 0}, {0, 0x10000},
+		{1, 0}, {1, 0x10000},
+		{2, 0}, {2, 10}, {2, 0x10000},
+		{3, 1}, {3, 0x10000},
+		{7, 1},
+	}
+	for _, c := range bad {
+		if g.WriteParam(c.i, c.v) {
+			t.Errorf("invalid write (%d,%d) accepted", c.i, c.v)
+		}
+	}
+	if _, ok := g.ReadParam(4); ok {
+		t.Error("out-of-range read succeeded")
+	}
+}
+
+func TestPoissonParams(t *testing.T) {
+	g, err := NewPoisson(PoissonConfig{Lambda: 300, LenMin: 2, LenMax: 6, Dst: fixedDst(1)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ParamNames()) != 3 || g.ParamNames()[0] != "lambda" {
+		t.Errorf("names = %v", g.ParamNames())
+	}
+	want := []uint32{300, 2, 6}
+	for i, w := range want {
+		if v, ok := g.ReadParam(uint32(i)); !ok || v != w {
+			t.Errorf("param %d = %d want %d", i, v, w)
+		}
+	}
+	if !g.WriteParam(0, 1000) || !g.WriteParam(2, 8) || !g.WriteParam(1, 3) {
+		t.Error("valid writes rejected")
+	}
+	bad := []struct{ i, v uint32 }{
+		{0, 0}, {0, 0x10000},
+		{1, 0}, {1, 9}, {1, 0x10000},
+		{2, 2}, {2, 0x10000},
+		{5, 1},
+	}
+	for _, c := range bad {
+		if g.WriteParam(c.i, c.v) {
+			t.Errorf("invalid write (%d,%d) accepted", c.i, c.v)
+		}
+	}
+	if _, ok := g.ReadParam(3); ok {
+		t.Error("out-of-range read succeeded")
+	}
+}
+
+func TestTraceGenParams(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{Cycle: 0, Dst: 1, Len: 1},
+		{Cycle: 1, Dst: 1, Len: 1},
+	}}
+	g, err := NewTraceGen(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(g.ParamNames()) != 1 || g.ParamNames()[0] != "remaining" {
+		t.Errorf("names = %v", g.ParamNames())
+	}
+	if v, ok := g.ReadParam(0); !ok || v != 2 {
+		t.Errorf("remaining = %d,%v", v, ok)
+	}
+	if _, ok := g.ReadParam(1); ok {
+		t.Error("out-of-range read succeeded")
+	}
+	if g.WriteParam(0, 5) {
+		t.Error("trace position writable")
+	}
+}

@@ -1,0 +1,227 @@
+package traffic
+
+import (
+	"testing"
+
+	"nocemu/internal/link"
+	"nocemu/internal/nic"
+	"nocemu/internal/trace"
+)
+
+// tgHarness holds a TG wired to raw links, with a manual sink that
+// drains the output link at full rate and returns credits.
+type tgHarness struct {
+	tg  *TG
+	out *link.Link
+	cr  *link.CreditLink
+}
+
+func newTGHarness(t *testing.T, gen Generator, cfg TGConfig) *tgHarness {
+	t.Helper()
+	out := link.NewLink("out")
+	cr := link.NewCreditLink("cr")
+	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := NewTG(cfg, gen, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &tgHarness{tg: tg, out: out, cr: cr}
+}
+
+// run executes n cycles, consuming every flit and returning credits.
+func (h *tgHarness) run(n uint64) (flits int, packets int) {
+	for c := uint64(0); c < n; c++ {
+		h.tg.Tick(c)
+		if f := h.out.Take(); f != nil {
+			flits++
+			if f.Kind.IsTail() {
+				packets++
+			}
+			h.cr.Send(1)
+		}
+		h.tg.Commit(c)
+		h.out.Commit(c)
+		h.cr.Commit(c)
+	}
+	return flits, packets
+}
+
+func TestNewTGValidation(t *testing.T) {
+	out := link.NewLink("o")
+	cr := link.NewCreditLink("c")
+	inj, _ := nic.NewInjector(0, out, cr, 1, 1)
+	g, _ := NewUniform(UniformConfig{LenMin: 1, LenMax: 1, Dst: fixedDst(1)})
+	if _, err := NewTG(TGConfig{Name: ""}, g, inj); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := NewTG(TGConfig{Name: "tg"}, nil, inj); err == nil {
+		t.Error("nil generator accepted")
+	}
+	if _, err := NewTG(TGConfig{Name: "tg"}, g, nil); err == nil {
+		t.Error("nil injector accepted")
+	}
+}
+
+func TestTGLimitAndDone(t *testing.T) {
+	g, _ := NewUniform(UniformConfig{LenMin: 2, LenMax: 2, GapMin: 1, GapMax: 1, Dst: fixedDst(1)})
+	h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 1, Limit: 5})
+	flits, packets := h.run(200)
+	if packets != 5 || flits != 10 {
+		t.Errorf("packets=%d flits=%d, want 5/10", packets, flits)
+	}
+	if !h.tg.Done() {
+		t.Error("TG not done after limit")
+	}
+	st := h.tg.Stats()
+	if st.Offered != 5 || st.Injector.PacketsSent != 5 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTGTraceDoneWhenExhausted(t *testing.T) {
+	tr := &trace.Trace{Records: []trace.Record{
+		{Cycle: 0, Dst: 1, Len: 2},
+		{Cycle: 5, Dst: 1, Len: 1},
+	}}
+	g, err := NewTraceGen(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 1})
+	if h.tg.Done() {
+		t.Error("done before start")
+	}
+	_, packets := h.run(50)
+	if packets != 2 {
+		t.Errorf("packets = %d", packets)
+	}
+	if !h.tg.Done() {
+		t.Error("not done after trace end")
+	}
+}
+
+func TestTGDisableStopsCreation(t *testing.T) {
+	g, _ := NewUniform(UniformConfig{LenMin: 1, LenMax: 1, GapMin: 0, GapMax: 0, Dst: fixedDst(1)})
+	h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 1})
+	h.tg.SetEnabled(false)
+	if h.tg.Enabled() {
+		t.Error("Enabled() after disable")
+	}
+	flits, _ := h.run(50)
+	if flits != 0 {
+		t.Errorf("disabled TG emitted %d flits", flits)
+	}
+	h.tg.SetEnabled(true)
+	flits, _ = h.run(50)
+	if flits == 0 {
+		t.Error("enabled TG emitted nothing")
+	}
+}
+
+func TestTGBackpressureHoldsDemands(t *testing.T) {
+	// Source queue of 16 flits; packets of 8; gap 0 -> generator wants
+	// 1 flit/cycle but the sink never returns credits beyond initial 4.
+	g, _ := NewUniform(UniformConfig{LenMin: 8, LenMax: 8, GapMin: 0, GapMax: 0, Dst: fixedDst(1)})
+	out := link.NewLink("out")
+	cr := link.NewCreditLink("cr")
+	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tg, err := NewTG(TGConfig{Name: "tg", Seed: 1}, g, inj)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := uint64(0); c < 100; c++ {
+		tg.Tick(c)
+		out.Take() // consume but never credit back
+		tg.Commit(c)
+		out.Commit(c)
+		cr.Commit(c)
+	}
+	st := tg.Stats()
+	// 2 packets fit in the queue; the third waits in pending.
+	if st.Offered != 3 {
+		t.Errorf("offered = %d, want 3 (2 queued + 1 held)", st.Offered)
+	}
+	if st.BackpressureCycles == 0 {
+		t.Error("no backpressure recorded")
+	}
+	if st.Injector.FlitsSent != 4 {
+		t.Errorf("flits sent = %d, want 4 (initial credits)", st.Injector.FlitsSent)
+	}
+}
+
+func TestTGResetRun(t *testing.T) {
+	g, _ := NewUniform(UniformConfig{LenMin: 1, LenMax: 1, GapMin: 1, GapMax: 1, Dst: fixedDst(1)})
+	h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 1, Limit: 3})
+	h.run(100)
+	if !h.tg.Done() {
+		t.Fatal("not done")
+	}
+	h.tg.ResetRun()
+	st := h.tg.Stats()
+	if st.Offered != 0 || st.Injector.FlitsSent != 0 {
+		t.Errorf("stats after reset = %+v", st)
+	}
+	if h.tg.Done() {
+		t.Error("done right after reset")
+	}
+	_, packets := h.run(100)
+	if packets != 3 {
+		t.Errorf("re-run packets = %d", packets)
+	}
+}
+
+func TestTGReseedReproducesTraffic(t *testing.T) {
+	mkRun := func() []uint64 {
+		g, _ := NewUniform(UniformConfig{
+			LenMin: 1, LenMax: 4, GapMin: 0, GapMax: 6,
+			Dst: fixedDst(1), RandomPhase: true,
+		})
+		h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 42, Limit: 20})
+		var sizes []uint64
+		for c := uint64(0); c < 500; c++ {
+			h.tg.Tick(c)
+			if f := h.out.Take(); f != nil {
+				if f.Kind.IsHead() {
+					sizes = append(sizes, uint64(f.PacketLen))
+				}
+				h.cr.Send(1)
+			}
+			h.tg.Commit(c)
+			h.out.Commit(c)
+			h.cr.Commit(c)
+		}
+		return sizes
+	}
+	a, b := mkRun(), mkRun()
+	if len(a) == 0 || len(a) != len(b) {
+		t.Fatalf("runs differ in length: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("packet %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTGSetLimit(t *testing.T) {
+	g, _ := NewUniform(UniformConfig{LenMin: 1, LenMax: 1, GapMin: 0, GapMax: 0, Dst: fixedDst(1)})
+	h := newTGHarness(t, g, TGConfig{Name: "tg", Seed: 1, Limit: 2})
+	h.run(50)
+	if !h.tg.Done() {
+		t.Fatal("not done at limit 2")
+	}
+	h.tg.SetLimit(4)
+	if h.tg.Done() {
+		t.Error("still done after raising limit")
+	}
+	_, packets := h.run(50)
+	if packets != 2 {
+		t.Errorf("extra packets = %d, want 2", packets)
+	}
+}

@@ -1,0 +1,360 @@
+// Package traffic implements the paper's traffic generators.
+//
+// A TG is "a bench of registers (for traffic parameterization, for
+// random initialization), a packet generator which generates various
+// traffic patterns, and a network interface". The packet generator is a
+// Generator; the network interface is a nic.Injector; the registers are
+// exposed through internal/regmap. Models provided, as in the paper:
+//
+//   - uniform: parameterized by packet length and inter-packet interval;
+//   - burst: a 2-state (ON/OFF) Markov chain with configurable
+//     transition probabilities;
+//   - poisson: Bernoulli-per-cycle packet arrivals (the "other models
+//     possible (i.e. Poisson)" of the paper);
+//   - trace: replays traffic recorded from a real-life application.
+package traffic
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/rng"
+	"nocemu/internal/trace"
+)
+
+// Demand is one packet the generator wants to emit.
+type Demand struct {
+	Dst     flit.EndpointID
+	Len     uint16
+	Payload uint32
+}
+
+// Generator is the packet-generator sub-block of a traffic generator.
+type Generator interface {
+	// ModelName identifies the traffic model for reports.
+	ModelName() string
+	// Step is consulted once per free cycle; nil means no packet now.
+	Step(cycle uint64, r *rng.LFSR) *Demand
+	// Exhausted reports that the generator will never emit again
+	// (always false for stochastic models).
+	Exhausted() bool
+	// Reset rewinds generator state (trace position, Markov state) for
+	// a software-only re-run.
+	Reset()
+}
+
+// DstPolicy selects how destinations are drawn.
+type DstPolicy string
+
+const (
+	// DstFixed always sends to Dsts[0].
+	DstFixed DstPolicy = "fixed"
+	// DstUniform draws uniformly from Dsts.
+	DstUniform DstPolicy = "uniform"
+	// DstRoundRobin cycles through Dsts.
+	DstRoundRobin DstPolicy = "round-robin"
+)
+
+// DstConfig parameterizes destination selection.
+type DstConfig struct {
+	Policy DstPolicy
+	Dsts   []flit.EndpointID
+}
+
+type dstChooser struct {
+	cfg DstConfig
+	i   int
+}
+
+func newDstChooser(cfg DstConfig) (*dstChooser, error) {
+	if len(cfg.Dsts) == 0 {
+		return nil, fmt.Errorf("traffic: no destinations")
+	}
+	switch cfg.Policy {
+	case DstFixed, DstUniform, DstRoundRobin:
+	default:
+		return nil, fmt.Errorf("traffic: unknown destination policy %q", cfg.Policy)
+	}
+	return &dstChooser{cfg: cfg}, nil
+}
+
+func (d *dstChooser) next(r *rng.LFSR) flit.EndpointID {
+	switch d.cfg.Policy {
+	case DstUniform:
+		return d.cfg.Dsts[r.Intn(len(d.cfg.Dsts))]
+	case DstRoundRobin:
+		dst := d.cfg.Dsts[d.i]
+		d.i = (d.i + 1) % len(d.cfg.Dsts)
+		return dst
+	default:
+		return d.cfg.Dsts[0]
+	}
+}
+
+func (d *dstChooser) reset() { d.i = 0 }
+
+// checkLenRange validates a packet-length range.
+func checkLenRange(min, max uint16) error {
+	if min < 1 || max < min {
+		return fmt.Errorf("traffic: packet length range [%d,%d]", min, max)
+	}
+	return nil
+}
+
+// drawLen draws a packet length from [min, max]. Reading the bounds at
+// draw time keeps register writes (WriteParam) live without a rebuild.
+func drawLen(r *rng.LFSR, min, max uint16) uint16 {
+	if min == max {
+		return min
+	}
+	return uint16(r.IntRange(int(min), int(max)))
+}
+
+// UniformConfig parameterizes the uniform model: packets of length
+// [LenMin, LenMax] separated by idle gaps of [GapMin, GapMax] cycles on
+// top of the packet's own serialization time. The mean offered load is
+// meanLen / (meanLen + meanGap) flits per cycle.
+type UniformConfig struct {
+	LenMin, LenMax uint16
+	GapMin, GapMax uint32
+	Dst            DstConfig
+	// RandomPhase desynchronizes multiple generators by drawing the
+	// first emission offset from [0, len+gap).
+	RandomPhase bool
+}
+
+// Uniform is the paper's uniform traffic model.
+type Uniform struct {
+	cfg     UniformConfig
+	dst     *dstChooser
+	wait    uint64
+	started bool
+}
+
+// NewUniform validates the configuration and builds the model.
+func NewUniform(cfg UniformConfig) (*Uniform, error) {
+	if err := checkLenRange(cfg.LenMin, cfg.LenMax); err != nil {
+		return nil, err
+	}
+	if cfg.GapMax < cfg.GapMin {
+		return nil, fmt.Errorf("traffic: gap range [%d,%d]", cfg.GapMin, cfg.GapMax)
+	}
+	dst, err := newDstChooser(cfg.Dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Uniform{cfg: cfg, dst: dst}, nil
+}
+
+// ModelName implements Generator.
+func (u *Uniform) ModelName() string { return "uniform" }
+
+// Exhausted implements Generator; the uniform model never ends.
+func (u *Uniform) Exhausted() bool { return false }
+
+// Reset implements Generator.
+func (u *Uniform) Reset() {
+	u.wait, u.started = 0, false
+	u.dst.reset()
+}
+
+func (u *Uniform) gap(r *rng.LFSR) uint64 {
+	if u.cfg.GapMin == u.cfg.GapMax {
+		return uint64(u.cfg.GapMin)
+	}
+	return uint64(r.IntRange(int(u.cfg.GapMin), int(u.cfg.GapMax)))
+}
+
+// Step implements Generator.
+func (u *Uniform) Step(cycle uint64, r *rng.LFSR) *Demand {
+	if !u.started {
+		u.started = true
+		if u.cfg.RandomPhase {
+			period := int(u.cfg.LenMin) + int(u.cfg.GapMin)
+			if period > 1 {
+				u.wait = uint64(r.Intn(period))
+			}
+		}
+	}
+	if u.wait > 0 {
+		u.wait--
+		return nil
+	}
+	l := drawLen(r, u.cfg.LenMin, u.cfg.LenMax)
+	// Next emission after this packet's serialization plus a gap.
+	u.wait = uint64(l) + u.gap(r) - 1
+	return &Demand{Dst: u.dst.next(r), Len: l}
+}
+
+// BurstConfig parameterizes the burst model: a 2-state Markov chain.
+// In the ON state the generator emits packets back to back; transition
+// probabilities are Q16 fixed point (65536 = probability 1), the format
+// of the TG's parameter registers.
+type BurstConfig struct {
+	// POffOn is the per-cycle probability of leaving OFF.
+	POffOn uint16
+	// POnOff is the per-packet probability of ending the burst.
+	POnOff         uint16
+	LenMin, LenMax uint16
+	Dst            DstConfig
+}
+
+// Burst is the paper's burst traffic model.
+type Burst struct {
+	cfg  BurstConfig
+	dst  *dstChooser
+	on   bool
+	busy uint64
+}
+
+// NewBurst validates the configuration and builds the model.
+func NewBurst(cfg BurstConfig) (*Burst, error) {
+	if err := checkLenRange(cfg.LenMin, cfg.LenMax); err != nil {
+		return nil, err
+	}
+	if cfg.POffOn == 0 {
+		return nil, fmt.Errorf("traffic: burst POffOn is zero (generator would never start)")
+	}
+	if cfg.POnOff == 0 {
+		return nil, fmt.Errorf("traffic: burst POnOff is zero (burst would never end)")
+	}
+	dst, err := newDstChooser(cfg.Dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Burst{cfg: cfg, dst: dst}, nil
+}
+
+// ModelName implements Generator.
+func (b *Burst) ModelName() string { return "burst" }
+
+// Exhausted implements Generator.
+func (b *Burst) Exhausted() bool { return false }
+
+// Reset implements Generator.
+func (b *Burst) Reset() {
+	b.on, b.busy = false, 0
+	b.dst.reset()
+}
+
+// Step implements Generator.
+func (b *Burst) Step(cycle uint64, r *rng.LFSR) *Demand {
+	if b.busy > 0 {
+		b.busy--
+		return nil
+	}
+	if !b.on {
+		if !r.Bernoulli16(b.cfg.POffOn) {
+			return nil
+		}
+		b.on = true
+	}
+	l := drawLen(r, b.cfg.LenMin, b.cfg.LenMax)
+	b.busy = uint64(l) - 1 // serialization of this packet
+	if r.Bernoulli16(b.cfg.POnOff) {
+		b.on = false
+	}
+	return &Demand{Dst: b.dst.next(r), Len: l}
+}
+
+// MeanLoad returns the analytic mean offered load (flits/cycle) of a
+// burst configuration, used by experiments to size parameters: the
+// chain is ON for meanLen/pOnOff cycles per burst and OFF for
+// 1/pOffOn cycles between bursts.
+func (cfg BurstConfig) MeanLoad() float64 {
+	pOn := float64(cfg.POffOn) / 65536
+	pOff := float64(cfg.POnOff) / 65536
+	meanLen := float64(cfg.LenMin+cfg.LenMax) / 2
+	onCycles := meanLen / pOff
+	offCycles := 1 / pOn
+	return onCycles / (onCycles + offCycles)
+}
+
+// PoissonConfig parameterizes the Poisson model: packet creations are a
+// Bernoulli process with per-cycle probability Lambda (Q16), giving
+// geometrically distributed inter-arrival times — the discrete-time
+// Poisson process.
+type PoissonConfig struct {
+	// Lambda is the per-cycle packet creation probability in Q16.
+	Lambda         uint16
+	LenMin, LenMax uint16
+	Dst            DstConfig
+}
+
+// Poisson is a Poisson-arrivals traffic model.
+type Poisson struct {
+	cfg PoissonConfig
+	dst *dstChooser
+}
+
+// NewPoisson validates the configuration and builds the model.
+func NewPoisson(cfg PoissonConfig) (*Poisson, error) {
+	if cfg.Lambda == 0 {
+		return nil, fmt.Errorf("traffic: poisson lambda is zero")
+	}
+	if err := checkLenRange(cfg.LenMin, cfg.LenMax); err != nil {
+		return nil, err
+	}
+	dst, err := newDstChooser(cfg.Dst)
+	if err != nil {
+		return nil, err
+	}
+	return &Poisson{cfg: cfg, dst: dst}, nil
+}
+
+// ModelName implements Generator.
+func (p *Poisson) ModelName() string { return "poisson" }
+
+// Exhausted implements Generator.
+func (p *Poisson) Exhausted() bool { return false }
+
+// Reset implements Generator.
+func (p *Poisson) Reset() { p.dst.reset() }
+
+// Step implements Generator.
+func (p *Poisson) Step(cycle uint64, r *rng.LFSR) *Demand {
+	if !r.Bernoulli16(p.cfg.Lambda) {
+		return nil
+	}
+	return &Demand{Dst: p.dst.next(r), Len: drawLen(r, p.cfg.LenMin, p.cfg.LenMax)}
+}
+
+// TraceGen replays a recorded trace: each record is emitted at its
+// recorded cycle, or as soon afterwards as backpressure allows.
+type TraceGen struct {
+	tr  *trace.Trace
+	idx int
+}
+
+// NewTraceGen validates the trace and builds the generator.
+func NewTraceGen(tr *trace.Trace) (*TraceGen, error) {
+	if err := tr.Validate(); err != nil {
+		return nil, err
+	}
+	return &TraceGen{tr: tr}, nil
+}
+
+// ModelName implements Generator.
+func (g *TraceGen) ModelName() string { return "trace" }
+
+// Exhausted implements Generator.
+func (g *TraceGen) Exhausted() bool { return g.idx >= len(g.tr.Records) }
+
+// Reset implements Generator.
+func (g *TraceGen) Reset() { g.idx = 0 }
+
+// Remaining returns the number of records not yet emitted.
+func (g *TraceGen) Remaining() int { return len(g.tr.Records) - g.idx }
+
+// Step implements Generator.
+func (g *TraceGen) Step(cycle uint64, r *rng.LFSR) *Demand {
+	if g.idx >= len(g.tr.Records) {
+		return nil
+	}
+	rec := g.tr.Records[g.idx]
+	if rec.Cycle > cycle {
+		return nil
+	}
+	g.idx++
+	return &Demand{Dst: rec.Dst, Len: rec.Len}
+}

@@ -1,0 +1,120 @@
+package vcswitch
+
+import (
+	"fmt"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/engine"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+)
+
+// Ring3 builds the canonical deadlock demonstration network: a
+// unidirectional three-switch ring where every switch hosts one source
+// and one sink and every flow crosses two links, creating a cyclic
+// channel dependency. With numVC=1 and packets longer than the ring's
+// total buffering the network deadlocks; with numVC=2 and dateline=true
+// (the dateline on link 2->0) it is deadlock-free.
+//
+// It returns the engine (run it with RunUntil) and the three sinks.
+func Ring3(numVC int, dateline bool, perSource int, pktLen uint16, bufDepth int) (*engine.Engine, []*Sink, error) {
+	if perSource < 1 || pktLen < 1 {
+		return nil, nil, fmt.Errorf("vcswitch: ring3 with %d packets of %d flits", perSource, pktLen)
+	}
+	if bufDepth < 1 {
+		bufDepth = 2
+	}
+	eng := engine.New()
+	topo, err := topology.New("ring3", 3)
+	if err != nil {
+		return nil, nil, err
+	}
+	for i := 0; i < 3; i++ {
+		if err := topo.AddLink(topology.NodeID(i), topology.NodeID((i+1)%3)); err != nil {
+			return nil, nil, err
+		}
+		if err := topo.AddSource(flit.EndpointID(i), topology.NodeID(i)); err != nil {
+			return nil, nil, err
+		}
+		if err := topo.AddSink(flit.EndpointID(100+i), topology.NodeID(i)); err != nil {
+			return nil, nil, err
+		}
+	}
+	table, err := routing.BuildShortestPath(topo)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	wire := func(name string) (*link.Link, []*link.CreditLink) {
+		l := link.NewLink(name)
+		eng.MustRegister(l)
+		crs := make([]*link.CreditLink, numVC)
+		for v := range crs {
+			crs[v] = link.NewCreditLink(fmt.Sprintf("%s.cr%d", name, v))
+			eng.MustRegister(crs[v])
+		}
+		return l, crs
+	}
+
+	switches := make([]*Switch, 3)
+	for n := 0; n < 3; n++ {
+		var vcmap VCMap
+		if dateline && n == 2 {
+			vcmap = Dateline(0) // the link 2->0 is output port 0 of switch 2
+		}
+		sw, err := New(Config{
+			Name: fmt.Sprintf("vs%d", n), Node: topology.NodeID(n),
+			NumIn: 2, NumOut: 2, NumVC: numVC, BufDepth: bufDepth,
+			Arb: arb.RoundRobin, Table: table, VCMap: vcmap,
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		switches[n] = sw
+	}
+	for n := 0; n < 3; n++ {
+		l, crs := wire(fmt.Sprintf("ring%d", n))
+		if err := switches[n].ConnectOutput(0, l, crs, switches[(n+1)%3].BufDepth()); err != nil {
+			return nil, nil, err
+		}
+		if err := switches[(n+1)%3].ConnectInput(0, l, crs); err != nil {
+			return nil, nil, err
+		}
+	}
+	var sinks []*Sink
+	for n := 0; n < 3; n++ {
+		l, crs := wire(fmt.Sprintf("inj%d", n))
+		if err := switches[n].ConnectInput(1, l, crs); err != nil {
+			return nil, nil, err
+		}
+		planned := make([]flit.Packet, perSource)
+		for i := range planned {
+			planned[i] = flit.Packet{Dst: flit.EndpointID(100 + (n+2)%3), Len: pktLen}
+		}
+		src, err := NewSource(fmt.Sprintf("src%d", n), flit.EndpointID(n), l, crs[0], bufDepth, planned)
+		if err != nil {
+			return nil, nil, err
+		}
+		eng.MustRegister(src)
+
+		sl, scrs := wire(fmt.Sprintf("ej%d", n))
+		if err := switches[n].ConnectOutput(1, sl, scrs, 4); err != nil {
+			return nil, nil, err
+		}
+		snk, err := NewSink(fmt.Sprintf("snk%d", n), flit.EndpointID(100+n), sl, scrs, uint64(perSource))
+		if err != nil {
+			return nil, nil, err
+		}
+		sinks = append(sinks, snk)
+		eng.MustRegister(snk)
+	}
+	for _, sw := range switches {
+		if err := sw.CheckWired(); err != nil {
+			return nil, nil, err
+		}
+		eng.MustRegister(sw)
+	}
+	return eng, sinks, nil
+}

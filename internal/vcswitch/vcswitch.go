@@ -1,0 +1,326 @@
+// Package vcswitch implements a virtual-channel NoC switch — the
+// framework's demonstration that the emulation platform can "emulate
+// different types of NoC and compare their features" (the paper's HW
+// part emulates "any NoC packet-switching intercommunication scheme").
+//
+// Each input port carries NumVC virtual channels, each with its own
+// FIFO and its own credit stream; an output physical channel is shared
+// by its NumVC output VCs, at most one flit per cycle. A packet claims
+// one output VC per hop (VC allocation at the head flit, held until the
+// tail), and a VCMap policy decides which VC the packet continues on —
+// the hook for dateline schemes that make cyclic topologies
+// deadlock-free, which TestDatelineBreaksRingDeadlock demonstrates
+// against the plain wormhole switch's deadlock.
+package vcswitch
+
+import (
+	"fmt"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/buffer"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+)
+
+// VCMap chooses the virtual channel a packet uses on its next hop.
+// inVC is the VC the head flit arrived on; outPort is the chosen output
+// port. A nil VCMap keeps inVC.
+type VCMap func(f *flit.Flit, inVC, outPort int) int
+
+// Dateline returns the classic ring dateline policy for the switch at
+// the given node: packets that leave through datelinePort move (and
+// stay) on VC 1; everything else keeps its VC. With two VCs this breaks
+// the cyclic channel dependency of a unidirectional ring.
+func Dateline(datelinePort int) VCMap {
+	return func(f *flit.Flit, inVC, outPort int) int {
+		if outPort == datelinePort {
+			return 1
+		}
+		return inVC
+	}
+}
+
+// Config parameterizes one virtual-channel switch.
+type Config struct {
+	Name          string
+	Node          topology.NodeID
+	NumIn, NumOut int
+	// NumVC is the virtual channels per physical port (>= 1).
+	NumVC int
+	// BufDepth is the per-VC FIFO depth.
+	BufDepth int
+	// Arb arbitrates the output physical channel among (input, VC)
+	// requestors.
+	Arb arb.Policy
+	// Table supplies route candidates (first candidate is used).
+	Table *routing.Table
+	// VCMap selects the outgoing VC per packet (nil keeps the VC).
+	VCMap VCMap
+}
+
+// vcRef addresses one (port, vc) pair; in = -1 marks "free".
+type vcRef struct {
+	in, vc int
+}
+
+var freeRef = vcRef{in: -1, vc: -1}
+
+// Stats snapshots a VC switch's counters.
+type Stats struct {
+	FlitsRouted   uint64
+	PacketsRouted uint64
+	// BlockedCycles counts head flits that could not advance (busy
+	// output VC, no credit, or lost arbitration).
+	BlockedCycles uint64
+}
+
+// Switch is a virtual-channel wormhole switch. It is an engine
+// component; wire it with ConnectInput/ConnectOutput.
+type Switch struct {
+	cfg Config
+
+	inBufs  [][]*buffer.FIFO     // [input][vc]
+	inLinks []*link.Link         // [input]
+	credOut [][]*link.CreditLink // [input][vc] credits returned upstream
+	outLink []*link.Link         // [output]
+	credIn  [][]*link.CreditLink // [output][vc] credits from downstream
+	credits [][]int              // [output][vc]
+	lock    [][]vcRef            // [output][vc] -> owning (in, vc)
+	route   [][]vcRef            // [input][vc] -> granted (outPort, outVC); -1 = unrouted
+	arbs    []arb.Arbiter        // per output, over NumIn*NumVC requestors
+	granted []bool               // scratch [input*vc]
+	reqOut  int
+	reqFn   arb.Requests
+
+	wiredIn, wiredOut int
+	stats             Stats
+}
+
+// New validates the configuration and builds the switch.
+func New(cfg Config) (*Switch, error) {
+	if cfg.Name == "" {
+		return nil, fmt.Errorf("vcswitch: empty name")
+	}
+	if cfg.NumIn < 1 || cfg.NumOut < 1 {
+		return nil, fmt.Errorf("vcswitch %s: %d inputs, %d outputs", cfg.Name, cfg.NumIn, cfg.NumOut)
+	}
+	if cfg.NumVC < 1 || cfg.NumVC > 256 {
+		return nil, fmt.Errorf("vcswitch %s: %d virtual channels", cfg.Name, cfg.NumVC)
+	}
+	if cfg.BufDepth < 1 {
+		return nil, fmt.Errorf("vcswitch %s: buffer depth %d", cfg.Name, cfg.BufDepth)
+	}
+	if cfg.Table == nil {
+		return nil, fmt.Errorf("vcswitch %s: nil routing table", cfg.Name)
+	}
+	s := &Switch{cfg: cfg}
+	s.inBufs = make([][]*buffer.FIFO, cfg.NumIn)
+	s.credOut = make([][]*link.CreditLink, cfg.NumIn)
+	s.route = make([][]vcRef, cfg.NumIn)
+	s.inLinks = make([]*link.Link, cfg.NumIn)
+	for i := 0; i < cfg.NumIn; i++ {
+		s.inBufs[i] = make([]*buffer.FIFO, cfg.NumVC)
+		s.route[i] = make([]vcRef, cfg.NumVC)
+		for v := 0; v < cfg.NumVC; v++ {
+			s.inBufs[i][v] = buffer.MustNew(fmt.Sprintf("%s/in%d.vc%d", cfg.Name, i, v), cfg.BufDepth)
+			s.route[i][v] = freeRef
+		}
+	}
+	s.outLink = make([]*link.Link, cfg.NumOut)
+	s.credIn = make([][]*link.CreditLink, cfg.NumOut)
+	s.credits = make([][]int, cfg.NumOut)
+	s.lock = make([][]vcRef, cfg.NumOut)
+	s.arbs = make([]arb.Arbiter, cfg.NumOut)
+	for o := 0; o < cfg.NumOut; o++ {
+		s.credits[o] = make([]int, cfg.NumVC)
+		s.lock[o] = make([]vcRef, cfg.NumVC)
+		for v := 0; v < cfg.NumVC; v++ {
+			s.lock[o][v] = freeRef
+		}
+		a, err := arb.New(cfg.Arb, cfg.NumIn*cfg.NumVC)
+		if err != nil {
+			return nil, fmt.Errorf("vcswitch %s: %w", cfg.Name, err)
+		}
+		s.arbs[o] = a
+	}
+	s.granted = make([]bool, cfg.NumIn*cfg.NumVC)
+	s.reqFn = func(r int) bool {
+		i, v := r/s.cfg.NumVC, r%s.cfg.NumVC
+		if s.granted[r] || s.inBufs[i][v].Peek() == nil {
+			return false
+		}
+		rt := s.route[i][v]
+		return rt.in == s.reqOut && s.credits[rt.in][rt.vc] > 0
+	}
+	return s, nil
+}
+
+// ComponentName implements engine.Component.
+func (s *Switch) ComponentName() string { return s.cfg.Name }
+
+// BufDepth returns the per-VC buffer depth (upstream initial credits).
+func (s *Switch) BufDepth() int { return s.cfg.BufDepth }
+
+// NumVC returns the virtual channel count.
+func (s *Switch) NumVC() int { return s.cfg.NumVC }
+
+// ConnectInput wires input i: one flit link plus one credit wire per
+// VC.
+func (s *Switch) ConnectInput(i int, in *link.Link, creditBack []*link.CreditLink) error {
+	if i < 0 || i >= s.cfg.NumIn {
+		return fmt.Errorf("vcswitch %s: input %d out of range", s.cfg.Name, i)
+	}
+	if s.inLinks[i] != nil {
+		return fmt.Errorf("vcswitch %s: input %d already wired", s.cfg.Name, i)
+	}
+	if in == nil || len(creditBack) != s.cfg.NumVC {
+		return fmt.Errorf("vcswitch %s: input %d needs a link and %d credit wires", s.cfg.Name, i, s.cfg.NumVC)
+	}
+	for _, c := range creditBack {
+		if c == nil {
+			return fmt.Errorf("vcswitch %s: input %d nil credit wire", s.cfg.Name, i)
+		}
+	}
+	s.inLinks[i] = in
+	s.credOut[i] = append([]*link.CreditLink(nil), creditBack...)
+	s.wiredIn++
+	return nil
+}
+
+// ConnectOutput wires output o: one flit link plus one credit wire and
+// initial credit count per VC.
+func (s *Switch) ConnectOutput(o int, out *link.Link, creditIn []*link.CreditLink, initialCredits int) error {
+	if o < 0 || o >= s.cfg.NumOut {
+		return fmt.Errorf("vcswitch %s: output %d out of range", s.cfg.Name, o)
+	}
+	if s.outLink[o] != nil {
+		return fmt.Errorf("vcswitch %s: output %d already wired", s.cfg.Name, o)
+	}
+	if out == nil || len(creditIn) != s.cfg.NumVC {
+		return fmt.Errorf("vcswitch %s: output %d needs a link and %d credit wires", s.cfg.Name, o, s.cfg.NumVC)
+	}
+	if initialCredits < 1 {
+		return fmt.Errorf("vcswitch %s: output %d with %d credits", s.cfg.Name, o, initialCredits)
+	}
+	s.outLink[o] = out
+	s.credIn[o] = append([]*link.CreditLink(nil), creditIn...)
+	for v := 0; v < s.cfg.NumVC; v++ {
+		s.credits[o][v] = initialCredits
+	}
+	s.wiredOut++
+	return nil
+}
+
+// CheckWired verifies all ports are connected.
+func (s *Switch) CheckWired() error {
+	if s.wiredIn != s.cfg.NumIn || s.wiredOut != s.cfg.NumOut {
+		return fmt.Errorf("vcswitch %s: %d/%d inputs, %d/%d outputs wired",
+			s.cfg.Name, s.wiredIn, s.cfg.NumIn, s.wiredOut, s.cfg.NumOut)
+	}
+	return nil
+}
+
+// Tick implements engine.Component.
+func (s *Switch) Tick(cycle uint64) {
+	// Collect per-VC credits.
+	for o := range s.credIn {
+		for v, c := range s.credIn[o] {
+			s.credits[o][v] += int(c.Take())
+		}
+	}
+	// Accept arrivals into the tagged VC buffer.
+	for i, in := range s.inLinks {
+		if f := in.Take(); f != nil {
+			v := int(f.VC)
+			if v >= s.cfg.NumVC {
+				panic(fmt.Sprintf("vcswitch %s: flit on VC %d of %d", s.cfg.Name, v, s.cfg.NumVC))
+			}
+			if err := s.inBufs[i][v].Push(f); err != nil {
+				panic(fmt.Sprintf("vcswitch %s: %v", s.cfg.Name, err))
+			}
+		}
+	}
+	// Route computation + VC allocation for new heads.
+	for i := range s.inBufs {
+		for v, q := range s.inBufs[i] {
+			f := q.Peek()
+			if f == nil || s.route[i][v] != freeRef {
+				continue
+			}
+			if !f.Kind.IsHead() {
+				panic(fmt.Sprintf("vcswitch %s: unrouted %s flit at head", s.cfg.Name, f.Kind))
+			}
+			cands, err := s.cfg.Table.Lookup(s.cfg.Node, f.Dst)
+			if err != nil {
+				panic(fmt.Sprintf("vcswitch %s: %v", s.cfg.Name, err))
+			}
+			outPort := cands[0]
+			outVC := v
+			if s.cfg.VCMap != nil {
+				outVC = s.cfg.VCMap(f, v, outPort)
+			}
+			if outVC < 0 || outVC >= s.cfg.NumVC {
+				panic(fmt.Sprintf("vcswitch %s: VC map returned %d", s.cfg.Name, outVC))
+			}
+			// VC allocation: claim the output VC if free.
+			if s.lock[outPort][outVC] != freeRef {
+				continue // try again next cycle; counted as blocked below
+			}
+			s.lock[outPort][outVC] = vcRef{in: i, vc: v}
+			s.route[i][v] = vcRef{in: outPort, vc: outVC}
+		}
+	}
+	// Switch allocation: one flit per output physical channel.
+	for r := range s.granted {
+		s.granted[r] = false
+	}
+	for o, out := range s.outLink {
+		s.reqOut = o
+		r, ok := s.arbs[o].Grant(s.reqFn)
+		if !ok || out.Busy() {
+			continue
+		}
+		i, v := r/s.cfg.NumVC, r%s.cfg.NumVC
+		rt := s.route[i][v]
+		f := s.inBufs[i][v].Pop()
+		if f == nil {
+			panic(fmt.Sprintf("vcswitch %s: pop failed after grant", s.cfg.Name))
+		}
+		f.VC = uint8(rt.vc)
+		if err := out.Send(f); err != nil {
+			panic(fmt.Sprintf("vcswitch %s: %v", s.cfg.Name, err))
+		}
+		s.credits[o][rt.vc]--
+		s.credOut[i][v].Send(1)
+		s.granted[r] = true
+		s.stats.FlitsRouted++
+		if f.Kind.IsTail() {
+			s.stats.PacketsRouted++
+			s.lock[o][rt.vc] = freeRef
+			s.route[i][v] = freeRef
+		}
+	}
+	// Blocked accounting: any buffered head that did not move.
+	for i := range s.inBufs {
+		for v, q := range s.inBufs[i] {
+			if q.Peek() != nil && !s.granted[i*s.cfg.NumVC+v] {
+				q.MarkBlocked()
+				s.stats.BlockedCycles++
+			}
+		}
+	}
+}
+
+// Commit implements engine.Component.
+func (s *Switch) Commit(cycle uint64) {
+	for i := range s.inBufs {
+		for _, q := range s.inBufs[i] {
+			q.Commit(cycle)
+		}
+	}
+}
+
+// Stats returns the counters.
+func (s *Switch) Stats() Stats { return s.stats }

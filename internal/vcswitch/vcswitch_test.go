@@ -1,0 +1,366 @@
+package vcswitch
+
+import (
+	"fmt"
+	"testing"
+
+	"nocemu/internal/arb"
+	"nocemu/internal/engine"
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+	"nocemu/internal/traffic"
+
+	"nocemu/internal/platform"
+	"nocemu/internal/receptor"
+)
+
+func TestNewValidation(t *testing.T) {
+	tb := routing.NewTable(1)
+	bad := []Config{
+		{Name: "", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
+		{Name: "s", NumIn: 0, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
+		{Name: "s", NumIn: 1, NumOut: 0, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
+		{Name: "s", NumIn: 1, NumOut: 1, NumVC: 0, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
+		{Name: "s", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 0, Arb: arb.RoundRobin, Table: tb},
+		{Name: "s", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: nil},
+		{Name: "s", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.Policy("x"), Table: tb},
+	}
+	for i, cfg := range bad {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+	s, err := New(Config{Name: "s", NumIn: 2, NumOut: 2, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.NumVC() != 2 || s.BufDepth() != 2 {
+		t.Error("accessors wrong")
+	}
+	if err := s.CheckWired(); err == nil {
+		t.Error("unwired switch passed CheckWired")
+	}
+}
+
+// wireVC creates a flit link plus one credit wire per VC, registering
+// everything with the engine.
+func wireVC(eng *engine.Engine, name string, numVC int) (*link.Link, []*link.CreditLink) {
+	l := link.NewLink(name)
+	eng.MustRegister(l)
+	crs := make([]*link.CreditLink, numVC)
+	for v := range crs {
+		crs[v] = link.NewCreditLink(fmt.Sprintf("%s.cr%d", name, v))
+		eng.MustRegister(crs[v])
+	}
+	return l, crs
+}
+
+func plan(dst flit.EndpointID, n int, length uint16) []flit.Packet {
+	out := make([]flit.Packet, n)
+	for i := range out {
+		out[i] = flit.Packet{Dst: dst, Len: length}
+	}
+	return out
+}
+
+// buildShared wires two sources through one 2-in/1-out VC switch into a
+// sink, with a VC map that puts each source on its own output VC.
+func buildShared(t *testing.T, numVC int, vcmap VCMap, perSrc int, length uint16) (*engine.Engine, *Sink, *Switch) {
+	t.Helper()
+	eng := engine.New()
+	tb := routing.NewTable(1)
+	if err := tb.Set(0, 100, []int{0}); err != nil {
+		t.Fatal(err)
+	}
+	sw, err := New(Config{
+		Name: "vs0", Node: 0, NumIn: 2, NumOut: 1, NumVC: numVC,
+		BufDepth: 4, Arb: arb.RoundRobin, Table: tb, VCMap: vcmap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		l, crs := wireVC(eng, fmt.Sprintf("inj%d", i), numVC)
+		if err := sw.ConnectInput(i, l, crs); err != nil {
+			t.Fatal(err)
+		}
+		src, err := NewSource(fmt.Sprintf("src%d", i), flit.EndpointID(i+1), l, crs[0],
+			sw.BufDepth(), plan(100, perSrc, length))
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng.MustRegister(src)
+	}
+	outL, outCrs := wireVC(eng, "out", numVC)
+	if err := sw.ConnectOutput(0, outL, outCrs, 4); err != nil {
+		t.Fatal(err)
+	}
+	snk, err := NewSink("snk", 100, outL, outCrs, uint64(2*perSrc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sw.CheckWired(); err != nil {
+		t.Fatal(err)
+	}
+	eng.MustRegister(sw)
+	eng.MustRegister(snk)
+	return eng, snk, sw
+}
+
+func TestVCDelivery(t *testing.T) {
+	eng, snk, sw := buildShared(t, 2, nil, 10, 4)
+	if _, stopped := eng.RunUntil(10_000); !stopped {
+		t.Fatal("did not finish")
+	}
+	flits, packets := snk.Received()
+	if packets != 20 || flits != 80 {
+		t.Errorf("received %d packets / %d flits", packets, flits)
+	}
+	st := sw.Stats()
+	if st.FlitsRouted != 80 || st.PacketsRouted != 20 {
+		t.Errorf("switch stats = %+v", st)
+	}
+}
+
+func TestVCInterleavingOnSharedChannel(t *testing.T) {
+	// Source endpoints 1 and 2 get distinct output VCs: their long
+	// packets must interleave flit-by-flit on the shared physical
+	// channel — impossible on the plain wormhole switch.
+	bySrc := func(f *flit.Flit, inVC, outPort int) int {
+		return int(f.Src) - 1
+	}
+	eng, snk, _ := buildShared(t, 2, bySrc, 4, 16)
+	if _, stopped := eng.RunUntil(10_000); !stopped {
+		t.Fatal("did not finish")
+	}
+	// Look for a switch of owning packet mid-stream where neither
+	// packet is finished: direct evidence of interleaving.
+	seen := map[flit.PacketID]int{}
+	interleaved := false
+	for _, id := range snk.Order {
+		seen[id]++
+		for other, cnt := range seen {
+			if other != id && cnt > 0 && cnt < 16 && seen[id] > 0 && seen[id] < 16 {
+				interleaved = true
+			}
+		}
+	}
+	if !interleaved {
+		t.Error("no flit interleaving observed across VCs")
+	}
+	if _, packets := snk.Received(); packets != 8 {
+		t.Errorf("packets = %d", packets)
+	}
+}
+
+func TestWormholeDoesNotInterleaveBaseline(t *testing.T) {
+	// Sanity check of the comparison claim: on the single-VC switch the
+	// same traffic never interleaves packets on one output.
+	eng, snk, _ := buildShared(t, 1, nil, 4, 16)
+	if _, stopped := eng.RunUntil(10_000); !stopped {
+		t.Fatal("did not finish")
+	}
+	count := map[flit.PacketID]int{}
+	var open flit.PacketID
+	for _, id := range snk.Order {
+		if count[open] > 0 && count[open] < 16 && id != open {
+			t.Fatal("single-VC switch interleaved packets")
+		}
+		count[id]++
+		open = id
+	}
+}
+
+// TestDatelineBreaksRingDeadlock is the headline VC demonstration: the
+// cyclic ring that deadlocks a single-VC wormhole network completes
+// with two virtual channels and a dateline.
+func TestDatelineBreaksRingDeadlock(t *testing.T) {
+	// Single VC: wedges (long packets, tiny buffers, cyclic routes).
+	eng1, sinks1, err := Ring3(1, false, 10, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := eng1.RunUntil(50_000); stopped {
+		t.Fatal("single-VC ring unexpectedly completed")
+	}
+	var delivered uint64
+	for _, s := range sinks1 {
+		_, p := s.Received()
+		delivered += p
+	}
+	if delivered >= 30 {
+		t.Fatalf("single-VC ring delivered everything (%d)", delivered)
+	}
+
+	// Two VCs + dateline: completes.
+	eng2, sinks2, err := Ring3(2, true, 10, 16, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := eng2.RunUntil(50_000); !stopped {
+		t.Fatal("dateline ring did not complete")
+	}
+	for i, s := range sinks2 {
+		if _, p := s.Received(); p != 10 {
+			t.Errorf("sink %d received %d packets", i, p)
+		}
+	}
+}
+
+// TestVCMatchesWormholeOnPaperTraffic cross-checks the VC switch at
+// NumVC=1 against the production wormhole switch on a shared 2:1
+// contention pattern: same deliveries.
+func TestVCMatchesWormholeOnPaperTraffic(t *testing.T) {
+	// VC switch, 1 VC.
+	engV, snkV, _ := buildShared(t, 1, nil, 25, 5)
+	if _, stopped := engV.RunUntil(20_000); !stopped {
+		t.Fatal("vc run did not finish")
+	}
+	fV, pV := snkV.Received()
+
+	// Plain wormhole switch, same traffic, via the platform builder.
+	topo, err := topology.New("t", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSource(2, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := topo.AddSink(100, 0); err != nil {
+		t.Fatal(err)
+	}
+	mk := func(ep flit.EndpointID) platform.TGSpec {
+		return platform.TGSpec{
+			Endpoint: ep, Model: platform.ModelUniform, Limit: 25,
+			Uniform: &traffic.UniformConfig{
+				LenMin: 5, LenMax: 5, GapMin: 0, GapMax: 0,
+				Dst: traffic.DstConfig{Policy: traffic.DstFixed, Dsts: []flit.EndpointID{100}},
+			},
+		}
+	}
+	p, err := platform.Build(platform.Config{
+		Name: "wh", Topology: topo, SwitchBufDepth: 4,
+		TGs: []platform.TGSpec{mk(1), mk(2)},
+		TRs: []platform.TRSpec{{Endpoint: 100, Mode: receptor.Stochastic, ExpectPackets: 50}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, stopped := p.Run(20_000); !stopped {
+		t.Fatal("wormhole run did not finish")
+	}
+	if pV != 50 || p.Totals().PacketsReceived != 50 {
+		t.Errorf("packets: vc=%d wormhole=%d", pV, p.Totals().PacketsReceived)
+	}
+	if fV != 250 || p.Totals().FlitsReceived != 250 {
+		t.Errorf("flits: vc=%d wormhole=%d", fV, p.Totals().FlitsReceived)
+	}
+}
+
+func TestEndpointValidation(t *testing.T) {
+	l := link.NewLink("l")
+	cr := link.NewCreditLink("c")
+	if _, err := NewSource("", 0, l, cr, 2, nil); err == nil {
+		t.Error("empty source name accepted")
+	}
+	if _, err := NewSource("s", 0, nil, cr, 2, nil); err == nil {
+		t.Error("nil source link accepted")
+	}
+	if _, err := NewSource("s", 0, l, nil, 2, nil); err == nil {
+		t.Error("nil source credit accepted")
+	}
+	if _, err := NewSource("s", 0, l, cr, 0, nil); err == nil {
+		t.Error("zero credits accepted")
+	}
+	if _, err := NewSink("", 9, l, []*link.CreditLink{cr}, 1); err == nil {
+		t.Error("empty sink name accepted")
+	}
+	if _, err := NewSink("k", 9, nil, []*link.CreditLink{cr}, 1); err == nil {
+		t.Error("nil sink link accepted")
+	}
+	if _, err := NewSink("k", 9, l, nil, 1); err == nil {
+		t.Error("no sink credit wires accepted")
+	}
+	if _, err := NewSink("k", 9, l, []*link.CreditLink{nil}, 1); err == nil {
+		t.Error("nil sink credit wire accepted")
+	}
+	src, err := NewSource("s", 0, l, cr, 2, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.ComponentName() != "s" || !src.Done() {
+		t.Error("empty-plan source not done")
+	}
+	src.Commit(0)
+}
+
+func TestConnectErrors(t *testing.T) {
+	tb := routing.NewTable(1)
+	s, err := New(Config{Name: "s", NumIn: 1, NumOut: 1, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := link.NewLink("l")
+	one := []*link.CreditLink{link.NewCreditLink("c0")}
+	two := []*link.CreditLink{link.NewCreditLink("c0"), link.NewCreditLink("c1")}
+	if err := s.ConnectInput(5, l, two); err == nil {
+		t.Error("out-of-range input accepted")
+	}
+	if err := s.ConnectInput(0, l, one); err == nil {
+		t.Error("wrong credit count accepted")
+	}
+	if err := s.ConnectInput(0, l, []*link.CreditLink{nil, nil}); err == nil {
+		t.Error("nil credit wires accepted")
+	}
+	if err := s.ConnectInput(0, l, two); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectInput(0, l, two); err == nil {
+		t.Error("double input wiring accepted")
+	}
+	ol := link.NewLink("ol")
+	otwo := []*link.CreditLink{link.NewCreditLink("o0"), link.NewCreditLink("o1")}
+	if err := s.ConnectOutput(9, ol, otwo, 2); err == nil {
+		t.Error("out-of-range output accepted")
+	}
+	if err := s.ConnectOutput(0, ol, otwo[:1], 2); err == nil {
+		t.Error("wrong output credit count accepted")
+	}
+	if err := s.ConnectOutput(0, ol, otwo, 0); err == nil {
+		t.Error("zero credits accepted")
+	}
+	if err := s.ConnectOutput(0, ol, otwo, 2); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ConnectOutput(0, ol, otwo, 2); err == nil {
+		t.Error("double output wiring accepted")
+	}
+	if err := s.CheckWired(); err != nil {
+		t.Errorf("wired switch rejected: %v", err)
+	}
+}
+
+func TestRing3Validation(t *testing.T) {
+	if _, _, err := Ring3(1, false, 0, 1, 2); err == nil {
+		t.Error("zero packets accepted")
+	}
+	if _, _, err := Ring3(1, false, 1, 0, 2); err == nil {
+		t.Error("zero length accepted")
+	}
+	// Default buffer depth kicks in for bufDepth < 1.
+	eng, sinks, err := Ring3(2, true, 1, 1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, done := eng.RunUntil(1_000); !done {
+		t.Error("tiny dateline run did not finish")
+	}
+	if len(sinks) != 3 {
+		t.Errorf("sinks = %d", len(sinks))
+	}
+}

@@ -1,0 +1,229 @@
+// Package nocemu is a complete network-on-chip emulation framework in
+// Go — a reproduction of "A Complete Network-On-Chip Emulation
+// Framework" (Genko, Atienza, De Micheli, Mendias, Hermida, Catthoor —
+// DATE 2005).
+//
+// The framework emulates packet-switched NoCs built from
+// parameterizable wormhole switches (number of inputs, number of
+// outputs, buffer size), driven by stochastic (uniform, burst/Markov,
+// Poisson) or trace-driven traffic generators and observed by
+// stochastic (histograms, running time) or trace-driven (latency
+// analyzer, congestion counter) traffic receptors. A memory-mapped bus
+// system (4 internal buses x 1024 devices) exposes every device's
+// parameter and statistics registers to a control processor, so
+// emulation parameters change in software with no platform rebuild —
+// the paper's answer to hardware re-synthesis cost.
+//
+// Three interchangeable backends run the same platform:
+//
+//   - the emulation engine (static two-phase schedule — the FPGA
+//     stand-in, fastest);
+//   - a SystemC-like kernel (dynamic event calendar over the same
+//     components);
+//   - an RTL-like kernel (signal-level events with delta cycles).
+//
+// Basic use:
+//
+//	cfg, _ := nocemu.PaperConfig(nocemu.PaperOptions{PacketsPerTG: 1000})
+//	p, _ := nocemu.Build(cfg)
+//	p.Run(1_000_000)
+//	nocemu.WriteReport(os.Stdout, p, nil)
+//
+// or drive the paper's full six-step flow with Run. The examples/
+// directory holds runnable scenarios and cmd/nocbench regenerates every
+// table and figure of the paper.
+package nocemu
+
+import (
+	"io"
+
+	"nocemu/internal/bus"
+	"nocemu/internal/control"
+	"nocemu/internal/fault"
+	"nocemu/internal/flit"
+	"nocemu/internal/flow"
+	"nocemu/internal/link"
+	"nocemu/internal/monitor"
+	"nocemu/internal/platform"
+	"nocemu/internal/receptor"
+	"nocemu/internal/resource"
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+	"nocemu/internal/trace"
+	"nocemu/internal/traffic"
+)
+
+// Core platform types.
+type (
+	// Config describes a complete emulation platform.
+	Config = platform.Config
+	// Platform is a built, runnable emulation platform.
+	Platform = platform.Platform
+	// TGSpec configures one traffic generator.
+	TGSpec = platform.TGSpec
+	// TRSpec configures one traffic receptor.
+	TRSpec = platform.TRSpec
+	// RouteOverride pins the route for one (switch, destination) pair.
+	RouteOverride = platform.RouteOverride
+	// Totals is the aggregate statistics snapshot.
+	Totals = platform.Totals
+	// PaperOptions parameterizes the paper's reference platform.
+	PaperOptions = platform.PaperOptions
+	// EndpointID addresses a traffic device in the network.
+	EndpointID = flit.EndpointID
+	// Topology is the switch graph with endpoint attachments.
+	Topology = topology.Topology
+	// NodeID identifies a switch.
+	NodeID = topology.NodeID
+	// Trace is a recorded traffic trace.
+	Trace = trace.Trace
+	// Program is emulation software for the control processor.
+	Program = control.Program
+	// Instr is one program instruction.
+	Instr = control.Instr
+	// RunReport is the outcome of a six-step flow run.
+	RunReport = flow.RunReport
+	// FlowOptions tunes a flow run.
+	FlowOptions = flow.Options
+	// SynthesisReport is the FPGA area estimate.
+	SynthesisReport = resource.Report
+	// Addr is a register address on the internal buses.
+	Addr = bus.Addr
+	// FaultSpec activates one link fault for a cycle window.
+	FaultSpec = fault.Spec
+	// Watchdog aborts runs that stop making progress (deadlock).
+	Watchdog = platform.Watchdog
+)
+
+// Link fault modes for FaultSpec.Mode.
+const (
+	// FaultStuck holds the link: flits are delayed, never lost.
+	FaultStuck = link.FaultStuck
+	// FaultCorrupt flips payload bits; receivers detect the checksum
+	// mismatch.
+	FaultCorrupt = link.FaultCorrupt
+)
+
+// MakeAddr assembles a bus register address.
+func MakeAddr(busNo, dev, reg uint32) Addr { return bus.MakeAddr(busNo, dev, reg) }
+
+// Traffic model configuration types.
+type (
+	// UniformConfig parameterizes the uniform traffic model.
+	UniformConfig = traffic.UniformConfig
+	// BurstConfig parameterizes the 2-state Markov burst model.
+	BurstConfig = traffic.BurstConfig
+	// PoissonConfig parameterizes the Poisson model.
+	PoissonConfig = traffic.PoissonConfig
+	// DstConfig selects packet destinations.
+	DstConfig = traffic.DstConfig
+	// BurstTraceConfig shapes a synthetic burst trace.
+	BurstTraceConfig = trace.BurstConfig
+	// CBRTraceConfig shapes a synthetic constant-bit-rate trace.
+	CBRTraceConfig = trace.CBRConfig
+)
+
+// Traffic generator model names for TGSpec.Model.
+const (
+	ModelUniform = platform.ModelUniform
+	ModelBurst   = platform.ModelBurst
+	ModelPoisson = platform.ModelPoisson
+	ModelTrace   = platform.ModelTrace
+)
+
+// Receptor modes for TRSpec.Mode.
+const (
+	Stochastic  = receptor.Stochastic
+	TraceDriven = receptor.TraceDriven
+)
+
+// Destination policies for DstConfig.Policy.
+const (
+	DstFixed      = traffic.DstFixed
+	DstUniform    = traffic.DstUniform
+	DstRoundRobin = traffic.DstRoundRobin
+)
+
+// Route selection policies for Config.Select.
+const (
+	SelectFirst        = routing.First
+	SelectPacketModulo = routing.PacketModulo
+	SelectRandom       = routing.Random
+	SelectAdaptive     = routing.Adaptive
+)
+
+// Paper reference traffic flavors for PaperOptions.Traffic.
+const (
+	PaperUniform = platform.PaperUniform
+	PaperBurst   = platform.PaperBurst
+	PaperPoisson = platform.PaperPoisson
+	PaperTrace   = platform.PaperTrace
+)
+
+// Build compiles a platform from its configuration (the paper's
+// "platform compilation" step).
+func Build(cfg Config) (*Platform, error) { return platform.Build(cfg) }
+
+// PaperConfig returns the configuration of the paper's experimental
+// setup: 6 switches, 4 TGs at 45% load, 4 TRs, two 90%-loaded links.
+func PaperConfig(opts PaperOptions) (Config, error) { return platform.PaperConfig(opts) }
+
+// BuildPaper builds the reference platform directly.
+func BuildPaper(opts PaperOptions) (*Platform, error) { return platform.BuildPaper(opts) }
+
+// Run executes the paper's six-step emulation flow: platform
+// compilation, synthesis estimate, initialization, software
+// compilation, emulation, report.
+func Run(cfg Config, prog Program, opt FlowOptions) (*RunReport, error) {
+	return flow.Run(cfg, prog, opt)
+}
+
+// Synthesize estimates the platform's FPGA area (Table 1 of the paper).
+func Synthesize(p *Platform) (*SynthesisReport, error) {
+	return resource.Estimate(p, resource.VirtexIIPro)
+}
+
+// WriteReport renders the post-emulation report (the paper's monitor
+// output). syn may be nil.
+func WriteReport(w io.Writer, p *Platform, syn *SynthesisReport) error {
+	return monitor.WriteReport(w, p, syn)
+}
+
+// WriteHistograms renders every receptor histogram as ASCII art.
+func WriteHistograms(w io.Writer, p *Platform, width int) error {
+	return monitor.WriteHistograms(w, p, width)
+}
+
+// WriteJSON emits the platform snapshot as JSON.
+func WriteJSON(w io.Writer, p *Platform) error { return monitor.WriteJSON(w, p) }
+
+// Topology constructors.
+var (
+	// NewTopology returns an empty topology over n switches.
+	NewTopology = topology.New
+	// Line, Ring, Mesh, Torus, Star build standard shapes.
+	Line           = topology.Line
+	Ring           = topology.Ring
+	Mesh           = topology.Mesh
+	Torus          = topology.Torus
+	Star           = topology.Star
+	Tree           = topology.Tree
+	TreeLeaves     = topology.TreeLeaves
+	FullyConnected = topology.FullyConnected
+	// PaperSix is the paper's 6-switch experimental topology.
+	PaperSix = topology.PaperSix
+)
+
+// Trace helpers.
+var (
+	// ReadTrace and WriteTrace handle the text trace format;
+	// ReadTraceBinary/WriteTraceBinary the binary one.
+	ReadTrace        = trace.Read
+	WriteTrace       = trace.Write
+	ReadTraceBinary  = trace.ReadBinary
+	WriteTraceBinary = trace.WriteBinary
+	// SynthBurstTrace and SynthCBRTrace generate synthetic application
+	// traces.
+	SynthBurstTrace = trace.SynthBurst
+	SynthCBRTrace   = trace.SynthCBR
+)
