@@ -1,0 +1,27 @@
+# Tier-1: the build/test gate every change must keep green.
+.PHONY: test
+test:
+	go build ./...
+	go test ./...
+
+# Tier-1.5: race-detector pass over the concurrency-bearing packages.
+# The parallel kernel's determinism property tests run the full worker
+# matrix under -race here; slower than tier-1, so a separate target.
+.PHONY: race
+race:
+	go test -race ./internal/engine/... ./internal/platform/...
+
+# Full race sweep (everything, including the root-package experiment
+# tests). Slow; for pre-release checks.
+.PHONY: race-all
+race-all:
+	go test -race ./...
+
+.PHONY: bench
+bench:
+	go test -bench=. -benchmem ./...
+
+.PHONY: vet
+vet:
+	go vet ./...
+	gofmt -l .

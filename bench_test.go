@@ -7,6 +7,7 @@
 package nocemu_test
 
 import (
+	"fmt"
 	"testing"
 
 	"nocemu/internal/arb"
@@ -37,6 +38,7 @@ func BenchmarkTable1Resources(b *testing.B) {
 func benchCycles(b *testing.B, cycles uint64, run func(b *testing.B) func(uint64)) {
 	b.Helper()
 	step := run(b)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		step(cycles)
@@ -60,6 +62,33 @@ func BenchmarkTable2Emulator(b *testing.B) {
 		}
 		return p.RunCycles
 	})
+}
+
+// BenchmarkTable2EmulatorParallel measures the two-phase engine under
+// the sharded parallel kernel — the software analogue of the FPGA
+// evaluating every device concurrently. Statistics are bit-identical to
+// the sequential engine for every worker count; only the cycles/s
+// metric moves. Compare against BenchmarkTable2Emulator (see
+// EXPERIMENTS.md for the recommended sweep).
+func BenchmarkTable2EmulatorParallel(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		workers := workers
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			benchCycles(b, 50_000, func(b *testing.B) func(uint64) {
+				cfg, err := platform.PaperConfig(platform.PaperOptions{})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cfg.Workers = workers
+				p, err := platform.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.Cleanup(p.Close)
+				return p.RunCycles
+			})
+		})
+	}
 }
 
 // BenchmarkTable2SystemCLike measures the dynamic event-calendar

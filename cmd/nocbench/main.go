@@ -21,22 +21,27 @@ import (
 
 func main() {
 	var (
-		exps   = flag.String("exp", "t1,t2,f1,f2,f3,f4,scale,sat,vc,buf", "comma-separated experiments to run (t1,t2,f1..f4,scale,sat,vc,buf)")
-		csvDir = flag.String("csv", "", "directory to write figure series as CSV")
+		exps    = flag.String("exp", "t1,t2,f1,f2,f3,f4,scale,sat,vc,buf", "comma-separated experiments to run (t1,t2,f1..f4,scale,sat,vc,buf)")
+		csvDir  = flag.String("csv", "", "directory to write figure series as CSV")
+		workers = flag.Int("workers", 0, "add a parallel-kernel row to the t2 speed table with this many workers (0 = off)")
 	)
 	flag.Parse()
 
+	if *workers < 0 {
+		fmt.Fprintf(os.Stderr, "nocbench: negative worker count %d\n", *workers)
+		os.Exit(2)
+	}
 	selected := map[string]bool{}
 	for _, e := range strings.Split(*exps, ",") {
 		selected[strings.TrimSpace(e)] = true
 	}
-	if err := run(selected, *csvDir); err != nil {
+	if err := run(selected, *csvDir, *workers); err != nil {
 		fmt.Fprintln(os.Stderr, "nocbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(selected map[string]bool, csvDir string) error {
+func run(selected map[string]bool, csvDir string, workers int) error {
 	writeCSV := func(name string, series ...stats.Series) error {
 		if csvDir == "" {
 			return nil
@@ -62,7 +67,7 @@ func run(selected map[string]bool, csvDir string) error {
 	}
 	if selected["t2"] {
 		fmt.Println("=== Table 2: simulation speed comparison (slide 18) ===")
-		res, err := experiments.Table2(experiments.Table2Options{})
+		res, err := experiments.Table2(experiments.Table2Options{Workers: workers})
 		if err != nil {
 			return err
 		}

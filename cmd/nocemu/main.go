@@ -39,6 +39,7 @@ func main() {
 		bufDepth   = flag.Int("buf", 8, "switch input buffer depth (paper platform)")
 		seed       = flag.Uint("seed", 1, "platform seed")
 		cycles     = flag.Uint64("cycles", 10_000_000, "maximum emulated cycles")
+		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = sequential kernel; results are identical)")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of the text report")
 		hist       = flag.Bool("hist", false, "append receptor histograms")
 		noSynth    = flag.Bool("no-synthesis", false, "skip the FPGA area estimate")
@@ -55,6 +56,11 @@ func main() {
 		for i := range cfg.TRs {
 			cfg.TRs[i].RecordTrace = true
 		}
+	}
+	// Apply only when set so a JSON config's "workers" survives the
+	// flag default; negative values flow through to config validation.
+	if *workers != 0 {
+		cfg.Workers = *workers
 	}
 
 	rep, err := flow.Run(cfg, control.Program{}, flow.Options{

@@ -2,15 +2,21 @@
 // stands in for the FPGA fabric of the paper's emulation platform.
 //
 // The FPGA evaluates every emulated device in parallel once per clock
-// cycle. The kernel reproduces those semantics sequentially with a
-// two-phase protocol: in the Tick phase every component reads only
-// *committed* state (link outputs, buffer heads) and stages its writes;
-// in the Commit phase all staged writes become visible at once. The
-// result is independent of component evaluation order, exactly like
-// synchronous hardware, and is what makes the emulator fast: the
-// schedule is a static slice walked twice per cycle, with no dynamic
-// event management (the property the paper credits for its four orders
-// of magnitude over event-driven simulation).
+// cycle. The kernel reproduces those semantics with a two-phase
+// protocol: in the Tick phase every component reads only *committed*
+// state (link outputs, buffer heads) and stages its writes; in the
+// Commit phase all staged writes become visible at once. The result is
+// independent of component evaluation order, exactly like synchronous
+// hardware, and is what makes the emulator fast: the schedule is a
+// static slice walked twice per cycle, with no dynamic event management
+// (the property the paper credits for its four orders of magnitude over
+// event-driven simulation).
+//
+// Two kernels share that schedule. Engine walks it sequentially on the
+// caller's goroutine. ParallelEngine shards it over a persistent worker
+// pool and recovers the paper's other performance property — every
+// device evaluated concurrently within a phase — while producing
+// bit-identical results (see parallel.go).
 package engine
 
 import (
@@ -24,6 +30,14 @@ import (
 // During Tick a component may read committed inputs and stage outputs;
 // during Commit it must flip its staged state to committed. Components
 // must not observe other components' staged state.
+//
+// The parallel kernel relies on one further discipline, which every
+// component of the platform already obeys by construction: during a
+// phase, a component touches only its own state plus the disjoint
+// per-endpoint halves of the wires it is connected to (a link's
+// producer stages, its consumer takes). A component whose Tick instead
+// observes other components' state must additionally implement
+// SerialTicker.
 type Component interface {
 	// ComponentName returns a stable, human-readable instance name.
 	ComponentName() string
@@ -31,6 +45,21 @@ type Component interface {
 	Tick(cycle uint64)
 	// Commit makes the state staged during Tick visible.
 	Commit(cycle uint64)
+}
+
+// SerialTicker marks a component whose Tick reads state owned by other
+// components — e.g. a watchdog summing platform-wide statistics. The
+// parallel kernel evaluates such components alone on the coordinator,
+// after the sharded part of the Tick phase; the sequential kernel runs
+// them in registration order like any other component. The two kernels
+// produce identical results provided a SerialTicker is registered after
+// every component it observes (the platform registers watchdogs last)
+// and its Tick does not write state that other components read in the
+// same cycle.
+type SerialTicker interface {
+	Component
+	// TickSerially is a marker; implementations are empty.
+	TickSerially()
 }
 
 // Stopper is implemented by components that can request the end of the
@@ -48,12 +77,30 @@ type Aborter interface {
 	Aborted() bool
 }
 
+// Kernel is the run-control surface shared by the sequential Engine and
+// the ParallelEngine, letting callers hold either interchangeably.
+type Kernel interface {
+	Step()
+	Run(n uint64) uint64
+	RunUntil(maxCycles uint64) (executed uint64, stopped bool)
+	Cycle() uint64
+	Reset()
+}
+
 // Engine drives a set of components cycle by cycle.
 type Engine struct {
 	components []Component
 	names      map[string]int
-	cycle      uint64
-	running    bool
+	// stoppers and aborters cache the interface assertions at Register
+	// time so RunUntil (and the parallel kernel, which polls between
+	// cycles) never rebuilds them.
+	stoppers []Stopper
+	aborters []Aborter
+	// sortedNames caches the Names() result; namesStale marks it for a
+	// re-sort after a registration.
+	sortedNames []string
+	namesStale  bool
+	cycle       uint64
 }
 
 // New returns an empty engine at cycle zero.
@@ -82,6 +129,14 @@ func (e *Engine) Register(c Component) error {
 	}
 	e.names[name] = len(e.components)
 	e.components = append(e.components, c)
+	if s, ok := c.(Stopper); ok {
+		e.stoppers = append(e.stoppers, s)
+	}
+	if a, ok := c.(Aborter); ok {
+		e.aborters = append(e.aborters, a)
+	}
+	e.sortedNames = append(e.sortedNames, name)
+	e.namesStale = true
 	return nil
 }
 
@@ -102,14 +157,16 @@ func (e *Engine) Lookup(name string) (Component, bool) {
 	return e.components[i], true
 }
 
-// Names returns the registered component names in sorted order.
+// Names returns the registered component names in sorted order. The
+// sort is cached across calls and refreshed only after a registration;
+// the returned slice is a copy the caller may keep. No kernel path
+// calls Names per cycle — it is a construction/report-time accessor.
 func (e *Engine) Names() []string {
-	out := make([]string, 0, len(e.names))
-	for n := range e.names {
-		out = append(out, n)
+	if e.namesStale {
+		sort.Strings(e.sortedNames)
+		e.namesStale = false
 	}
-	sort.Strings(out)
-	return out
+	return append([]string(nil), e.sortedNames...)
 }
 
 // NumComponents returns the number of registered components.
@@ -120,6 +177,18 @@ func (e *Engine) NumComponents() int { return len(e.components) }
 // through their own kernels.
 func (e *Engine) Components() []Component {
 	return append([]Component(nil), e.components...)
+}
+
+// Stoppers returns the registered components that implement Stopper, in
+// registration order (the cached list, copied).
+func (e *Engine) Stoppers() []Stopper {
+	return append([]Stopper(nil), e.stoppers...)
+}
+
+// Aborters returns the registered components that implement Aborter, in
+// registration order (the cached list, copied).
+func (e *Engine) Aborters() []Aborter {
+	return append([]Aborter(nil), e.aborters...)
 }
 
 // Cycle returns the number of completed cycles.
@@ -146,40 +215,39 @@ func (e *Engine) Run(n uint64) uint64 {
 	return n
 }
 
+// pollStop evaluates the stop condition exactly as RunUntil does before
+// each cycle: any fired Aborter ends the run unstopped; otherwise the
+// run is stopped when there is at least one Stopper and all are done.
+// Both kernels share this predicate so their stop cycles are identical.
+func (e *Engine) pollStop() (stop, byStopper bool) {
+	for _, a := range e.aborters {
+		if a.Aborted() {
+			return true, false
+		}
+	}
+	if len(e.stoppers) == 0 {
+		return false, false
+	}
+	for _, s := range e.stoppers {
+		if !s.Done() {
+			return false, false
+		}
+	}
+	return true, true
+}
+
 // RunUntil steps the engine until every registered Stopper reports
 // Done, until any Aborter fires, or until maxCycles have elapsed since
 // the call. It returns the number of cycles executed and whether the
 // stop condition (rather than the cycle cap or an abort) ended the run.
 // An engine with no Stoppers runs to the cap.
 func (e *Engine) RunUntil(maxCycles uint64) (executed uint64, stopped bool) {
-	var stoppers []Stopper
-	var aborters []Aborter
-	for _, c := range e.components {
-		if s, ok := c.(Stopper); ok {
-			stoppers = append(stoppers, s)
-		}
-		if a, ok := c.(Aborter); ok {
-			aborters = append(aborters, a)
-		}
-	}
-	if len(stoppers) == 0 && len(aborters) == 0 {
+	if len(e.stoppers) == 0 && len(e.aborters) == 0 {
 		return e.Run(maxCycles), false
 	}
 	for executed < maxCycles {
-		for _, a := range aborters {
-			if a.Aborted() {
-				return executed, false
-			}
-		}
-		allDone := len(stoppers) > 0
-		for _, s := range stoppers {
-			if !s.Done() {
-				allDone = false
-				break
-			}
-		}
-		if allDone {
-			return executed, true
+		if stop, byStopper := e.pollStop(); stop {
+			return executed, byStopper
 		}
 		e.Step()
 		executed++

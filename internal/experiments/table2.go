@@ -42,6 +42,10 @@ type Table2Options struct {
 	EmuCycles uint64
 	TLMCycles uint64
 	RTLCycles uint64
+	// Workers, when > 0, appends a fourth row measuring the two-phase
+	// engine under the parallel kernel with that many workers (the
+	// software stand-in for the FPGA's all-devices-at-once evaluation).
+	Workers int
 }
 
 func (o *Table2Options) applyDefaults() {
@@ -61,16 +65,20 @@ func paperRefCfg() (platform.Config, error) {
 }
 
 // MeasureEmulatorRate runs the reference platform on the fast engine
-// for n cycles and returns cycles/second plus cycles/packet.
-func MeasureEmulatorRate(n uint64) (rate, cyclesPerPacket float64, err error) {
+// for n cycles and returns cycles/second plus cycles/packet. A workers
+// count > 0 selects the parallel kernel (statistics are identical; only
+// wall-clock speed changes).
+func MeasureEmulatorRate(n uint64, workers int) (rate, cyclesPerPacket float64, err error) {
 	cfg, err := paperRefCfg()
 	if err != nil {
 		return 0, 0, err
 	}
+	cfg.Workers = workers
 	p, err := platform.Build(cfg)
 	if err != nil {
 		return 0, 0, err
 	}
+	defer p.Close()
 	start := time.Now()
 	p.RunCycles(n)
 	el := time.Since(start)
@@ -123,7 +131,7 @@ func MeasureRTLRate(n uint64) (float64, error) {
 // workload sizes.
 func Table2(opt Table2Options) (*Table2Result, error) {
 	opt.applyDefaults()
-	emuRate, cpp, err := MeasureEmulatorRate(opt.EmuCycles)
+	emuRate, cpp, err := MeasureEmulatorRate(opt.EmuCycles, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -154,12 +162,19 @@ func Table2(opt Table2Options) (*Table2Result, error) {
 	add("emulation (two-phase engine)", emuRate, 50e6, "3.2 s", "3 min 20 s")
 	add("SystemC-like (event calendar)", tlmRate, 20e3, "2 h 13 min", "5 d 19 h")
 	add("RTL-like (signal events)", rtlRate, 3.2e3, "13 h 53 min", "36 d 4 h")
+	if opt.Workers > 0 {
+		parRate, _, err := MeasureEmulatorRate(opt.EmuCycles, opt.Workers)
+		if err != nil {
+			return nil, err
+		}
+		add(fmt.Sprintf("emulation (parallel, %d workers)", opt.Workers), parRate, 50e6, "3.2 s", "3 min 20 s")
+	}
 	return res, nil
 }
 
 // Speedups returns emulator/TLM and emulator/RTL speed ratios.
 func (r *Table2Result) Speedups() (overTLM, overRTL float64) {
-	if len(r.Rows) != 3 {
+	if len(r.Rows) < 3 {
 		return 0, 0
 	}
 	return r.Rows[0].CyclesPerSec / r.Rows[1].CyclesPerSec,

@@ -43,7 +43,9 @@ func (o *Options) applyDefaults() {
 
 // RunReport is the outcome of a full flow execution.
 type RunReport struct {
-	// Platform is the compiled platform (step 1), still queryable.
+	// Platform is the compiled platform (step 1), still queryable and
+	// runnable. When Config.Workers > 0 the caller owns its worker
+	// pool: call Platform.Close once done with it.
 	Platform *platform.Platform
 	// Synthesis is the step-2 estimate (nil when skipped).
 	Synthesis *resource.Report
@@ -78,16 +80,23 @@ func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, er
 		return nil, fmt.Errorf("flow: platform compilation: %w", err)
 	}
 
+	// On failure the platform never reaches the caller, so release its
+	// worker pool (a no-op for sequential platforms) before returning.
+	fail := func(err error) (*RunReport, error) {
+		p.Close()
+		return nil, err
+	}
+
 	// Step 2: physical synthesis.
 	var syn *resource.Report
 	if !opt.SkipSynthesis {
 		syn, err = resource.Estimate(p, opt.Target)
 		if err != nil {
-			return nil, fmt.Errorf("flow: synthesis: %w", err)
+			return fail(fmt.Errorf("flow: synthesis: %w", err))
 		}
 		if !syn.Fits() {
-			return nil, fmt.Errorf("flow: platform needs %d slices, target %s has %d",
-				syn.TotalSlices, syn.Target.Name, syn.Target.Slices)
+			return fail(fmt.Errorf("flow: platform needs %d slices, target %s has %d",
+				syn.TotalSlices, syn.Target.Name, syn.Target.Slices))
 		}
 	}
 
@@ -98,14 +107,14 @@ func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, er
 	}
 	compiled, err := control.Compile(prog, p.System())
 	if err != nil {
-		return nil, fmt.Errorf("flow: software compilation: %w", err)
+		return fail(fmt.Errorf("flow: software compilation: %w", err))
 	}
 
 	// Step 5: emulation.
 	start := time.Now()
 	res, err := p.Processor().Execute(compiled)
 	if err != nil {
-		return nil, fmt.Errorf("flow: emulation: %w", err)
+		return fail(fmt.Errorf("flow: emulation: %w", err))
 	}
 	wall := time.Since(start)
 

@@ -131,6 +131,9 @@ type File struct {
 	TGs            []TGSpec       `json:"tgs"`
 	TRs            []TRSpec       `json:"trs"`
 	Seed           uint32         `json:"seed,omitempty"`
+	// Workers selects the simulation kernel (0 = sequential, N >= 1 =
+	// parallel kernel with N workers; results are bit-identical).
+	Workers int `json:"workers,omitempty"`
 }
 
 // buildTopology materializes the topology spec.
@@ -219,6 +222,7 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 		Routing:        platform.RoutingScheme(f.Routing),
 		MeshWidth:      f.MeshWidth,
 		Seed:           f.Seed,
+		Workers:        f.Workers,
 	}
 	for _, ov := range f.Overrides {
 		cfg.Overrides = append(cfg.Overrides, platform.RouteOverride{

@@ -29,6 +29,8 @@ const (
 type Platform struct {
 	cfg   Config
 	eng   *engine.Engine
+	kern  engine.Kernel
+	par   *engine.ParallelEngine // non-nil when cfg.Workers > 0
 	sys   *bus.System
 	table *routing.Table
 
@@ -269,7 +271,18 @@ func Build(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 	}
-	proc, err := control.NewProcessor(p.sys, p.eng)
+	// Kernel selection: the sequential engine, or the sharded parallel
+	// kernel over the same component schedule (bit-identical results).
+	p.kern = p.eng
+	if cfg.Workers > 0 {
+		par, err := engine.NewParallel(p.eng, cfg.Workers)
+		if err != nil {
+			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		}
+		p.par = par
+		p.kern = par
+	}
+	proc, err := control.NewProcessor(p.sys, p.kern)
 	if err != nil {
 		return nil, err
 	}
@@ -346,8 +359,22 @@ func (p *Platform) Name() string { return p.cfg.Name }
 // from.
 func (p *Platform) Config() Config { return p.cfg }
 
-// Engine returns the cycle engine.
+// Engine returns the cycle engine (registry and cycle counter; with
+// Workers > 0 the run-control entry points are on Kernel instead).
 func (p *Platform) Engine() *engine.Engine { return p.eng }
+
+// Kernel returns the run-control kernel the platform executes on: the
+// engine itself, or the parallel kernel when Config.Workers > 0.
+func (p *Platform) Kernel() engine.Kernel { return p.kern }
+
+// Close releases the worker pool of a parallel platform. It is a no-op
+// for sequential platforms and is idempotent; the platform must not be
+// run after Close (statistics stay readable).
+func (p *Platform) Close() {
+	if p.par != nil {
+		p.par.Close()
+	}
+}
 
 // System returns the internal bus system.
 func (p *Platform) System() *bus.System { return p.sys }
@@ -390,11 +417,11 @@ func (p *Platform) Link(i int) (*link.Link, bool) {
 // Run advances the platform until all stoppers are done or maxCycles
 // elapse.
 func (p *Platform) Run(maxCycles uint64) (uint64, bool) {
-	return p.eng.RunUntil(maxCycles)
+	return p.kern.RunUntil(maxCycles)
 }
 
 // RunCycles advances exactly n cycles.
-func (p *Platform) RunCycles(n uint64) { p.eng.Run(n) }
+func (p *Platform) RunCycles(n uint64) { p.kern.Run(n) }
 
 // ResetStats clears every statistic counter (switches, links, TGs, TRs)
 // without disturbing in-flight state — used to exclude warm-up from

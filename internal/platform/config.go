@@ -118,6 +118,14 @@ type Config struct {
 	// schedulers (internal/tlm) set this to model per-signal kernel
 	// costs, as a SystemC primitive channel would incur.
 	SeparateWires bool
+	// Workers selects the simulation kernel: 0 runs the sequential
+	// two-phase engine on the caller's goroutine; N >= 1 drives the
+	// same schedule through engine.NewParallel with N workers — the
+	// software analogue of the FPGA evaluating every device in
+	// parallel. Results are bit-identical for every value. Platforms
+	// built with Workers > 0 hold a goroutine pool; call
+	// Platform.Close when done with them.
+	Workers int
 }
 
 func (c *Config) applyDefaults() {
@@ -163,6 +171,9 @@ func (c *Config) validate() error {
 	}
 	if c.SwitchBufDepth < 1 {
 		return fmt.Errorf("platform %s: buffer depth %d", c.Name, c.SwitchBufDepth)
+	}
+	if c.Workers < 0 {
+		return fmt.Errorf("platform %s: negative worker count %d", c.Name, c.Workers)
 	}
 	if !routing.ValidPolicy(c.Select) {
 		return fmt.Errorf("platform %s: selection policy %q", c.Name, c.Select)

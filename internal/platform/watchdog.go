@@ -38,6 +38,13 @@ func (p *Platform) AttachWatchdog(patience uint64) (*Watchdog, error) {
 // ComponentName implements engine.Component.
 func (w *Watchdog) ComponentName() string { return w.name }
 
+// TickSerially implements engine.SerialTicker: the watchdog's Tick sums
+// statistics owned by every TG and TR, so the parallel kernel must
+// evaluate it alone, after the sharded Tick phase. Registration after
+// platform build keeps it behind the devices it observes, which makes
+// the serialized evaluation bit-identical to the sequential kernel.
+func (w *Watchdog) TickSerially() {}
+
 // Tick implements engine.Component.
 func (w *Watchdog) Tick(cycle uint64) {
 	var sent, recv uint64
