@@ -25,3 +25,12 @@ bench:
 vet:
 	go vet ./...
 	gofmt -l .
+
+# One-stop pre-commit gate: build, tests, vet, and a gofmt check that
+# fails (not just lists) when any file is unformatted.
+.PHONY: check
+check: test vet
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \
+	fi

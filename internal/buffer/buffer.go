@@ -142,6 +142,30 @@ func (q *FIFO) Commit(cycle uint64) {
 	}
 }
 
+// Drain removes every queued flit — committed entries and a staged
+// push alike — passing each to release (which may be nil). It is the
+// end-of-run reclamation path: with pooled flits, every occupied slot
+// holds an owned flit that must go back to its freelist. Counters are
+// untouched.
+func (q *FIFO) Drain(release func(*flit.Flit)) {
+	for ; q.size > 0; q.size-- {
+		f := q.items[q.head]
+		q.items[q.head] = nil
+		q.head = (q.head + 1) % len(q.items)
+		if release != nil && f != nil {
+			release(f)
+		}
+	}
+	q.head = 0
+	if q.pendingPush != nil {
+		if release != nil {
+			release(q.pendingPush)
+		}
+		q.pendingPush = nil
+	}
+	q.pendingPop = false
+}
+
 // Stats is a snapshot of the buffer's counters.
 type Stats struct {
 	Pushes, Pops  uint64

@@ -27,6 +27,19 @@
 // counters (switch cycles, link utilization) advance even in an idle
 // network, so overshooting the stop cycle by even one cycle would break
 // bit-identity with the sequential kernel.
+//
+// Flit ownership under sharding: a flit handed from one component to
+// another (via a link) may cross worker shards, but the two-phase
+// protocol already serializes that handoff — the sender stages during
+// Tick, the link publishes during Commit, the receiver reads a
+// committed pointer next Tick, all separated by the gates' barriers.
+// The one cross-shard mutation outside that pattern is flit.Pool
+// release: an ejector on worker A may release a flit whose home shard
+// is drained by an injector on worker B. The pool carries that handoff
+// on a per-shard MPSC atomic stack (CAS push by any worker, take-all
+// swap by the owner), so no gate ordering is required and reuse timing
+// cannot perturb simulation state: Acquire fully resets the flit, and
+// no component observes flit pointer identity.
 package engine
 
 import (

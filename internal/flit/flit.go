@@ -101,6 +101,15 @@ type Flit struct {
 	// port rewrites it at each traversal (used only by the
 	// virtual-channel switch extension, zero elsewhere).
 	VC uint8
+
+	// next links the flit into its pool shard's freelist while the flit
+	// is released; it is meaningless (and unused) while the flit is live
+	// in the network.
+	next *Flit
+	// pooled marks a flit currently owned by the pool, so a double
+	// release is caught as an invariant violation instead of corrupting
+	// the freelist.
+	pooled bool
 }
 
 // Checksum computes the flit's integrity code from the fields a link

@@ -79,9 +79,19 @@ func TestFlitValidate(t *testing.T) {
 	}
 }
 
+// mustFlits expands a packet that the test knows to be valid.
+func mustFlits(t *testing.T, p *Packet) []*Flit {
+	t.Helper()
+	fs, err := p.Flits()
+	if err != nil {
+		t.Fatalf("Flits(%+v): %v", p, err)
+	}
+	return fs
+}
+
 func TestPacketFlitsSingle(t *testing.T) {
 	p := &Packet{ID: MakePacketID(1, 9), Src: 1, Dst: 2, Len: 1, Payload: 77, BirthCycle: 5}
-	fs := p.Flits()
+	fs := mustFlits(t, p)
 	if len(fs) != 1 {
 		t.Fatalf("got %d flits, want 1", len(fs))
 	}
@@ -96,7 +106,7 @@ func TestPacketFlitsSingle(t *testing.T) {
 
 func TestPacketFlitsFraming(t *testing.T) {
 	p := &Packet{ID: MakePacketID(2, 1), Src: 2, Dst: 3, Len: 5}
-	fs := p.Flits()
+	fs := mustFlits(t, p)
 	if len(fs) != 5 {
 		t.Fatalf("got %d flits, want 5", len(fs))
 	}
@@ -121,6 +131,40 @@ func TestPacketFlitsFraming(t *testing.T) {
 	}
 }
 
+// A zero-length packet would frame no tail flit and jam the wormhole
+// pipeline; Flits must reject it instead of returning an empty slice.
+func TestPacketFlitsZeroLength(t *testing.T) {
+	p := &Packet{ID: MakePacketID(1, 0), Src: 1, Dst: 2, Len: 0}
+	fs, err := p.Flits()
+	if err == nil {
+		t.Fatalf("zero-length packet accepted: %v", fs)
+	}
+	if fs != nil {
+		t.Errorf("error path returned flits: %v", fs)
+	}
+	// Mismatched packet-ID source is equally structural.
+	bad := &Packet{ID: MakePacketID(5, 0), Src: 1, Dst: 2, Len: 2}
+	if _, err := bad.Flits(); err == nil {
+		t.Error("src-mismatched packet accepted")
+	}
+}
+
+// Fill must agree with Flits exactly, field for field, and fully
+// overwrite stale state in a reused flit.
+func TestPacketFillMatchesFlits(t *testing.T) {
+	for _, n := range []uint16{1, 2, 5} {
+		p := &Packet{ID: MakePacketID(3, 7), Src: 3, Dst: 4, Len: n, Payload: 9, BirthCycle: 11}
+		fs := mustFlits(t, p)
+		for i := uint16(0); i < n; i++ {
+			f := Flit{Kind: Body, Packet: 999, Index: 12, Payload: 1, InjectCycle: 5, Check: 3, VC: 2}
+			p.Fill(&f, i)
+			if f != *fs[i] {
+				t.Errorf("len %d flit %d: Fill = %+v, Flits = %+v", n, i, f, *fs[i])
+			}
+		}
+	}
+}
+
 // Property: for any length 1..64, expanding a packet into flits and
 // pushing them through an assembler returns the original packet exactly
 // once, after exactly Len pushes.
@@ -132,7 +176,11 @@ func TestAssemblerRoundTripProperty(t *testing.T) {
 			Dst: EndpointID(dst), Len: n, Payload: payload, BirthCycle: 42,
 		}
 		a := NewAssembler()
-		for i, fl := range p.Flits() {
+		fs, err := p.Flits()
+		if err != nil {
+			return false
+		}
+		for i, fl := range fs {
 			got, done, err := a.Push(fl)
 			if err != nil {
 				return false
@@ -161,7 +209,7 @@ func TestAssemblerInterleavedPackets(t *testing.T) {
 	a := NewAssembler()
 	p1 := &Packet{ID: MakePacketID(1, 0), Src: 1, Dst: 9, Len: 3}
 	p2 := &Packet{ID: MakePacketID(2, 0), Src: 2, Dst: 9, Len: 2}
-	f1, f2 := p1.Flits(), p2.Flits()
+	f1, f2 := mustFlits(t, p1), mustFlits(t, p2)
 	order := []*Flit{f1[0], f2[0], f1[1], f2[1], f1[2]}
 	var completed []PacketID
 	for _, fl := range order {
@@ -181,7 +229,7 @@ func TestAssemblerInterleavedPackets(t *testing.T) {
 func TestAssemblerErrors(t *testing.T) {
 	a := NewAssembler()
 	p := &Packet{ID: MakePacketID(1, 0), Src: 1, Dst: 2, Len: 3}
-	fs := p.Flits()
+	fs := mustFlits(t, p)
 
 	// Body before head.
 	if _, _, err := a.Push(fs[1]); err == nil {
@@ -206,7 +254,7 @@ func TestAssemblerErrors(t *testing.T) {
 func TestAssemblerLengthMismatch(t *testing.T) {
 	a := NewAssembler()
 	p := &Packet{ID: MakePacketID(1, 0), Src: 1, Dst: 2, Len: 3}
-	fs := p.Flits()
+	fs := mustFlits(t, p)
 	if _, _, err := a.Push(fs[0]); err != nil {
 		t.Fatal(err)
 	}

@@ -31,60 +31,81 @@ func (p *Packet) Validate() error {
 	return nil
 }
 
-// Flits expands the packet into its flit sequence. The returned flits
-// share the packet metadata; InjectCycle is left zero for the NIC to
-// stamp at injection time.
-func (p *Packet) Flits() []*Flit {
+// Fill initializes f as flit i of the packet, overwriting every field:
+// framing kind, identity, payload, birth cycle. InjectCycle is left
+// zero for the NIC to stamp at injection time. This is the in-place
+// (allocation-free) counterpart of Flits; injectors expand packets
+// directly into pool-acquired flits with it.
+func (p *Packet) Fill(f *Flit, i uint16) {
+	*f = Flit{
+		Kind:       Body,
+		Packet:     p.ID,
+		Src:        p.Src,
+		Dst:        p.Dst,
+		Index:      i,
+		PacketLen:  p.Len,
+		Payload:    p.Payload,
+		BirthCycle: p.BirthCycle,
+	}
+	switch {
+	case p.Len == 1:
+		f.Kind = HeadTail
+	case i == 0:
+		f.Kind = Head
+	case i == p.Len-1:
+		f.Kind = Tail
+	}
+}
+
+// Flits expands the packet into a freshly allocated flit sequence. A
+// zero-length packet is rejected: it would frame no tail flit and jam
+// the wormhole pipeline. Hot paths use Fill with pooled flits instead;
+// Flits remains for tests and the reference (RTL-like) backends.
+func (p *Packet) Flits() ([]*Flit, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
 	out := make([]*Flit, p.Len)
 	for i := range out {
-		f := &Flit{
-			Kind:       Body,
-			Packet:     p.ID,
-			Src:        p.Src,
-			Dst:        p.Dst,
-			Index:      uint16(i),
-			PacketLen:  p.Len,
-			Payload:    p.Payload,
-			BirthCycle: p.BirthCycle,
-		}
-		switch {
-		case p.Len == 1:
-			f.Kind = HeadTail
-		case i == 0:
-			f.Kind = Head
-		case i == int(p.Len)-1:
-			f.Kind = Tail
-		}
+		f := &Flit{}
+		p.Fill(f, uint16(i))
 		out[i] = f
 	}
-	return out
+	return out, nil
 }
 
 // Assembler reconstructs packets from a stream of flits arriving at one
 // receptor. Wormhole switching guarantees the flits of one packet arrive
 // in order on one input, but packets from different sources may
 // interleave, so the assembler keys partial packets by packet identifier.
+//
+// The assembler retains no flit pointers: every flit's metadata is
+// folded into the per-packet progress record as it arrives, so the
+// caller may release each flit back to its pool as soon as Push
+// returns.
 type Assembler struct {
-	partial map[PacketID]*assembly
+	partial map[PacketID]assembly
+	scratch Packet
 }
 
 type assembly struct {
 	got  uint16
 	want uint16
-	head *Flit
 }
 
 // NewAssembler returns an empty assembler.
 func NewAssembler() *Assembler {
-	return &Assembler{partial: make(map[PacketID]*assembly)}
+	return &Assembler{partial: make(map[PacketID]assembly)}
 }
 
 // Pending reports how many packets are partially assembled.
 func (a *Assembler) Pending() int { return len(a.partial) }
 
 // Push adds one flit. When the flit completes a packet, Push returns the
-// completed packet description built from its head flit, with done=true.
-// Out-of-order or inconsistent flits return an error.
+// completed packet description with done=true. The returned packet is a
+// scratch value owned by the assembler and is valid only until the next
+// Push; callers keep fields, not the pointer. Out-of-order or
+// inconsistent flits return an error.
 func (a *Assembler) Push(f *Flit) (pkt *Packet, done bool, err error) {
 	if err := f.Validate(); err != nil {
 		return nil, false, err
@@ -94,8 +115,7 @@ func (a *Assembler) Push(f *Flit) (pkt *Packet, done bool, err error) {
 		if !f.Kind.IsHead() {
 			return nil, false, fmt.Errorf("assembler: packet %d starts with %s flit", f.Packet, f.Kind)
 		}
-		st = &assembly{want: f.PacketLen, head: f}
-		a.partial[f.Packet] = st
+		st = assembly{want: f.PacketLen}
 	} else if f.Kind.IsHead() {
 		return nil, false, fmt.Errorf("assembler: duplicate head for packet %d", f.Packet)
 	}
@@ -107,15 +127,26 @@ func (a *Assembler) Push(f *Flit) (pkt *Packet, done bool, err error) {
 	}
 	st.got++
 	if st.got < st.want {
+		a.partial[f.Packet] = st
 		return nil, false, nil
 	}
 	delete(a.partial, f.Packet)
-	return &Packet{
-		ID:         st.head.Packet,
-		Src:        st.head.Src,
-		Dst:        st.head.Dst,
-		Len:        st.head.PacketLen,
-		Payload:    st.head.Payload,
-		BirthCycle: st.head.BirthCycle,
-	}, true, nil
+	// Every flit carries the full packet metadata, so the completing
+	// (tail) flit reconstructs the description without a retained head.
+	a.scratch = Packet{
+		ID:         f.Packet,
+		Src:        f.Src,
+		Dst:        f.Dst,
+		Len:        f.PacketLen,
+		Payload:    f.Payload,
+		BirthCycle: f.BirthCycle,
+	}
+	return &a.scratch, true, nil
+}
+
+// Reset discards all partial assemblies (used by the platform's
+// end-of-run drain, which releases in-flight flits and therefore
+// abandons packets mid-reassembly).
+func (a *Assembler) Reset() {
+	clear(a.partial)
 }

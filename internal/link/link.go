@@ -49,6 +49,11 @@ type Link struct {
 	overruns    uint64
 	corrupted   uint64
 	heldCycles  uint64
+
+	// onDrop receives any flit the link loses (an overrun overwrite) so
+	// pooled flits return to their freelist instead of leaking; nil
+	// leaves dropped flits to the garbage collector.
+	onDrop func(*flit.Flit)
 }
 
 // NewLink returns an idle link with the given instance name.
@@ -115,6 +120,9 @@ func (l *Link) Commit(cycle uint64) {
 	}
 	if l.cur != nil && !l.taken && l.next != nil {
 		l.overruns++
+		if l.onDrop != nil {
+			l.onDrop(l.cur) // the staged flit overwrites this one
+		}
 	}
 	if l.next != nil && l.fault == FaultCorrupt {
 		l.next.Payload = ^l.next.Payload
@@ -133,6 +141,29 @@ func (l *Link) Commit(cycle uint64) {
 // SetFault switches the link's fault mode; FaultNone restores normal
 // operation (a held flit resumes on the next commit).
 func (l *Link) SetFault(m FaultMode) { l.fault = m }
+
+// SetDropHandler installs the callback invoked with any flit the link
+// loses (overrun drop) — the pooled datapath's fault-drop release path.
+func (l *Link) SetDropHandler(h func(*flit.Flit)) { l.onDrop = h }
+
+// Drain releases the link's in-flight state through release (which may
+// be nil): the committed flit on the wire and any staged flit a stuck
+// fault is holding. End-of-run reclamation; counters are untouched.
+func (l *Link) Drain(release func(*flit.Flit)) {
+	if l.cur != nil && !l.taken {
+		if release != nil {
+			release(l.cur)
+		}
+	}
+	l.cur = nil
+	l.taken = false
+	if l.next != nil {
+		if release != nil {
+			release(l.next)
+		}
+		l.next = nil
+	}
+}
 
 // Fault returns the active fault mode.
 func (l *Link) Fault() FaultMode { return l.fault }

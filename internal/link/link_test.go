@@ -88,6 +88,52 @@ func TestLinkOverrunDetection(t *testing.T) {
 	}
 }
 
+func TestLinkDropHandlerReceivesOverrun(t *testing.T) {
+	l := NewLink("l0")
+	var dropped []*flit.Flit
+	l.SetDropHandler(func(f *flit.Flit) { dropped = append(dropped, f) })
+	lost := mkFlit(0)
+	if err := l.Send(lost); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(0)
+	if err := l.Send(mkFlit(1)); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(1)
+	if len(dropped) != 1 || dropped[0] != lost {
+		t.Fatalf("dropped = %v, want the overwritten flit", dropped)
+	}
+}
+
+func TestLinkDrainReleasesWireAndHeldFlit(t *testing.T) {
+	l := NewLink("l0")
+	onWire, held := mkFlit(0), mkFlit(1)
+	if err := l.Send(onWire); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(0)
+	// A stuck fault holds the next flit in the staging register.
+	l.SetFault(FaultStuck)
+	if err := l.Send(held); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(1)
+	var got []*flit.Flit
+	l.Drain(func(f *flit.Flit) { got = append(got, f) })
+	if len(got) != 2 {
+		t.Fatalf("drained %d flits, want 2 (wire + held)", len(got))
+	}
+	if got[0] != onWire || got[1] != held {
+		t.Errorf("drained wrong flits: %v", got)
+	}
+	if l.Peek() != nil {
+		t.Error("wire not empty after drain")
+	}
+	// Drain on an empty link is a no-op.
+	l.Drain(func(*flit.Flit) { t.Error("release called on empty link") })
+}
+
 func TestLinkUtilizationAndFlits(t *testing.T) {
 	l := NewLink("l0")
 	// 10 cycles, flit on wire during 5 of them.

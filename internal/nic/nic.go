@@ -6,6 +6,13 @@
 // Injector and Ejector are not engine components themselves; the owning
 // TG/TR drives them from its own Tick, which mirrors the hardware where
 // the network interface is a sub-block of the traffic device.
+//
+// Flit ownership: the injector acquires flits from its pool shard and
+// expands packets into them in place; ownership then travels with the
+// flit through link, buffer and switch. The ejector is the normal
+// terminal point: once a consumed flit's callbacks return, it releases
+// the flit back to the pool. Both interfaces accept nil shard/pool and
+// then fall back to plain allocation and garbage collection.
 package nic
 
 import (
@@ -24,10 +31,14 @@ type Injector struct {
 	out      *link.Link
 	creditIn *link.CreditLink
 	credits  int
+	shard    *flit.Shard
 
-	// queue holds flits of accepted packets not yet on the wire.
-	queue    []*flit.Flit
-	maxFlits int
+	// ring holds flits of accepted packets not yet on the wire, in a
+	// fixed-capacity ring: popped slots are cleared, so the queue can
+	// neither retain dead flit pointers nor regrow under bursts.
+	ring  []*flit.Flit
+	head  int
+	count int
 
 	seq         uint64
 	packetsSent uint64
@@ -39,8 +50,9 @@ type Injector struct {
 // NewInjector builds an injector for the given endpoint. out carries
 // flits to the switch, creditIn returns credits from the switch's input
 // buffer, and initialCredits must equal that buffer's depth. maxFlits
-// bounds the source queue in flits (>= 1).
-func NewInjector(endpoint flit.EndpointID, out *link.Link, creditIn *link.CreditLink, initialCredits, maxFlits int) (*Injector, error) {
+// bounds the source queue in flits (>= 1). shard is the flit freelist
+// this endpoint acquires from; nil means allocate-and-forget.
+func NewInjector(endpoint flit.EndpointID, out *link.Link, creditIn *link.CreditLink, initialCredits, maxFlits int, shard *flit.Shard) (*Injector, error) {
 	if out == nil || creditIn == nil {
 		return nil, fmt.Errorf("nic: injector %d nil wiring", endpoint)
 	}
@@ -55,7 +67,8 @@ func NewInjector(endpoint flit.EndpointID, out *link.Link, creditIn *link.Credit
 		out:      out,
 		creditIn: creditIn,
 		credits:  initialCredits,
-		maxFlits: maxFlits,
+		shard:    shard,
+		ring:     make([]*flit.Flit, maxFlits),
 	}, nil
 }
 
@@ -65,15 +78,19 @@ func (n *Injector) Endpoint() flit.EndpointID { return n.endpoint }
 // NextSeq returns the sequence number the next accepted packet will get.
 func (n *Injector) NextSeq() uint64 { return n.seq }
 
+// QueueCap returns the fixed source-queue capacity in flits.
+func (n *Injector) QueueCap() int { return len(n.ring) }
+
 // CanAccept reports whether a packet of the given flit length fits in
 // the source queue this cycle.
 func (n *Injector) CanAccept(length uint16) bool {
-	return len(n.queue)+int(length) <= n.maxFlits
+	return n.count+int(length) <= len(n.ring)
 }
 
 // Offer accepts a packet into the source queue, assigning its sequence
-// number and identifier. The caller must have checked CanAccept; a full
-// queue returns an error and leaves state unchanged.
+// number and identifier, and expands it in place into pool flits. The
+// caller must have checked CanAccept; a full queue returns an error and
+// leaves state unchanged.
 func (n *Injector) Offer(dst flit.EndpointID, length uint16, payload uint32, birthCycle uint64) (flit.PacketID, error) {
 	if length == 0 {
 		return 0, fmt.Errorf("nic: injector %d zero-length packet", n.endpoint)
@@ -81,7 +98,7 @@ func (n *Injector) Offer(dst flit.EndpointID, length uint16, payload uint32, bir
 	if !n.CanAccept(length) {
 		return 0, fmt.Errorf("nic: injector %d source queue full", n.endpoint)
 	}
-	p := &flit.Packet{
+	p := flit.Packet{
 		ID:         flit.MakePacketID(n.endpoint, n.seq),
 		Src:        n.endpoint,
 		Dst:        dst,
@@ -90,9 +107,14 @@ func (n *Injector) Offer(dst flit.EndpointID, length uint16, payload uint32, bir
 		BirthCycle: birthCycle,
 	}
 	n.seq++
-	n.queue = append(n.queue, p.Flits()...)
-	if len(n.queue) > n.peakQueue {
-		n.peakQueue = len(n.queue)
+	for i := uint16(0); i < length; i++ {
+		f := n.shard.Acquire()
+		p.Fill(f, i)
+		n.ring[(n.head+n.count)%len(n.ring)] = f
+		n.count++
+	}
+	if n.count > n.peakQueue {
+		n.peakQueue = n.count
 	}
 	return p.ID, nil
 }
@@ -102,15 +124,17 @@ func (n *Injector) Offer(dst flit.EndpointID, length uint16, payload uint32, bir
 // calls it once per Tick, after generating traffic.
 func (n *Injector) Pump(cycle uint64) {
 	n.credits += int(n.creditIn.Take())
-	if len(n.queue) == 0 {
+	if n.count == 0 {
 		return
 	}
 	if n.credits == 0 || n.out.Busy() {
 		n.stallCycles++
 		return
 	}
-	f := n.queue[0]
-	n.queue = n.queue[1:]
+	f := n.ring[n.head]
+	n.ring[n.head] = nil
+	n.head = (n.head + 1) % len(n.ring)
+	n.count--
 	f.InjectCycle = cycle
 	f.Check = f.Checksum()
 	if err := n.out.Send(f); err != nil {
@@ -121,6 +145,20 @@ func (n *Injector) Pump(cycle uint64) {
 	if f.Kind.IsTail() {
 		n.packetsSent++
 	}
+}
+
+// Drain releases every queued flit through release (end-of-run
+// reclamation) and empties the queue. Statistics are untouched.
+func (n *Injector) Drain(release func(*flit.Flit)) {
+	for ; n.count > 0; n.count-- {
+		f := n.ring[n.head]
+		n.ring[n.head] = nil
+		n.head = (n.head + 1) % len(n.ring)
+		if release != nil {
+			release(f)
+		}
+	}
+	n.head = 0
 }
 
 // InjectorStats is a snapshot of an injector's counters.
@@ -138,29 +176,32 @@ func (n *Injector) Stats() InjectorStats {
 		PacketsSent: n.packetsSent,
 		FlitsSent:   n.flitsSent,
 		StallCycles: n.stallCycles,
-		QueuedFlits: len(n.queue),
+		QueuedFlits: n.count,
 		PeakQueue:   n.peakQueue,
 	}
 }
 
 // Drained reports whether all accepted packets have left the injector.
-func (n *Injector) Drained() bool { return len(n.queue) == 0 }
+func (n *Injector) Drained() bool { return n.count == 0 }
 
 // ResetStats clears counters without touching queued flits or credits.
 func (n *Injector) ResetStats() {
-	n.packetsSent, n.flitsSent, n.stallCycles, n.peakQueue = 0, 0, 0, len(n.queue)
+	n.packetsSent, n.flitsSent, n.stallCycles, n.peakQueue = 0, 0, 0, n.count
 }
 
 // Ejector receives flits from a switch output port into a small FIFO,
 // returns one credit per consumed flit, and reassembles packets. The
 // owning TR drives it once per Tick and receives completed packets
-// through the callback.
+// through the callback. Consumed flits are released back to the pool
+// once the callbacks return; callbacks must keep flit and packet
+// values, not the pointers.
 type Ejector struct {
 	endpoint flit.EndpointID
 	in       *link.Link
 	creditUp *link.CreditLink
 	buf      *buffer.FIFO
 	asm      *flit.Assembler
+	pool     *flit.Pool
 
 	flitsReceived  uint64
 	corruptedFlits uint64
@@ -168,7 +209,9 @@ type Ejector struct {
 
 // NewEjector builds an ejector with the given input buffer depth. The
 // switch output feeding it must be wired with initialCredits == depth.
-func NewEjector(endpoint flit.EndpointID, in *link.Link, creditUp *link.CreditLink, depth int) (*Ejector, error) {
+// pool receives consumed flits; nil leaves them to the garbage
+// collector.
+func NewEjector(endpoint flit.EndpointID, in *link.Link, creditUp *link.CreditLink, depth int, pool *flit.Pool) (*Ejector, error) {
 	if in == nil || creditUp == nil {
 		return nil, fmt.Errorf("nic: ejector %d nil wiring", endpoint)
 	}
@@ -181,6 +224,7 @@ func NewEjector(endpoint flit.EndpointID, in *link.Link, creditUp *link.CreditLi
 		creditUp: creditUp,
 		buf:      buffer.MustNew(fmt.Sprintf("ej%d", endpoint), depth),
 		asm:      flit.NewAssembler(),
+		pool:     pool,
 	}, nil
 }
 
@@ -189,7 +233,10 @@ func (e *Ejector) Endpoint() flit.EndpointID { return e.endpoint }
 
 // Pump advances the ejector one cycle: accept an arriving flit, consume
 // one buffered flit, return a credit for it, and invoke onFlit (always)
-// and onPacket (when the flit completes a packet). Callbacks may be nil.
+// and onPacket (when the flit completes a packet). Callbacks may be
+// nil. The consumed flit is released to the pool after the callbacks
+// return; the packet passed to onPacket is assembler scratch, valid
+// only during the call.
 func (e *Ejector) Pump(cycle uint64, onFlit func(*flit.Flit), onPacket func(*flit.Packet, *flit.Flit)) {
 	if f := e.in.Take(); f != nil {
 		if err := e.buf.Push(f); err != nil {
@@ -218,11 +265,19 @@ func (e *Ejector) Pump(cycle uint64, onFlit func(*flit.Flit), onPacket func(*fli
 	if done && onPacket != nil {
 		onPacket(pkt, f)
 	}
+	e.pool.Release(f)
 }
 
 // Commit commits the ejector's internal buffer; the owning TR calls it
 // from its own Commit.
 func (e *Ejector) Commit(cycle uint64) { e.buf.Commit(cycle) }
+
+// Drain releases the buffered flits through release and abandons
+// partial reassemblies (end-of-run reclamation).
+func (e *Ejector) Drain(release func(*flit.Flit)) {
+	e.buf.Drain(release)
+	e.asm.Reset()
+}
 
 // FlitsReceived returns the number of flits consumed.
 func (e *Ejector) FlitsReceived() uint64 { return e.flitsReceived }

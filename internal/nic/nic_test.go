@@ -11,7 +11,7 @@ func newInjectorPair(t *testing.T, credits, maxFlits int) (*Injector, *link.Link
 	t.Helper()
 	out := link.NewLink("out")
 	cr := link.NewCreditLink("cr")
-	inj, err := NewInjector(1, out, cr, credits, maxFlits)
+	inj, err := NewInjector(1, out, cr, credits, maxFlits, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -21,16 +21,16 @@ func newInjectorPair(t *testing.T, credits, maxFlits int) (*Injector, *link.Link
 func TestNewInjectorValidates(t *testing.T) {
 	out := link.NewLink("out")
 	cr := link.NewCreditLink("cr")
-	if _, err := NewInjector(1, nil, cr, 1, 1); err == nil {
+	if _, err := NewInjector(1, nil, cr, 1, 1, nil); err == nil {
 		t.Error("nil out accepted")
 	}
-	if _, err := NewInjector(1, out, nil, 1, 1); err == nil {
+	if _, err := NewInjector(1, out, nil, 1, 1, nil); err == nil {
 		t.Error("nil credit accepted")
 	}
-	if _, err := NewInjector(1, out, cr, 0, 1); err == nil {
+	if _, err := NewInjector(1, out, cr, 0, 1, nil); err == nil {
 		t.Error("0 credits accepted")
 	}
-	if _, err := NewInjector(1, out, cr, 1, 0); err == nil {
+	if _, err := NewInjector(1, out, cr, 1, 0, nil); err == nil {
 		t.Error("0 queue accepted")
 	}
 }
@@ -135,19 +135,152 @@ func TestInjectorResetStats(t *testing.T) {
 	}
 }
 
+// TestInjectorRingBounded is the regression test for the old slice
+// queue, which advanced with queue = queue[1:] and so both retained
+// sent-flit pointers in its backing array and regrew on every refill.
+// The ring must keep a fixed capacity across sustained traffic,
+// including many wrap-arounds, and deliver flits in order.
+func TestInjectorRingBounded(t *testing.T) {
+	inj, out, cr := newInjectorPair(t, 4, 8)
+	cap0 := inj.QueueCap()
+	if cap0 != 8 {
+		t.Fatalf("QueueCap = %d, want 8", cap0)
+	}
+	var wantSeq uint64
+	cycle := uint64(0)
+	for round := 0; round < 100; round++ {
+		// Offer a 3-flit packet whenever it fits: the ring head walks
+		// through every slot many times.
+		if inj.CanAccept(3) {
+			if _, err := inj.Offer(2, 3, 0, cycle); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inj.Pump(cycle)
+		if f := out.Take(); f != nil {
+			if f.Packet.Seq() < wantSeq {
+				t.Fatalf("round %d: flit of packet %d after packet %d", round, f.Packet.Seq(), wantSeq)
+			}
+			wantSeq = f.Packet.Seq()
+			cr.Send(1) // immediate credit return: sustained full rate
+		}
+		out.Commit(cycle)
+		cr.Commit(cycle)
+		if inj.QueueCap() != cap0 {
+			t.Fatalf("round %d: QueueCap grew to %d", round, inj.QueueCap())
+		}
+		if st := inj.Stats(); st.PeakQueue > cap0 {
+			t.Fatalf("round %d: peak queue %d exceeds capacity %d", round, st.PeakQueue, cap0)
+		}
+		cycle++
+	}
+	if inj.Stats().FlitsSent < 90 {
+		t.Errorf("only %d flits sent in 100 busy cycles", inj.Stats().FlitsSent)
+	}
+}
+
+// TestInjectorEjectorPoolLifecycle pushes packets through a pooled
+// injector -> link -> pooled ejector pipe and checks every acquired
+// flit comes back: Live()==0 once the pipe drains, and the steady
+// state recycles rather than allocates.
+func TestInjectorEjectorPoolLifecycle(t *testing.T) {
+	pool := flit.NewPool()
+	wire := link.NewLink("wire")
+	cr := link.NewCreditLink("cr")
+	inj, err := NewInjector(1, wire, cr, 4, 16, pool.Shard("tg1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ej, err := NewEjector(2, wire, cr, 4, pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pkts uint64
+	cycle := uint64(0)
+	for i := 0; i < 12; i++ {
+		if inj.CanAccept(4) {
+			if _, err := inj.Offer(2, 4, 7, cycle); err != nil {
+				t.Fatal(err)
+			}
+		}
+		inj.Pump(cycle)
+		ej.Pump(cycle, nil, func(p *flit.Packet, last *flit.Flit) {
+			if p.Len != 4 || p.Src != 1 || p.Payload != 7 {
+				t.Errorf("completed packet = %+v", p)
+			}
+			pkts++
+		})
+		wire.Commit(cycle)
+		cr.Commit(cycle)
+		ej.Commit(cycle)
+		cycle++
+	}
+	// Stop offering; run the pipe dry.
+	for i := 0; i < 16; i++ {
+		inj.Pump(cycle)
+		ej.Pump(cycle, nil, func(*flit.Packet, *flit.Flit) { pkts++ })
+		wire.Commit(cycle)
+		cr.Commit(cycle)
+		ej.Commit(cycle)
+		cycle++
+	}
+	if pkts == 0 {
+		t.Fatal("no packets delivered")
+	}
+	if !inj.Drained() {
+		t.Error("injector not drained")
+	}
+	if live := pool.Live(); live != 0 {
+		t.Errorf("pool.Live() = %d after drain, want 0", live)
+	}
+	if got, rel := pool.Acquired(), pool.Released(); got != rel {
+		t.Errorf("acquired %d != released %d", got, rel)
+	}
+	// The whole run needs at most max-in-flight distinct flits:
+	// ring (16) + wire (1) + ejector buffer (4).
+	if alloc := pool.Allocated(); alloc > 21 {
+		t.Errorf("allocated %d flits for a recycling pipe", alloc)
+	}
+}
+
+// TestInjectorDrainReleases checks end-of-run reclamation of queued
+// flits that never reached the wire.
+func TestInjectorDrainReleases(t *testing.T) {
+	pool := flit.NewPool()
+	out := link.NewLink("out")
+	cr := link.NewCreditLink("cr")
+	inj, err := NewInjector(1, out, cr, 1, 8, pool.Shard("tg1", 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := inj.Offer(2, 5, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if pool.Live() != 5 {
+		t.Fatalf("Live = %d after offer, want 5", pool.Live())
+	}
+	inj.Drain(pool.Release)
+	if pool.Live() != 0 {
+		t.Errorf("Live = %d after drain, want 0", pool.Live())
+	}
+	if !inj.Drained() {
+		t.Error("not drained")
+	}
+}
+
 func TestNewEjectorValidates(t *testing.T) {
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	if _, err := NewEjector(9, nil, cr, 2); err == nil {
+	if _, err := NewEjector(9, nil, cr, 2, nil); err == nil {
 		t.Error("nil in accepted")
 	}
-	if _, err := NewEjector(9, in, nil, 2); err == nil {
+	if _, err := NewEjector(9, in, nil, 2, nil); err == nil {
 		t.Error("nil credit accepted")
 	}
-	if _, err := NewEjector(9, in, cr, 0); err == nil {
+	if _, err := NewEjector(9, in, cr, 0, nil); err == nil {
 		t.Error("0 depth accepted")
 	}
-	ej, err := NewEjector(9, in, cr, 3)
+	ej, err := NewEjector(9, in, cr, 3, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,12 +292,15 @@ func TestNewEjectorValidates(t *testing.T) {
 func TestEjectorReassemblyAndCredits(t *testing.T) {
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	ej, err := NewEjector(9, in, cr, 4)
+	ej, err := NewEjector(9, in, cr, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	p := &flit.Packet{ID: flit.MakePacketID(1, 0), Src: 1, Dst: 9, Len: 3, BirthCycle: 2}
-	flits := p.Flits()
+	flits, err := p.Flits()
+	if err != nil {
+		t.Fatal(err)
+	}
 	var gotPkts []*flit.Packet
 	var gotFlits int
 	cycle := uint64(0)
@@ -202,7 +338,7 @@ func TestEjectorReassemblyAndCredits(t *testing.T) {
 func TestEjectorPanicsOnMisroute(t *testing.T) {
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	ej, err := NewEjector(9, in, cr, 2)
+	ej, err := NewEjector(9, in, cr, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -38,6 +38,8 @@ type Platform struct {
 	tgs      []*traffic.TG
 	trs      []*receptor.TR
 	links    []*link.Link // indexed by topology link index
+	allLinks []*link.Link // every flit link, incl. injector/ejector wires
+	pool     *flit.Pool
 	ctrl     *control.Module
 	proc     *control.Processor
 
@@ -81,8 +83,14 @@ func Build(cfg Config) (*Platform, error) {
 		tgByEndpoint: make(map[flit.EndpointID]*traffic.TG),
 		trByEndpoint: make(map[flit.EndpointID]*receptor.TR),
 	}
+	// The flit pool: every injecting endpoint gets a freelist shard and
+	// every terminal path (ejection, fault drop, end-of-run drain)
+	// releases flits back, so steady-state emulation allocates nothing.
+	p.pool = flit.NewPool()
 	bank := &wireBank{name: "wires"}
 	registerWires := func(l *link.Link, c *link.CreditLink) {
+		l.SetDropHandler(p.pool.Release)
+		p.allLinks = append(p.allLinks, l)
 		if cfg.SeparateWires {
 			p.eng.MustRegister(l)
 			p.eng.MustRegister(c)
@@ -163,7 +171,8 @@ func Build(cfg Config) (*Platform, error) {
 		if queue == 0 {
 			queue = 32
 		}
-		inj, err := nic.NewInjector(spec.Endpoint, injL, injCr, sw.BufDepth(), queue)
+		shard := p.pool.Shard(fmt.Sprintf("tg%d", spec.Endpoint), spec.Endpoint)
+		inj, err := nic.NewInjector(spec.Endpoint, injL, injCr, sw.BufDepth(), queue, shard)
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
@@ -204,7 +213,7 @@ func Build(cfg Config) (*Platform, error) {
 		if depth == 0 {
 			depth = cfg.SwitchBufDepth
 		}
-		ej, err := nic.NewEjector(spec.Endpoint, ejL, ejCr, depth)
+		ej, err := nic.NewEjector(spec.Endpoint, ejL, ejCr, depth, p.pool)
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
@@ -404,6 +413,33 @@ func (p *Platform) TG(ep flit.EndpointID) (*traffic.TG, bool) {
 func (p *Platform) TR(ep flit.EndpointID) (*receptor.TR, bool) {
 	tr, ok := p.trByEndpoint[ep]
 	return tr, ok
+}
+
+// Pool returns the platform's flit pool (accounting: Live, Acquired,
+// Released). Read it only while the platform is quiesced.
+func (p *Platform) Pool() *flit.Pool { return p.pool }
+
+// Drain releases every in-flight flit back to the pool: link wires
+// (including flits held by stuck faults), switch input buffers (with
+// their wormhole locks force-released), injector source queues and
+// ejector buffers. After Drain the pool's Live count must be zero —
+// any residue is a leaked flit. The run is over once drained: packets
+// caught mid-flight are abandoned, so continue with a fresh platform
+// (or ResetRun) rather than more cycles. Statistics stay readable.
+func (p *Platform) Drain() {
+	release := p.pool.Release
+	for _, l := range p.allLinks {
+		l.Drain(release)
+	}
+	for _, sw := range p.switches {
+		sw.Drain(release)
+	}
+	for _, tg := range p.tgs {
+		tg.Injector().Drain(release)
+	}
+	for _, tr := range p.trs {
+		tr.Ejector().Drain(release)
+	}
 }
 
 // Link returns the inter-switch link for a topology link index.

@@ -21,7 +21,7 @@ func newHarness(t *testing.T, cfg Config) *harness {
 	t.Helper()
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	ej, err := nic.NewEjector(cfg.Endpoint, in, cr, 4)
+	ej, err := nic.NewEjector(cfg.Endpoint, in, cr, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -38,7 +38,11 @@ func (h *harness) sendPacket(src flit.EndpointID, seq uint64, length uint16, inj
 		ID: flit.MakePacketID(src, seq), Src: src, Dst: h.tr.Endpoint(),
 		Len: length, BirthCycle: inject,
 	}
-	for _, f := range p.Flits() {
+	fs, err := p.Flits()
+	if err != nil {
+		panic(err)
+	}
+	for _, f := range fs {
 		f.InjectCycle = inject
 		h.queue = append(h.queue, f)
 	}
@@ -72,7 +76,7 @@ func (h *harness) idle(n int) {
 func TestNewValidation(t *testing.T) {
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	ej, _ := nic.NewEjector(9, in, cr, 2)
+	ej, _ := nic.NewEjector(9, in, cr, 2, nil)
 	if _, err := New(Config{Name: "", Endpoint: 9, Mode: Stochastic}, ej); err == nil {
 		t.Error("empty name accepted")
 	}

@@ -15,7 +15,7 @@ func mkTGWith(t *testing.T, gen traffic.Generator) *traffic.TG {
 	t.Helper()
 	out := link.NewLink("o")
 	cr := link.NewCreditLink("c")
-	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	inj, err := nic.NewInjector(0, out, cr, 4, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -18,7 +18,7 @@ func mkTG(t *testing.T, gen traffic.Generator) *traffic.TG {
 	t.Helper()
 	out := link.NewLink("o")
 	cr := link.NewCreditLink("c")
-	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	inj, err := nic.NewInjector(0, out, cr, 4, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -152,7 +152,7 @@ func mkTR(t *testing.T, mode receptor.Mode) (*receptor.TR, *link.Link, *link.Cre
 	t.Helper()
 	in := link.NewLink("in")
 	cr := link.NewCreditLink("cr")
-	ej, err := nic.NewEjector(100, in, cr, 4)
+	ej, err := nic.NewEjector(100, in, cr, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -174,7 +174,11 @@ func feedTR(tr *receptor.TR, in *link.Link, cr *link.CreditLink, n int, length u
 			ID: flit.MakePacketID(1, uint64(i)), Src: 1, Dst: 100,
 			Len: length, BirthCycle: cycle,
 		}
-		for _, f := range p.Flits() {
+		fs, err := p.Flits()
+		if err != nil {
+			panic(err)
+		}
+		for _, f := range fs {
 			f.InjectCycle = cycle
 			for in.Busy() {
 				cycle = pump(tr, in, cr, cycle)

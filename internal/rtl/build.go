@@ -158,7 +158,8 @@ func Build(cfg platform.Config) (*Platform, error) {
 		}
 		tg := &rtlTG{
 			gen: gen, lfsr: rng.New(platform.DeriveTGSeed(cfg.Seed, spec)),
-			limit: spec.Limit, maxQ: queue, ep: spec.Endpoint,
+			limit: spec.Limit, maxQ: queue, queue: make([]*flit.Flit, queue),
+			ep:        spec.Endpoint,
 			tx:        newTx(pt, cfg.SwitchBufDepth),
 			queueBank: newRegBank(k, fmt.Sprintf("tg%d.queue", spec.Endpoint)),
 			statBank:  newRegBank(k, fmt.Sprintf("tg%d.stat", spec.Endpoint)),

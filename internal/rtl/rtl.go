@@ -307,17 +307,23 @@ func (s *rtlSwitch) selectPort(cands []int, f *flit.Flit) int {
 
 // rtlTG is the RTL traffic-generator process state.
 type rtlTG struct {
-	gen     traffic.Generator
-	lfsr    *rng.LFSR
-	limit   uint64
-	offered uint64
-	pending *traffic.Demand
-	queue   []*flit.Flit
-	maxQ    int
-	seq     uint64
-	ep      flit.EndpointID
-	tx      *txState
-	cycle   uint64
+	gen        traffic.Generator
+	lfsr       *rng.LFSR
+	limit      uint64
+	offered    uint64
+	pending    traffic.Demand
+	hasPending bool
+	// queue is a fixed ring of maxQ flit slots, mirroring the source
+	// queue RAM of the emulated hardware (popped slots are cleared, so
+	// the backing array never regrows or retains dead pointers).
+	queue  []*flit.Flit
+	qHead  int
+	qCount int
+	maxQ   int
+	seq    uint64
+	ep     flit.EndpointID
+	tx     *txState
+	cycle  uint64
 
 	packetsSent uint64
 	flitsSent   uint64
@@ -328,14 +334,14 @@ type rtlTG struct {
 func (t *rtlTG) onEdge() {
 	t.tx.collect()
 	limited := t.limit > 0 && t.offered >= t.limit
-	if t.pending == nil && !limited && !t.gen.Exhausted() {
-		if d := t.gen.Step(t.cycle, t.lfsr); d != nil {
-			t.pending = d
+	if !t.hasPending && !limited && !t.gen.Exhausted() {
+		if t.gen.Step(t.cycle, t.lfsr, &t.pending) {
+			t.hasPending = true
 			t.offered++
 		}
 	}
-	if t.pending != nil && len(t.queue)+int(t.pending.Len) <= t.maxQ {
-		p := &flit.Packet{
+	if t.hasPending && t.qCount+int(t.pending.Len) <= t.maxQ {
+		p := flit.Packet{
 			ID:         flit.MakePacketID(t.ep, t.seq),
 			Src:        t.ep,
 			Dst:        t.pending.Dst,
@@ -344,12 +350,19 @@ func (t *rtlTG) onEdge() {
 			BirthCycle: t.cycle,
 		}
 		t.seq++
-		t.queue = append(t.queue, p.Flits()...)
-		t.pending = nil
+		for i := uint16(0); i < p.Len; i++ {
+			f := &flit.Flit{}
+			p.Fill(f, i)
+			t.queue[(t.qHead+t.qCount)%len(t.queue)] = f
+			t.qCount++
+		}
+		t.hasPending = false
 	}
-	if len(t.queue) > 0 && t.tx.canSend() {
-		f := t.queue[0]
-		t.queue = t.queue[1:]
+	if t.qCount > 0 && t.tx.canSend() {
+		f := t.queue[t.qHead]
+		t.queue[t.qHead] = nil
+		t.qHead = (t.qHead + 1) % len(t.queue)
+		t.qCount--
 		f.InjectCycle = t.cycle
 		t.tx.send(f)
 		t.flitsSent++
@@ -357,14 +370,14 @@ func (t *rtlTG) onEdge() {
 			t.packetsSent++
 		}
 	}
-	t.queueBank.set(uint64(len(t.queue)))
+	t.queueBank.set(uint64(t.qCount))
 	t.statBank.set(t.flitsSent)
 	t.cycle++
 }
 
 func (t *rtlTG) done() bool {
 	limited := t.limit > 0 && t.offered >= t.limit
-	return (limited || t.gen.Exhausted()) && t.pending == nil && len(t.queue) == 0
+	return (limited || t.gen.Exhausted()) && !t.hasPending && t.qCount == 0
 }
 
 // rtlTR is the RTL receptor process state.

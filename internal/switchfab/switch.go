@@ -334,6 +334,21 @@ func (s *Switch) Commit(cycle uint64) {
 	s.stats.Cycles++
 }
 
+// Drain empties every input buffer through release and clears the
+// wormhole locks and per-input routes (end-of-run reclamation: a
+// drained packet's tail never arrives, so the locks must be force-
+// released). Credits and statistics are untouched.
+func (s *Switch) Drain(release func(*flit.Flit)) {
+	for i, q := range s.inBufs {
+		q.Drain(release)
+		s.inRoute[i] = -1
+		s.granted[i] = false
+	}
+	for o := range s.lock {
+		s.lock[o] = -1
+	}
+}
+
 // Stats returns the activity counters.
 func (s *Switch) Stats() Stats { return s.stats }
 

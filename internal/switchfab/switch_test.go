@@ -56,7 +56,8 @@ func (d *testDst) Tick(c uint64) {
 	d.ej.Pump(c,
 		func(f *flit.Flit) { d.order = append(d.order, f.Packet) },
 		func(p *flit.Packet, last *flit.Flit) {
-			d.got = append(d.got, p)
+			cp := *p // the callback packet is only valid during the call
+			d.got = append(d.got, &cp)
 			d.cycles = append(d.cycles, c)
 		})
 }
@@ -164,11 +165,11 @@ func buildSingle(t *testing.T, plan []plannedPacket) (*engine.Engine, *testSrc, 
 	if err := sw.ConnectInput(0, injL, injCr); err != nil {
 		t.Fatal(err)
 	}
-	inj, err := nic.NewInjector(1, injL, injCr, sw.BufDepth(), 16)
+	inj, err := nic.NewInjector(1, injL, injCr, sw.BufDepth(), 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ej, err := nic.NewEjector(100, outL, outCr, 4)
+	ej, err := nic.NewEjector(100, outL, outCr, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,14 +277,14 @@ func buildContention(t *testing.T, perSrc int, pktLen uint16) (*engine.Engine, *
 		if err := sw.ConnectInput(i, l, cr); err != nil {
 			t.Fatal(err)
 		}
-		inj, err := nic.NewInjector(flit.EndpointID(i+1), l, cr, sw.BufDepth(), 32)
+		inj, err := nic.NewInjector(flit.EndpointID(i+1), l, cr, sw.BufDepth(), 32, nil)
 		if err != nil {
 			t.Fatal(err)
 		}
 		eng.MustRegister(&testSrc{name: []string{"srcA", "srcB"}[i], inj: inj, plan: plan})
 	}
 	outL, outCr := wire(t, eng, "out")
-	ej, err := nic.NewEjector(100, outL, outCr, 4)
+	ej, err := nic.NewEjector(100, outL, outCr, 4, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

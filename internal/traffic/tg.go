@@ -27,7 +27,8 @@ type TG struct {
 	inj  *nic.Injector
 	lfsr *rng.LFSR
 
-	pending    *Demand
+	pending    Demand
+	hasPending bool
 	offered    uint64
 	backCycles uint64
 	enabled    bool
@@ -76,18 +77,18 @@ func (t *TG) limitReached() bool {
 // holding a backpressured demand), hand demands to the injector, and
 // pump one flit onto the wire.
 func (t *TG) Tick(cycle uint64) {
-	if t.enabled && t.pending == nil && !t.limitReached() && !t.gen.Exhausted() {
-		if d := t.gen.Step(cycle, t.lfsr); d != nil {
-			t.pending = d
+	if t.enabled && !t.hasPending && !t.limitReached() && !t.gen.Exhausted() {
+		if t.gen.Step(cycle, t.lfsr, &t.pending) {
+			t.hasPending = true
 			t.offered++
 		}
 	}
-	if t.pending != nil {
+	if t.hasPending {
 		if t.inj.CanAccept(t.pending.Len) {
 			if _, err := t.inj.Offer(t.pending.Dst, t.pending.Len, t.pending.Payload, cycle); err != nil {
 				panic(fmt.Sprintf("traffic: TG %s: %v", t.cfg.Name, err))
 			}
-			t.pending = nil
+			t.hasPending = false
 		} else {
 			t.backCycles++
 		}
@@ -106,7 +107,7 @@ func (t *TG) Done() bool {
 	if !t.limitReached() && !t.gen.Exhausted() {
 		return false
 	}
-	return t.pending == nil && t.inj.Drained()
+	return !t.hasPending && t.inj.Drained()
 }
 
 // TGStats is a snapshot of a traffic generator's counters.
@@ -142,7 +143,7 @@ func (t *TG) ResetRun() {
 	if !t.inj.Drained() {
 		panic(fmt.Sprintf("traffic: TG %s reset with queued flits", t.cfg.Name))
 	}
-	t.pending = nil
+	t.hasPending = false
 	t.gen.Reset()
 	t.ResetStats()
 }

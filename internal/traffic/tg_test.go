@@ -20,7 +20,7 @@ func newTGHarness(t *testing.T, gen Generator, cfg TGConfig) *tgHarness {
 	t.Helper()
 	out := link.NewLink("out")
 	cr := link.NewCreditLink("cr")
-	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	inj, err := nic.NewInjector(0, out, cr, 4, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -52,7 +52,7 @@ func (h *tgHarness) run(n uint64) (flits int, packets int) {
 func TestNewTGValidation(t *testing.T) {
 	out := link.NewLink("o")
 	cr := link.NewCreditLink("c")
-	inj, _ := nic.NewInjector(0, out, cr, 1, 1)
+	inj, _ := nic.NewInjector(0, out, cr, 1, 1, nil)
 	g, _ := NewUniform(UniformConfig{LenMin: 1, LenMax: 1, Dst: fixedDst(1)})
 	if _, err := NewTG(TGConfig{Name: ""}, g, inj); err == nil {
 		t.Error("empty name accepted")
@@ -127,7 +127,7 @@ func TestTGBackpressureHoldsDemands(t *testing.T) {
 	g, _ := NewUniform(UniformConfig{LenMin: 8, LenMax: 8, GapMin: 0, GapMax: 0, Dst: fixedDst(1)})
 	out := link.NewLink("out")
 	cr := link.NewCreditLink("cr")
-	inj, err := nic.NewInjector(0, out, cr, 4, 16)
+	inj, err := nic.NewInjector(0, out, cr, 4, 16, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

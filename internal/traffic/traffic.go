@@ -33,8 +33,10 @@ type Demand struct {
 type Generator interface {
 	// ModelName identifies the traffic model for reports.
 	ModelName() string
-	// Step is consulted once per free cycle; nil means no packet now.
-	Step(cycle uint64, r *rng.LFSR) *Demand
+	// Step is consulted once per free cycle. When the model emits a
+	// packet it fills d and returns true; false means no packet now.
+	// The fill-in style keeps the per-cycle hot path allocation-free.
+	Step(cycle uint64, r *rng.LFSR, d *Demand) bool
 	// Exhausted reports that the generator will never emit again
 	// (always false for stochastic models).
 	Exhausted() bool
@@ -166,7 +168,7 @@ func (u *Uniform) gap(r *rng.LFSR) uint64 {
 }
 
 // Step implements Generator.
-func (u *Uniform) Step(cycle uint64, r *rng.LFSR) *Demand {
+func (u *Uniform) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	if !u.started {
 		u.started = true
 		if u.cfg.RandomPhase {
@@ -178,12 +180,13 @@ func (u *Uniform) Step(cycle uint64, r *rng.LFSR) *Demand {
 	}
 	if u.wait > 0 {
 		u.wait--
-		return nil
+		return false
 	}
 	l := drawLen(r, u.cfg.LenMin, u.cfg.LenMax)
 	// Next emission after this packet's serialization plus a gap.
 	u.wait = uint64(l) + u.gap(r) - 1
-	return &Demand{Dst: u.dst.next(r), Len: l}
+	*d = Demand{Dst: u.dst.next(r), Len: l}
+	return true
 }
 
 // BurstConfig parameterizes the burst model: a 2-state Markov chain.
@@ -238,14 +241,14 @@ func (b *Burst) Reset() {
 }
 
 // Step implements Generator.
-func (b *Burst) Step(cycle uint64, r *rng.LFSR) *Demand {
+func (b *Burst) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	if b.busy > 0 {
 		b.busy--
-		return nil
+		return false
 	}
 	if !b.on {
 		if !r.Bernoulli16(b.cfg.POffOn) {
-			return nil
+			return false
 		}
 		b.on = true
 	}
@@ -254,7 +257,8 @@ func (b *Burst) Step(cycle uint64, r *rng.LFSR) *Demand {
 	if r.Bernoulli16(b.cfg.POnOff) {
 		b.on = false
 	}
-	return &Demand{Dst: b.dst.next(r), Len: l}
+	*d = Demand{Dst: b.dst.next(r), Len: l}
+	return true
 }
 
 // MeanLoad returns the analytic mean offered load (flits/cycle) of a
@@ -312,11 +316,12 @@ func (p *Poisson) Exhausted() bool { return false }
 func (p *Poisson) Reset() { p.dst.reset() }
 
 // Step implements Generator.
-func (p *Poisson) Step(cycle uint64, r *rng.LFSR) *Demand {
+func (p *Poisson) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	if !r.Bernoulli16(p.cfg.Lambda) {
-		return nil
+		return false
 	}
-	return &Demand{Dst: p.dst.next(r), Len: drawLen(r, p.cfg.LenMin, p.cfg.LenMax)}
+	*d = Demand{Dst: p.dst.next(r), Len: drawLen(r, p.cfg.LenMin, p.cfg.LenMax)}
+	return true
 }
 
 // TraceGen replays a recorded trace: each record is emitted at its
@@ -347,14 +352,15 @@ func (g *TraceGen) Reset() { g.idx = 0 }
 func (g *TraceGen) Remaining() int { return len(g.tr.Records) - g.idx }
 
 // Step implements Generator.
-func (g *TraceGen) Step(cycle uint64, r *rng.LFSR) *Demand {
+func (g *TraceGen) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	if g.idx >= len(g.tr.Records) {
-		return nil
+		return false
 	}
 	rec := g.tr.Records[g.idx]
 	if rec.Cycle > cycle {
-		return nil
+		return false
 	}
 	g.idx++
-	return &Demand{Dst: rec.Dst, Len: rec.Len}
+	*d = Demand{Dst: rec.Dst, Len: rec.Len}
+	return true
 }

@@ -15,9 +15,10 @@ func fixedDst(id flit.EndpointID) DstConfig {
 
 // drive runs a generator for n cycles and returns the demands with the
 // cycles they were produced at.
-func drive(g Generator, r *rng.LFSR, n uint64) (demands []*Demand, cycles []uint64) {
+func drive(g Generator, r *rng.LFSR, n uint64) (demands []Demand, cycles []uint64) {
 	for c := uint64(0); c < n; c++ {
-		if d := g.Step(c, r); d != nil {
+		var d Demand
+		if g.Step(c, r, &d) {
 			demands = append(demands, d)
 			cycles = append(cycles, c)
 		}
@@ -153,7 +154,8 @@ func TestUniformReset(t *testing.T) {
 	r := rng.New(5)
 	drive(g, r, 17)
 	g.Reset()
-	if d := g.Step(0, r); d == nil {
+	var d Demand
+	if !g.Step(0, r, &d) {
 		t.Error("after reset first step did not emit")
 	}
 }

@@ -83,6 +83,11 @@ func Ring3(numVC int, dateline bool, perSource int, pktLen uint16, bufDepth int)
 			return nil, nil, err
 		}
 	}
+	// One flit pool across the ring: sources acquire from per-endpoint
+	// shards, sinks release by source — the same explicit-ownership
+	// datapath as the main platform. (In the deliberately deadlocked
+	// wormhole configuration, stuck flits simply stay live.)
+	pool := flit.NewPool()
 	var sinks []*Sink
 	for n := 0; n < 3; n++ {
 		l, crs := wire(fmt.Sprintf("inj%d", n))
@@ -97,6 +102,7 @@ func Ring3(numVC int, dateline bool, perSource int, pktLen uint16, bufDepth int)
 		if err != nil {
 			return nil, nil, err
 		}
+		src.UseShard(pool.Shard(fmt.Sprintf("src%d", n), flit.EndpointID(n)))
 		eng.MustRegister(src)
 
 		sl, scrs := wire(fmt.Sprintf("ej%d", n))
@@ -107,6 +113,7 @@ func Ring3(numVC int, dateline bool, perSource int, pktLen uint16, bufDepth int)
 		if err != nil {
 			return nil, nil, err
 		}
+		snk.UsePool(pool)
 		sinks = append(sinks, snk)
 		eng.MustRegister(snk)
 	}

@@ -16,9 +16,16 @@ type Source struct {
 	out     *link.Link
 	credIn  *link.CreditLink // VC 0 credits
 	credits int
+	shard   *flit.Shard
 
-	plan  []flit.Packet
-	queue []*flit.Flit
+	plan    []flit.Packet
+	planIdx int
+	// ring holds the flits of the packet being serialized, in a fixed
+	// ring sized for the longest planned packet (no slice-walk, no
+	// retained pointers).
+	ring  []*flit.Flit
+	head  int
+	count int
 	seq   uint64
 
 	flitsSent   uint64
@@ -27,6 +34,7 @@ type Source struct {
 
 // NewSource builds a source. credIn must be the VC-0 credit wire of the
 // switch input port it feeds; initialCredits its per-VC buffer depth.
+// Zero-length plan packets are rejected: they would frame no tail flit.
 func NewSource(name string, ep flit.EndpointID, out *link.Link, credIn *link.CreditLink, initialCredits int, plan []flit.Packet) (*Source, error) {
 	if name == "" || out == nil || credIn == nil {
 		return nil, fmt.Errorf("vcswitch: source %q bad wiring", name)
@@ -34,8 +42,25 @@ func NewSource(name string, ep flit.EndpointID, out *link.Link, credIn *link.Cre
 	if initialCredits < 1 {
 		return nil, fmt.Errorf("vcswitch: source %q with %d credits", name, initialCredits)
 	}
-	return &Source{name: name, ep: ep, out: out, credIn: credIn, credits: initialCredits, plan: plan}, nil
+	maxLen := 1
+	for i, p := range plan {
+		if p.Len == 0 {
+			return nil, fmt.Errorf("vcswitch: source %q plan packet %d has zero length", name, i)
+		}
+		if int(p.Len) > maxLen {
+			maxLen = int(p.Len)
+		}
+	}
+	return &Source{
+		name: name, ep: ep, out: out, credIn: credIn,
+		credits: initialCredits, plan: plan,
+		ring: make([]*flit.Flit, maxLen),
+	}, nil
 }
+
+// UseShard makes the source acquire flits from a pool shard instead of
+// the heap. Set it before the first cycle.
+func (s *Source) UseShard(sh *flit.Shard) { s.shard = sh }
 
 // ComponentName implements engine.Component.
 func (s *Source) ComponentName() string { return s.name }
@@ -43,20 +68,27 @@ func (s *Source) ComponentName() string { return s.name }
 // Tick implements engine.Component.
 func (s *Source) Tick(cycle uint64) {
 	s.credits += int(s.credIn.Take())
-	if len(s.queue) == 0 && len(s.plan) > 0 {
-		p := s.plan[0]
-		s.plan = s.plan[1:]
+	if s.count == 0 && s.planIdx < len(s.plan) {
+		p := s.plan[s.planIdx]
+		s.planIdx++
 		p.ID = flit.MakePacketID(s.ep, s.seq)
 		p.Src = s.ep
 		p.BirthCycle = cycle
 		s.seq++
-		s.queue = append(s.queue, p.Flits()...)
+		for i := uint16(0); i < p.Len; i++ {
+			f := s.shard.Acquire()
+			p.Fill(f, i)
+			s.ring[(s.head+s.count)%len(s.ring)] = f
+			s.count++
+		}
 	}
-	if len(s.queue) == 0 || s.credits == 0 || s.out.Busy() {
+	if s.count == 0 || s.credits == 0 || s.out.Busy() {
 		return
 	}
-	f := s.queue[0]
-	s.queue = s.queue[1:]
+	f := s.ring[s.head]
+	s.ring[s.head] = nil
+	s.head = (s.head + 1) % len(s.ring)
+	s.count--
 	f.InjectCycle = cycle
 	f.VC = 0
 	f.Check = f.Checksum()
@@ -74,7 +106,7 @@ func (s *Source) Tick(cycle uint64) {
 func (s *Source) Commit(cycle uint64) {}
 
 // Done implements engine.Stopper.
-func (s *Source) Done() bool { return len(s.plan) == 0 && len(s.queue) == 0 }
+func (s *Source) Done() bool { return s.planIdx >= len(s.plan) && s.count == 0 }
 
 // Sent returns flits and packets injected.
 func (s *Source) Sent() (flits, packets uint64) { return s.flitsSent, s.packetsSent }
@@ -89,6 +121,7 @@ type Sink struct {
 	in     *link.Link
 	credUp []*link.CreditLink // per VC
 	asm    *flit.Assembler
+	pool   *flit.Pool
 	expect uint64
 
 	packets uint64
@@ -115,6 +148,10 @@ func NewSink(name string, ep flit.EndpointID, in *link.Link, credUp []*link.Cred
 	}, nil
 }
 
+// UsePool makes the sink release consumed flits back to a pool. Set it
+// before the first cycle.
+func (k *Sink) UsePool(p *flit.Pool) { k.pool = p }
+
 // ComponentName implements engine.Component.
 func (k *Sink) ComponentName() string { return k.name }
 
@@ -140,6 +177,7 @@ func (k *Sink) Tick(cycle uint64) {
 	if done {
 		k.packets++
 	}
+	k.pool.Release(f)
 }
 
 // Commit implements engine.Component.
