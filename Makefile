@@ -26,10 +26,22 @@ vet:
 	go vet ./...
 	gofmt -l .
 
-# One-stop pre-commit gate: build, tests, vet, and a gofmt check that
-# fails (not just lists) when any file is unformatted.
+# Register-map documentation: regenerate REGISTERS.md from the live
+# schema, and fail when the committed file has drifted from it.
+.PHONY: regs
+regs:
+	go run ./cmd/nocgen regs > REGISTERS.md
+
+.PHONY: regs-check
+regs-check:
+	@go run ./cmd/nocgen regs | diff -u REGISTERS.md - \
+		|| { echo "REGISTERS.md is stale: run 'make regs'"; exit 1; }
+
+# One-stop pre-commit gate: build, tests, vet, the REGISTERS.md drift
+# check, and a gofmt check that fails (not just lists) when any file is
+# unformatted.
 .PHONY: check
-check: test vet
+check: test vet regs-check
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \

@@ -1,10 +1,12 @@
 // Command nocgen generates framework inputs: synthetic traffic traces
 // (burst-structured or constant-bit-rate, in the text or binary trace
-// format) and an example JSON platform configuration.
+// format), an example JSON platform configuration, and the register-map
+// documentation rendered from the live schema.
 //
 //	nocgen -kind burst -dst 100 -bursts 50 -ppb 8 -fpp 4 -load 0.45 -o app.trace
 //	nocgen -kind cbr -dst 100 -packets 1000 -len 4 -period 10 -o cbr.ntrc -binary
 //	nocgen -example-config > platform.json
+//	nocgen regs > REGISTERS.md
 package main
 
 import (
@@ -16,10 +18,22 @@ import (
 
 	"nocemu/internal/flit"
 	"nocemu/internal/jsonio"
+	"nocemu/internal/regdoc"
 	"nocemu/internal/trace"
 )
 
 func main() {
+	// `nocgen regs` renders REGISTERS.md from the declarative register
+	// schema — the docs-from-schema path `make check` verifies.
+	if len(os.Args) > 1 && os.Args[1] == "regs" {
+		doc, err := regdoc.Render()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocgen:", err)
+			os.Exit(1)
+		}
+		fmt.Print(doc)
+		return
+	}
 	var (
 		kind       = flag.String("kind", "burst", "trace kind: burst or cbr")
 		dst        = flag.Uint("dst", 100, "destination endpoint")

@@ -30,8 +30,13 @@ const (
 type Addr uint32
 
 // MakeAddr assembles an address from bus, device and register fields.
+// Each field is masked to its width, so MakeAddr(a.Bus(), a.Device(),
+// a.Reg()) == a for every Addr and out-of-range inputs wrap instead of
+// corrupting neighbouring fields.
 func MakeAddr(bus, dev, reg uint32) Addr {
-	return Addr(bus<<(devBits+regBits) | dev<<regBits | reg&(RegsPerDevice-1))
+	return Addr((bus&(NumBuses-1))<<(devBits+regBits) |
+		(dev&(DevicesPerBus-1))<<regBits |
+		reg&(RegsPerDevice-1))
 }
 
 // Bus extracts the bus field.

@@ -28,13 +28,10 @@ type Enabler interface {
 }
 
 // Module is the control-module device: global cycle counter, global
-// traffic enable, and platform inventory registers.
+// traffic enable, and platform inventory registers. It is a declarative
+// regmap.Bank like every other device on the buses.
 type Module struct {
-	name    string
-	cycleFn func() uint64
-	tgs     []Enabler
-	numTR   uint32
-	numSw   uint32
+	*regmap.Bank
 }
 
 // Module register offsets (beyond the regmap common ones).
@@ -55,51 +52,34 @@ func NewModule(name string, cycleFn func() uint64, tgs []Enabler, numTR, numSw i
 	if cycleFn == nil {
 		return nil, fmt.Errorf("control: nil cycle source")
 	}
-	return &Module{name: name, cycleFn: cycleFn, tgs: tgs, numTR: uint32(numTR), numSw: uint32(numSw)}, nil
-}
-
-// DeviceName implements bus.Device.
-func (m *Module) DeviceName() string { return m.name }
-
-// ReadReg implements bus.Device.
-func (m *Module) ReadReg(reg uint32) (uint32, error) {
-	switch reg {
-	case regmap.RegType:
-		return regmap.TypeControl, nil
-	case regmap.RegSubtype:
-		return 0, nil
-	case regmap.RegCtrl:
-		for _, tg := range m.tgs {
-			if !tg.Enabled() {
-				return 0, nil
+	b := regmap.NewBank(name)
+	b.Describe("Control module (TYPE = 4)", "")
+	b.RO(regmap.RegType, "TYPE", "device class", func() uint32 { return regmap.TypeControl })
+	b.RO(regmap.RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RW(regmap.RegCtrl, "CTRL", "bit0: global traffic enable, fanned out to every TG",
+		func() uint32 {
+			for _, tg := range tgs {
+				if !tg.Enabled() {
+					return 0
+				}
 			}
-		}
-		return regmap.CtrlEnable, nil
-	case RegCycleLo:
-		return uint32(m.cycleFn()), nil
-	case RegCycleHi:
-		return uint32(m.cycleFn() >> 32), nil
-	case RegNumTG:
-		return uint32(len(m.tgs)), nil
-	case RegNumTR:
-		return m.numTR, nil
-	case RegNumSw:
-		return m.numSw, nil
-	}
-	return 0, fmt.Errorf("control: read of unmapped register 0x%03x", reg)
-}
-
-// WriteReg implements bus.Device.
-func (m *Module) WriteReg(reg, v uint32) error {
-	switch reg {
-	case regmap.RegCtrl:
-		on := v&regmap.CtrlEnable != 0
-		for _, tg := range m.tgs {
-			tg.SetEnabled(on)
-		}
-		return nil
-	}
-	return fmt.Errorf("control: write of unmapped register 0x%03x", reg)
+			return regmap.CtrlEnable
+		},
+		func(v uint32) error {
+			on := v&regmap.CtrlEnable != 0
+			for _, tg := range tgs {
+				tg.SetEnabled(on)
+			}
+			return nil
+		})
+	b.RO64(RegCycleLo, "CYCLE", "engine cycle counter", cycleFn)
+	b.RO(RegNumTG, "NUM_TG", "traffic generators on the platform",
+		func() uint32 { return uint32(len(tgs)) })
+	b.RO(RegNumTR, "NUM_TR", "traffic receptors",
+		func() uint32 { return uint32(numTR) })
+	b.RO(RegNumSw, "NUM_SW", "switches",
+		func() uint32 { return uint32(numSw) })
+	return &Module{Bank: b}, nil
 }
 
 // OpKind enumerates program instructions.

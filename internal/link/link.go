@@ -188,6 +188,14 @@ func (l *Link) Utilization() float64 {
 // Flits returns the number of flits transported.
 func (l *Link) Flits() uint64 { return l.flits }
 
+// BusyCycles returns the committed cycles during which the wire carried
+// a flit (the numerator of Utilization).
+func (l *Link) BusyCycles() uint64 { return l.busyCycles }
+
+// TotalCycles returns the committed cycles observed (the denominator of
+// Utilization).
+func (l *Link) TotalCycles() uint64 { return l.totalCycles }
+
 // Overruns returns the number of flits lost to double occupancy; always
 // zero under correct flow control.
 func (l *Link) Overruns() uint64 { return l.overruns }

@@ -1,0 +1,332 @@
+package monitor
+
+import (
+	"fmt"
+	"math"
+
+	"nocemu/internal/bus"
+	"nocemu/internal/control"
+	"nocemu/internal/platform"
+	"nocemu/internal/regmap"
+)
+
+// devHandle addresses one device on the internal buses. Every statistic
+// the monitor reports flows through these four accessors — the monitor
+// is a pure bus master, exactly like the paper's host PC behind the
+// platform's communication interface.
+type devHandle struct {
+	sys      *bus.System
+	bus, dev uint32
+	name     string
+}
+
+func (d devHandle) read(reg uint32) (uint32, error) {
+	return d.sys.Read(bus.MakeAddr(d.bus, d.dev, reg))
+}
+
+func (d devHandle) read64(reg uint32) (uint64, error) {
+	return d.sys.Read64(bus.MakeAddr(d.bus, d.dev, reg))
+}
+
+// readF64 reads a float64 result register (IEEE-754 bits as a lo/hi
+// pair) — the lossless path for analyzer results.
+func (d devHandle) readF64(reg uint32) (float64, error) {
+	v, err := d.read64(reg)
+	return math.Float64frombits(v), err
+}
+
+func (d devHandle) write(reg, v uint32) error {
+	return d.sys.Write(bus.MakeAddr(d.bus, d.dev, reg), v)
+}
+
+// busView is the monitor's picture of a platform, discovered purely by
+// walking the bus attachments and classifying each device by its TYPE
+// register. Slices keep bus order: TG/TR/switch/link devices are
+// attached in spec/topology order, so rows line up with the platform's.
+type busView struct {
+	ctrl     devHandle
+	tgs      []devHandle
+	trs      []devHandle
+	switches []devHandle
+	links    []devHandle
+}
+
+// scanBus classifies every attached device by TYPE.
+func scanBus(sys *bus.System) (*busView, error) {
+	v := &busView{}
+	haveCtrl := false
+	for _, at := range sys.Attachments() {
+		d := devHandle{sys: sys, bus: at.Bus, dev: at.Dev, name: at.Device.DeviceName()}
+		typ, err := d.read(regmap.RegType)
+		if err != nil {
+			return nil, fmt.Errorf("monitor: classify %s: %w", d.name, err)
+		}
+		switch typ {
+		case regmap.TypeControl:
+			v.ctrl = d
+			haveCtrl = true
+		case regmap.TypeTG:
+			v.tgs = append(v.tgs, d)
+		case regmap.TypeTR:
+			v.trs = append(v.trs, d)
+		case regmap.TypeSwitch:
+			v.switches = append(v.switches, d)
+		case regmap.TypeLink:
+			v.links = append(v.links, d)
+		}
+	}
+	if !haveCtrl {
+		return nil, fmt.Errorf("monitor: no control module on the bus")
+	}
+	return v, nil
+}
+
+// tgRow is one generator's statistics, read over the bus.
+type tgRow struct {
+	name                 string
+	model                string
+	offered, sent, flits uint64
+	stalls, backpressure uint64
+}
+
+// flowRow is one per-source latency analyzer row.
+type flowRow struct {
+	src       uint32
+	packets   uint64
+	mean, max float64
+}
+
+// trRow is one receptor's statistics, read over the bus.
+type trRow struct {
+	name            string
+	subtype         uint32
+	mode            string
+	packets, flits  uint64
+	runningTime     uint64
+	congestion      uint64
+	latMean, latMax float64
+	flows           []flowRow
+}
+
+// swRow is one switch's statistics, read over the bus.
+type swRow struct {
+	name                    string
+	flits, packets, blocked uint64
+	rate                    float64
+}
+
+// linkRow is one inter-switch link's statistics, read over the bus.
+type linkRow struct {
+	flits uint64
+	load  float64
+}
+
+func (v *busView) readTGs() ([]tgRow, error) {
+	rows := make([]tgRow, 0, len(v.tgs))
+	for _, d := range v.tgs {
+		r := tgRow{name: d.name}
+		sub, err := d.read(regmap.RegSubtype)
+		if err != nil {
+			return nil, err
+		}
+		r.model = regmap.TGModelName(sub)
+		for _, c := range []struct {
+			reg uint32
+			dst *uint64
+		}{
+			{regmap.RegTGOffered, &r.offered},
+			{regmap.RegTGPacketsSent, &r.sent},
+			{regmap.RegTGFlitsSent, &r.flits},
+			{regmap.RegTGStallCycles, &r.stalls},
+			{regmap.RegTGBackpressure, &r.backpressure},
+		} {
+			if *c.dst, err = d.read64(c.reg); err != nil {
+				return nil, err
+			}
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func (v *busView) readTRs() ([]trRow, error) {
+	rows := make([]trRow, 0, len(v.trs))
+	for _, d := range v.trs {
+		r := trRow{name: d.name}
+		var err error
+		if r.subtype, err = d.read(regmap.RegSubtype); err != nil {
+			return nil, err
+		}
+		r.mode = regmap.TRModeName(r.subtype)
+		for _, c := range []struct {
+			reg uint32
+			dst *uint64
+		}{
+			{regmap.RegTRPackets, &r.packets},
+			{regmap.RegTRFlits, &r.flits},
+			{regmap.RegTRRunningTime, &r.runningTime},
+			{regmap.RegTRCongestion, &r.congestion},
+		} {
+			if *c.dst, err = d.read64(c.reg); err != nil {
+				return nil, err
+			}
+		}
+		if r.latMean, err = d.readF64(regmap.RegTRNetLatMeanF64); err != nil {
+			return nil, err
+		}
+		if r.latMax, err = d.readF64(regmap.RegTRNetLatMaxF64); err != nil {
+			return nil, err
+		}
+		count, err := d.read(regmap.RegFlowCount)
+		if err != nil {
+			return nil, err
+		}
+		for i := uint32(0); i < count; i++ {
+			if err := d.write(regmap.RegFlowSel, i); err != nil {
+				return nil, err
+			}
+			var f flowRow
+			if f.src, err = d.read(regmap.RegFlowSrc); err != nil {
+				return nil, err
+			}
+			if f.packets, err = d.read64(regmap.RegFlowPackets); err != nil {
+				return nil, err
+			}
+			if f.mean, err = d.readF64(regmap.RegFlowMeanF64); err != nil {
+				return nil, err
+			}
+			if f.max, err = d.readF64(regmap.RegFlowMaxF64); err != nil {
+				return nil, err
+			}
+			r.flows = append(r.flows, f)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func (v *busView) readSwitches() ([]swRow, error) {
+	rows := make([]swRow, 0, len(v.switches))
+	for _, d := range v.switches {
+		r := swRow{name: d.name}
+		var err error
+		for _, c := range []struct {
+			reg uint32
+			dst *uint64
+		}{
+			{regmap.RegSwFlitsRouted, &r.flits},
+			{regmap.RegSwPacketsRouted, &r.packets},
+			{regmap.RegSwBlocked, &r.blocked},
+		} {
+			if *c.dst, err = d.read64(c.reg); err != nil {
+				return nil, err
+			}
+		}
+		if den := r.blocked + r.flits; den != 0 {
+			r.rate = float64(r.blocked) / float64(den)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+func (v *busView) readLinks() ([]linkRow, error) {
+	rows := make([]linkRow, 0, len(v.links))
+	for _, d := range v.links {
+		var r linkRow
+		var err error
+		if r.flits, err = d.read64(regmap.RegLinkFlits); err != nil {
+			return nil, err
+		}
+		busy, err := d.read64(regmap.RegLinkBusy)
+		if err != nil {
+			return nil, err
+		}
+		cycles, err := d.read64(regmap.RegLinkCycles)
+		if err != nil {
+			return nil, err
+		}
+		if cycles != 0 {
+			r.load = float64(busy) / float64(cycles)
+		}
+		rows = append(rows, r)
+	}
+	return rows, nil
+}
+
+// totalsFromBus reconstructs platform.Totals from the rows, replicating
+// the accumulation order of Platform.Totals so the aggregate floats are
+// bit-identical to the struct-sourced ones.
+func (v *busView) totals(tgs []tgRow, trs []trRow, sws []swRow) (platform.Totals, error) {
+	var t platform.Totals
+	cycles, err := v.ctrl.read64(control.RegCycleLo)
+	if err != nil {
+		return t, err
+	}
+	t.Cycles = cycles
+	for _, r := range tgs {
+		t.PacketsOffered += r.offered
+		t.PacketsSent += r.sent
+		t.FlitsSent += r.flits
+	}
+	var latWeighted float64
+	var latPackets uint64
+	for _, r := range trs {
+		t.PacketsReceived += r.packets
+		t.FlitsReceived += r.flits
+		if r.subtype == regmap.SubtypeTraceTR && r.packets > 0 {
+			latWeighted += r.latMean * float64(r.packets)
+			latPackets += r.packets
+			t.CongestionCycles += r.congestion
+		}
+	}
+	if latPackets > 0 {
+		t.MeanNetLatency = latWeighted / float64(latPackets)
+	}
+	for _, r := range sws {
+		t.FlitsRouted += r.flits
+		t.BlockedCycles += r.blocked
+	}
+	if den := t.BlockedCycles + t.FlitsRouted; den != 0 {
+		t.CongestionRate = float64(t.BlockedCycles) / float64(den)
+	}
+	return t, nil
+}
+
+// readHist reads one receptor histogram (selected by sel) bin by bin
+// over the readout window.
+func readHist(d devHandle, sel uint32) (binWidth uint64, bins []uint64, overflow uint64, err error) {
+	if err = d.write(regmap.RegHistSel, sel); err != nil {
+		return
+	}
+	numBins, err := d.read(regmap.RegHistBins)
+	if err != nil {
+		return
+	}
+	width, err := d.read(regmap.RegHistWidth)
+	if err != nil {
+		return
+	}
+	over, err := d.read(regmap.RegHistOver)
+	if err != nil {
+		return
+	}
+	bins = make([]uint64, numBins)
+	for i := uint32(0); i < numBins; i++ {
+		if err = d.write(regmap.RegHistIdx, i); err != nil {
+			return
+		}
+		lo, e := d.read(regmap.RegHistData)
+		if e != nil {
+			err = e
+			return
+		}
+		hi, e := d.read(regmap.RegHistDataHi)
+		if e != nil {
+			err = e
+			return
+		}
+		bins[i] = uint64(hi)<<32 | uint64(lo)
+	}
+	return uint64(width), bins, uint64(over), nil
+}

@@ -1,8 +1,9 @@
 // Package monitor renders emulation results for the user — the paper's
 // monitor, which "displays on the screen of a PC the information
-// extracted from NoC emulation components". It pulls statistics from a
-// built platform and writes human-readable reports, CSV series for
-// plotting, and JSON for downstream tooling.
+// extracted from NoC emulation components". Every number in a report is
+// read over the platform's internal register buses: the monitor is a
+// pure bus master and never touches the simulation structs, exactly
+// like the paper's host PC behind the communication interface.
 package monitor
 
 import (
@@ -12,7 +13,7 @@ import (
 	"text/tabwriter"
 
 	"nocemu/internal/platform"
-	"nocemu/internal/receptor"
+	"nocemu/internal/regmap"
 	"nocemu/internal/resource"
 	"nocemu/internal/stats"
 )
@@ -23,7 +24,31 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 	if p == nil {
 		return fmt.Errorf("monitor: nil platform")
 	}
-	tot := p.Totals()
+	v, err := scanBus(p.System())
+	if err != nil {
+		return err
+	}
+	tgs, err := v.readTGs()
+	if err != nil {
+		return err
+	}
+	trs, err := v.readTRs()
+	if err != nil {
+		return err
+	}
+	sws, err := v.readSwitches()
+	if err != nil {
+		return err
+	}
+	links, err := v.readLinks()
+	if err != nil {
+		return err
+	}
+	tot, err := v.totals(tgs, trs, sws)
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(w, "=== NoC emulation report: %s ===\n", p.Name())
 	fmt.Fprintf(w, "cycles: %d\n", tot.Cycles)
 	fmt.Fprintf(w, "packets: offered %d, sent %d, received %d\n",
@@ -40,12 +65,9 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "\n--- traffic generators ---")
 	fmt.Fprintln(tw, "device\tmodel\toffered\tsent\tflits\tstalls\tbackpressure")
-	for _, tg := range p.TGs() {
-		st := tg.Stats()
+	for _, r := range tgs {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%d\t%d\n",
-			tg.ComponentName(), tg.Generator().ModelName(),
-			st.Offered, st.Injector.PacketsSent, st.Injector.FlitsSent,
-			st.Injector.StallCycles, st.BackpressureCycles)
+			r.name, r.model, r.offered, r.sent, r.flits, r.stalls, r.backpressure)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -54,11 +76,10 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 	fmt.Fprintln(w, "\n--- traffic receptors ---")
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "device\tmode\tpackets\tflits\trun time\tlat mean\tlat max\tcongestion")
-	for _, tr := range p.TRs() {
-		st := tr.Stats()
+	for _, r := range trs {
 		fmt.Fprintf(tw, "%s\t%s\t%d\t%d\t%d\t%.2f\t%.0f\t%d\n",
-			tr.ComponentName(), st.Mode, st.Packets, st.Flits, st.RunningTime,
-			st.NetLatencyMean, st.NetLatencyMax, st.CongestionCycles)
+			r.name, r.mode, r.packets, r.flits, r.runningTime,
+			r.latMean, r.latMax, r.congestion)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -66,8 +87,8 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 
 	// Per-flow latency breakdown from the trace-driven receptors.
 	var flowRows bool
-	for _, tr := range p.TRs() {
-		if len(tr.PerSourceLatency()) > 0 {
+	for _, r := range trs {
+		if len(r.flows) > 0 {
 			flowRows = true
 			break
 		}
@@ -76,10 +97,10 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 		fmt.Fprintln(w, "\n--- per-flow latency ---")
 		tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 		fmt.Fprintln(tw, "flow\tpackets\tlat mean\tlat max")
-		for _, tr := range p.TRs() {
-			for _, fl := range tr.PerSourceLatency() {
+		for _, r := range trs {
+			for _, fl := range r.flows {
 				fmt.Fprintf(tw, "tg%d -> %s\t%d\t%.2f\t%.0f\n",
-					fl.Src, tr.ComponentName(), fl.Packets, fl.Mean, fl.Max)
+					fl.src, r.name, fl.packets, fl.mean, fl.max)
 			}
 		}
 		if err := tw.Flush(); err != nil {
@@ -90,11 +111,9 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 	fmt.Fprintln(w, "\n--- switches ---")
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "device\tflits\tpackets\tblocked\tcongestion")
-	for _, sw := range p.Switches() {
-		st := sw.Stats()
+	for _, r := range sws {
 		fmt.Fprintf(tw, "%s\t%d\t%d\t%d\t%.4f\n",
-			sw.ComponentName(), st.FlitsRouted, st.PacketsRouted,
-			st.BlockedCycles, st.CongestionRate())
+			r.name, r.flits, r.packets, r.blocked, r.rate)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -103,10 +122,8 @@ func WriteReport(w io.Writer, p *platform.Platform, syn *resource.Report) error 
 	fmt.Fprintln(w, "\n--- link loads ---")
 	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(tw, "link\tfrom\tto\tload\tflits")
-	loads := p.LinkLoads()
 	for i, ls := range p.Config().Topology.Links() {
-		l, _ := p.Link(i)
-		fmt.Fprintf(tw, "%d\tsw%d\tsw%d\t%.4f\t%d\n", i, ls.From, ls.To, loads[i], l.Flits())
+		fmt.Fprintf(tw, "%d\tsw%d\tsw%d\t%.4f\t%d\n", i, ls.From, ls.To, links[i].load, links[i].flits)
 	}
 	if err := tw.Flush(); err != nil {
 		return err
@@ -133,18 +150,41 @@ func WriteSynthesis(w io.Writer, syn *resource.Report) error {
 }
 
 // WriteHistograms renders every receptor histogram (size, gap, latency
-// where present) as ASCII art.
+// where present) as ASCII art, read bin by bin over each receptor's
+// histogram window.
 func WriteHistograms(w io.Writer, p *platform.Platform, width int) error {
-	for _, tr := range p.TRs() {
-		fmt.Fprintf(w, "--- %s ---\n", tr.ComponentName())
-		if tr.Mode() == receptor.Stochastic {
-			fmt.Fprintln(w, "packet sizes:")
-			fmt.Fprint(w, tr.SizeHist().Render(width))
-			fmt.Fprintln(w, "inter-arrival gaps:")
-			fmt.Fprint(w, tr.GapHist().Render(width))
+	v, err := scanBus(p.System())
+	if err != nil {
+		return err
+	}
+	for _, d := range v.trs {
+		sub, err := d.read(regmap.RegSubtype)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "--- %s ---\n", d.name)
+		if sub == regmap.SubtypeStochastic {
+			for _, h := range []struct {
+				title string
+				sel   uint32
+			}{
+				{"packet sizes:", regmap.HistSize},
+				{"inter-arrival gaps:", regmap.HistGap},
+			} {
+				bw, bins, over, err := readHist(d, h.sel)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintln(w, h.title)
+				fmt.Fprint(w, stats.RenderBins(bw, bins, over, width))
+			}
 		} else {
+			bw, bins, over, err := readHist(d, regmap.HistLat)
+			if err != nil {
+				return err
+			}
 			fmt.Fprintln(w, "latency:")
-			fmt.Fprint(w, tr.LatHist().Render(width))
+			fmt.Fprint(w, stats.RenderBins(bw, bins, over, width))
 		}
 	}
 	return nil
@@ -218,27 +258,48 @@ func WriteJSON(w io.Writer, p *platform.Platform) error {
 	if p == nil {
 		return fmt.Errorf("monitor: nil platform")
 	}
-	s := Summary{Name: p.Name(), Totals: p.Totals()}
-	for _, tg := range p.TGs() {
-		st := tg.Stats()
+	v, err := scanBus(p.System())
+	if err != nil {
+		return err
+	}
+	tgs, err := v.readTGs()
+	if err != nil {
+		return err
+	}
+	trs, err := v.readTRs()
+	if err != nil {
+		return err
+	}
+	sws, err := v.readSwitches()
+	if err != nil {
+		return err
+	}
+	links, err := v.readLinks()
+	if err != nil {
+		return err
+	}
+	tot, err := v.totals(tgs, trs, sws)
+	if err != nil {
+		return err
+	}
+	s := Summary{Name: p.Name(), Totals: tot}
+	for _, r := range tgs {
 		s.TGs = append(s.TGs, TGSummary{
-			Name: tg.ComponentName(), Model: tg.Generator().ModelName(),
-			Offered: st.Offered, Sent: st.Injector.PacketsSent, Flits: st.Injector.FlitsSent,
+			Name: r.name, Model: r.model,
+			Offered: r.offered, Sent: r.sent, Flits: r.flits,
 		})
 	}
-	for _, tr := range p.TRs() {
-		st := tr.Stats()
+	for _, r := range trs {
 		s.TRs = append(s.TRs, TRSummary{
-			Name: tr.ComponentName(), Mode: string(st.Mode),
-			Packets: st.Packets, Flits: st.Flits,
-			LatMean: st.NetLatencyMean, LatMax: st.NetLatencyMax,
-			Congestion: st.CongestionCycles,
+			Name: r.name, Mode: r.mode,
+			Packets: r.packets, Flits: r.flits,
+			LatMean: r.latMean, LatMax: r.latMax,
+			Congestion: r.congestion,
 		})
 	}
-	loads := p.LinkLoads()
 	for i, ls := range p.Config().Topology.Links() {
 		s.Links = append(s.Links, LinkSummary{
-			Index: i, From: int(ls.From), To: int(ls.To), Load: loads[i],
+			Index: i, From: int(ls.From), To: int(ls.To), Load: links[i].load,
 		})
 	}
 	enc := json.NewEncoder(w)

@@ -18,11 +18,13 @@ import (
 )
 
 // Bus assignment: control module on bus 0 slot 0, switches after it,
-// TGs on bus 1, TRs on bus 2 (bus 3 is free for user devices).
+// TGs on bus 1, TRs on bus 2, auxiliary devices (flit pool at slot 0,
+// inter-switch links after it, in topology order) on bus 3.
 const (
 	BusControl = 0
 	BusTG      = 1
 	BusTR      = 2
+	BusAux     = 3
 )
 
 // Platform is a fully wired emulation platform.
@@ -277,6 +279,14 @@ func Build(cfg Config) (*Platform, error) {
 	}
 	for _, tr := range p.trs {
 		if _, err := p.sys.AttachNext(BusTR, regmap.NewTRDevice(tr)); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.sys.Attach(BusAux, 0, regmap.NewPoolDevice(p.pool)); err != nil {
+		return nil, err
+	}
+	for _, l := range p.links {
+		if _, err := p.sys.AttachNext(BusAux, regmap.NewLinkDevice(l)); err != nil {
 			return nil, err
 		}
 	}

@@ -1,0 +1,199 @@
+// Register banks for the devices the original control plane left
+// unmapped: the platform's links, the flit pool's accounting, and the
+// virtual-channel demo endpoints. With these every observable number in
+// the framework is reachable over the internal buses, so the monitor
+// never has to touch simulation structs directly.
+package regmap
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/link"
+	"nocemu/internal/vcswitch"
+)
+
+// Link register offsets.
+const (
+	RegLinkFault    = 0x006 // rw: 0 none, 1 stuck, 2 corrupt
+	RegLinkFlits    = 0x010 // ro 64-bit: flits transported
+	RegLinkBusy     = 0x012 // ro 64-bit: cycles the wire carried a flit
+	RegLinkCycles   = 0x014 // ro 64-bit: committed cycles
+	RegLinkOverruns = 0x016 // ro 64-bit: flits lost to double occupancy
+	RegLinkCorrupt  = 0x018 // ro 64-bit: flits corrupted by fault
+	RegLinkHeld     = 0x01A // ro 64-bit: cycles a stuck fault held a flit
+)
+
+// NewLinkDevice builds the register bank of a link: drop/overrun and
+// utilization counters, plus fault injection over the bus.
+func NewLinkDevice(l *link.Link) *Bank {
+	b := NewBank(l.ComponentName())
+	b.Describe("Link (TYPE = 5)",
+		"Utilization is BUSY/CYCLES. OVERRUNS stays zero under correct credit flow "+
+			"control; writing FAULT injects the paper's functional-validation faults "+
+			"without touching the platform.")
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeLink })
+	b.RO(RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RW(RegCtrl, "CTRL", "bit1 reset-stats",
+		func() uint32 { return 0 },
+		func(v uint32) error {
+			if v&CtrlResetStats != 0 {
+				l.ResetStats()
+			}
+			return nil
+		})
+	b.RW(RegLinkFault, "FAULT", "fault mode: 0 none, 1 stuck, 2 corrupt",
+		func() uint32 { return uint32(l.Fault()) },
+		func(v uint32) error {
+			if v > uint32(link.FaultCorrupt) {
+				return fmt.Errorf("regmap: %s fault mode %d", b.DeviceName(), v)
+			}
+			l.SetFault(link.FaultMode(v))
+			return nil
+		})
+	b.RO64(RegLinkFlits, "FLITS", "flits transported", l.Flits)
+	b.RO64(RegLinkBusy, "BUSY", "cycles the wire carried a flit", l.BusyCycles)
+	b.RO64(RegLinkCycles, "CYCLES", "committed cycles observed", l.TotalCycles)
+	b.RO64(RegLinkOverruns, "OVERRUNS", "flits lost to double occupancy", l.Overruns)
+	b.RO64(RegLinkCorrupt, "CORRUPTED", "flits whose payload a fault flipped", l.Corrupted)
+	b.RO64(RegLinkHeld, "HELD", "cycles a staged flit was held by a stuck fault", l.HeldCycles)
+	return b
+}
+
+// Pool register offsets.
+const (
+	RegPoolShards    = 0x008 // ro: number of per-endpoint shards
+	RegPoolAcquired  = 0x010 // ro 64-bit: Acquire calls served
+	RegPoolReleased  = 0x012 // ro 64-bit: flits returned (orphans included)
+	RegPoolAllocated = 0x014 // ro 64-bit: flits ever created (peak population)
+	RegPoolLive      = 0x016 // ro 64-bit: acquired - released (two's complement)
+	RegShardSel      = 0x030 // rw: shard index, creation order
+	RegShardOwner    = 0x031 // ro: selected shard's owning endpoint
+	RegShardAcquired = 0x032 // ro 64-bit: selected shard's Acquire calls
+	RegShardReleased = 0x034 // ro 64-bit: selected shard's returned flits
+	RegShardAlloc    = 0x036 // ro 64-bit: selected shard's allocations
+)
+
+// NewPoolDevice builds the register bank of the flit pool's accounting:
+// the leak ledger (LIVE must read zero after a drained run) and the
+// per-shard breakdown behind SHARD_SEL.
+func NewPoolDevice(p *flit.Pool) *Bank {
+	b := NewBank("pool")
+	b.Describe("Flit pool (TYPE = 6)",
+		"LIVE is acquired minus released as a two's-complement 64-bit value: zero "+
+			"after a fully drained run, positive on a leak. Read while quiesced, like "+
+			"any statistic.")
+	var shardSel uint32
+	shard := func() (*flit.Shard, error) {
+		sh := p.Shards()
+		if int(shardSel) >= len(sh) {
+			return nil, fmt.Errorf("regmap: pool shard %d out of range (shards %d)", shardSel, len(sh))
+		}
+		return sh[shardSel], nil
+	}
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypePool })
+	b.RO(RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RO(RegPoolShards, "SHARDS", "number of per-endpoint shards",
+		func() uint32 { return uint32(len(p.Shards())) })
+	b.RO64(RegPoolAcquired, "ACQUIRED", "Acquire calls served across all shards", p.Acquired)
+	b.RO64(RegPoolReleased, "RELEASED", "flits returned across all shards (orphans included)", p.Released)
+	b.RO64(RegPoolAllocated, "ALLOCATED", "flits ever created (peak live population)", p.Allocated)
+	b.RO64(RegPoolLive, "LIVE", "acquired minus released (two's complement)",
+		func() uint64 { return uint64(p.Live()) })
+	b.RW(RegShardSel, "SHARD_SEL", "shard index, creation order",
+		func() uint32 { return shardSel },
+		func(v uint32) error { shardSel = v; return nil })
+	b.ROErr(RegShardOwner, "SHARD_OWNER", "selected shard's owning endpoint",
+		func() (uint32, error) {
+			s, err := shard()
+			if err != nil {
+				return 0, err
+			}
+			return uint32(s.Owner()), nil
+		})
+	b.RO64(RegShardAcquired, "SHARD_ACQ", "selected shard's Acquire calls",
+		func() uint64 {
+			s, err := shard()
+			if err != nil {
+				return 0
+			}
+			return s.Acquired()
+		})
+	b.RO64(RegShardReleased, "SHARD_REL", "selected shard's returned flits",
+		func() uint64 {
+			s, err := shard()
+			if err != nil {
+				return 0
+			}
+			return s.Released()
+		})
+	b.RO64(RegShardAlloc, "SHARD_ALLOC", "selected shard's allocations",
+		func() uint64 {
+			s, err := shard()
+			if err != nil {
+				return 0
+			}
+			return s.Allocated()
+		})
+	return b
+}
+
+// Virtual-channel endpoint register offsets.
+const (
+	RegVCPlanLen = 0x004 // ro: planned packets (source)
+	RegVCPlanPos = 0x005 // ro: packets expanded so far (source)
+	RegVCCredits = 0x006 // ro: current VC-0 credits (source)
+	RegVCDone    = 0x007 // ro: 1 when the endpoint reports done
+	RegVCFlits   = 0x010 // ro 64-bit: flits sent/received
+	RegVCPackets = 0x012 // ro 64-bit: packets sent/received
+	RegVCExpect  = 0x014 // ro 64-bit: expected packets (sink)
+	RegVCNumVC   = 0x008 // ro: virtual channels credited (sink)
+)
+
+func boolReg(f func() bool) func() uint32 {
+	return func() uint32 {
+		if f() {
+			return 1
+		}
+		return 0
+	}
+}
+
+// NewVCSourceDevice builds the register bank of a virtual-channel demo
+// source.
+func NewVCSourceDevice(s *vcswitch.Source) *Bank {
+	b := NewBank(s.ComponentName())
+	b.Describe("VC source (TYPE = 7)", "")
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeVCSource })
+	b.RO(RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RO(RegVCPlanLen, "PLAN_LEN", "planned packets",
+		func() uint32 { return uint32(s.PlanLen()) })
+	b.RO(RegVCPlanPos, "PLAN_POS", "packets expanded so far",
+		func() uint32 { return uint32(s.PlanPos()) })
+	b.RO(RegVCCredits, "CREDITS", "current VC-0 credit balance",
+		func() uint32 { return uint32(s.Credits()) })
+	b.RO(RegVCDone, "DONE", "1 when the plan is fully injected", boolReg(s.Done))
+	b.RO64(RegVCFlits, "FLITS", "flits injected",
+		func() uint64 { f, _ := s.Sent(); return f })
+	b.RO64(RegVCPackets, "PACKETS", "packets injected",
+		func() uint64 { _, p := s.Sent(); return p })
+	return b
+}
+
+// NewVCSinkDevice builds the register bank of a virtual-channel demo
+// sink.
+func NewVCSinkDevice(k *vcswitch.Sink) *Bank {
+	b := NewBank(k.ComponentName())
+	b.Describe("VC sink (TYPE = 8)", "")
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeVCSink })
+	b.RO(RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RO(RegVCDone, "DONE", "1 after the expected packets arrived", boolReg(k.Done))
+	b.RO(RegVCNumVC, "NUM_VC", "virtual channels credited",
+		func() uint32 { return uint32(k.NumVC()) })
+	b.RO64(RegVCFlits, "FLITS", "flits delivered",
+		func() uint64 { f, _ := k.Received(); return f })
+	b.RO64(RegVCPackets, "PACKETS", "packets delivered",
+		func() uint64 { _, p := k.Received(); return p })
+	b.RO64(RegVCExpect, "EXPECT", "packets after which the sink reports done", k.Expect)
+	return b
+}

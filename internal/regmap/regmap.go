@@ -3,9 +3,15 @@
 // registers" in every TG/TR and the statistics registers the monitor
 // reads out.
 //
+// Banks are built on the declarative schema in schema.go: each device
+// constructor declares its registers (name, offset, access mode,
+// closures) on a Bank, and the Bank supplies bus.Device dispatch,
+// tear-free 64-bit readout and the metadata `nocgen regs` renders
+// REGISTERS.md from.
+//
 // Common layout (12-bit register offsets):
 //
-//	0x000  TYPE      ro  device class (1 TG, 2 TR, 3 switch, 4 control)
+//	0x000  TYPE      ro  device class (see Type* constants)
 //	0x001  SUBTYPE   ro  TG model / TR mode code
 //	0x002  CTRL      rw  bit0 enable (TG), bit1 reset-stats (all)
 //	0x003  SEED      wo  reseed random registers (TG)
@@ -14,6 +20,8 @@
 //	0x010+ stats     ro  64-bit counters as lo/hi pairs (see constants)
 //	0x020+ params    rw  model parameters (traffic.Parameterized)
 //	0x030+ histogram ro  indexed histogram readout (TR)
+//	0x040+ analyzer  ro  float64 analyzer results as bit pairs (TR)
+//	0x050+ flows     ro  indexed per-source latency readout (TR)
 package regmap
 
 import (
@@ -26,10 +34,14 @@ import (
 
 // Device class codes (register TYPE).
 const (
-	TypeTG      = 1
-	TypeTR      = 2
-	TypeSwitch  = 3
-	TypeControl = 4
+	TypeTG       = 1
+	TypeTR       = 2
+	TypeSwitch   = 3
+	TypeControl  = 4
+	TypeLink     = 5
+	TypePool     = 6
+	TypeVCSource = 7
+	TypeVCSink   = 8
 )
 
 // Common register offsets.
@@ -81,12 +93,13 @@ const (
 
 // TR histogram readout registers.
 const (
-	RegHistSel   = 0x030 // 0 = size, 1 = gap, 2 = latency
-	RegHistIdx   = 0x031
-	RegHistData  = 0x032 // ro: selected histogram bin[idx]
-	RegHistBins  = 0x033 // ro: number of bins
-	RegHistWidth = 0x034 // ro: bin width
-	RegHistOver  = 0x035 // ro: overflow count
+	RegHistSel    = 0x030 // 0 = size, 1 = gap, 2 = latency
+	RegHistIdx    = 0x031
+	RegHistData   = 0x032 // ro: selected histogram bin[idx], low word
+	RegHistBins   = 0x033 // ro: number of bins
+	RegHistWidth  = 0x034 // ro: bin width
+	RegHistOver   = 0x035 // ro: overflow count
+	RegHistDataHi = 0x036 // ro: selected histogram bin[idx], high word
 )
 
 // Histogram selector values.
@@ -94,6 +107,26 @@ const (
 	HistSize = 0
 	HistGap  = 1
 	HistLat  = 2
+)
+
+// TR analyzer registers: float64 results carried bit-exactly as lo/hi
+// IEEE-754 bit pairs (the monitor's lossless data path).
+const (
+	RegTRNetLatMeanF64 = 0x040
+	RegTRNetLatMinF64  = 0x042
+	RegTRNetLatMaxF64  = 0x044
+	RegTRNetLatStdF64  = 0x046
+	RegTRTotLatMeanF64 = 0x048
+)
+
+// TR per-source (flow) latency readout registers.
+const (
+	RegFlowSel     = 0x050 // rw: flow index (sorted by source endpoint)
+	RegFlowCount   = 0x051 // ro: number of flows observed
+	RegFlowSrc     = 0x052 // ro: selected flow's source endpoint
+	RegFlowPackets = 0x053 // ro 64-bit: selected flow's packets
+	RegFlowMeanF64 = 0x056 // ro: selected flow's mean latency
+	RegFlowMaxF64  = 0x058 // ro: selected flow's max latency
 )
 
 // Switch statistics registers.
@@ -118,8 +151,32 @@ const (
 	SubtypeTraceTR    = 2
 )
 
-func lo(v uint64) uint32 { return uint32(v) }
-func hi(v uint64) uint32 { return uint32(v >> 32) }
+// TGModelName maps a TG SUBTYPE code back to the traffic model name —
+// the monitor's bus-side decode.
+func TGModelName(subtype uint32) string {
+	switch subtype {
+	case SubtypeUniform:
+		return "uniform"
+	case SubtypeBurst:
+		return "burst"
+	case SubtypePoisson:
+		return "poisson"
+	case SubtypeTrace:
+		return "trace"
+	}
+	return fmt.Sprintf("model(%d)", subtype)
+}
+
+// TRModeName maps a TR SUBTYPE code back to the receptor mode name.
+func TRModeName(subtype uint32) string {
+	switch subtype {
+	case SubtypeStochastic:
+		return string(receptor.Stochastic)
+	case SubtypeTraceTR:
+		return string(receptor.TraceDriven)
+	}
+	return fmt.Sprintf("mode(%d)", subtype)
+}
 
 func q8(v float64) uint32 {
 	if v < 0 {
@@ -132,19 +189,6 @@ func q8(v float64) uint32 {
 func errBadReg(op string, reg uint32) error {
 	return fmt.Errorf("regmap: %s of unmapped register 0x%03x", op, reg)
 }
-
-// TGDevice is the register bank of a traffic generator.
-type TGDevice struct {
-	tg      *traffic.TG
-	limitLo uint32
-	limitHi uint32
-}
-
-// NewTGDevice wraps a TG.
-func NewTGDevice(tg *traffic.TG) *TGDevice { return &TGDevice{tg: tg} }
-
-// DeviceName implements bus.Device.
-func (d *TGDevice) DeviceName() string { return d.tg.ComponentName() }
 
 func tgSubtype(g traffic.Generator) uint32 {
 	switch g.ModelName() {
@@ -160,288 +204,307 @@ func tgSubtype(g traffic.Generator) uint32 {
 	return 0
 }
 
-// ReadReg implements bus.Device.
-func (d *TGDevice) ReadReg(reg uint32) (uint32, error) {
-	st := d.tg.Stats()
-	switch reg {
-	case RegType:
-		return TypeTG, nil
-	case RegSubtype:
-		return tgSubtype(d.tg.Generator()), nil
-	case RegCtrl:
-		if d.tg.Enabled() {
-			return CtrlEnable, nil
-		}
-		return 0, nil
-	case RegLimitLo:
-		return d.limitLo, nil
-	case RegLimitHi:
-		return d.limitHi, nil
-	case RegTGOffered:
-		return lo(st.Offered), nil
-	case RegTGOffered + 1:
-		return hi(st.Offered), nil
-	case RegTGPacketsSent:
-		return lo(st.Injector.PacketsSent), nil
-	case RegTGPacketsSent + 1:
-		return hi(st.Injector.PacketsSent), nil
-	case RegTGFlitsSent:
-		return lo(st.Injector.FlitsSent), nil
-	case RegTGFlitsSent + 1:
-		return hi(st.Injector.FlitsSent), nil
-	case RegTGStallCycles:
-		return lo(st.Injector.StallCycles), nil
-	case RegTGStallCycles + 1:
-		return hi(st.Injector.StallCycles), nil
-	case RegTGBackpressure:
-		return lo(st.BackpressureCycles), nil
-	case RegTGBackpressure + 1:
-		return hi(st.BackpressureCycles), nil
-	}
-	if reg >= RegParamBase && reg < RegParamBase+NumParamRegs {
-		if p, ok := d.tg.Generator().(traffic.Parameterized); ok {
-			if v, ok := p.ReadParam(reg - RegParamBase); ok {
-				return v, nil
+// NewTGDevice builds the register bank of a traffic generator.
+func NewTGDevice(tg *traffic.TG) *Bank {
+	b := NewBank(tg.ComponentName())
+	b.Describe("Traffic generator (TYPE = 1)",
+		"Model parameter windows are model-specific; see the parameter tables below. "+
+			"Writes that would break a model invariant (e.g. `len_min > len_max`) are "+
+			"rejected with a bus error; write order matters.")
+	// The LIMIT halves are bank-local staging registers: the 64-bit
+	// budget reaches the TG on each half's write.
+	var limitLo, limitHi uint32
+
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeTG })
+	b.RO(RegSubtype, "SUBTYPE", "1 uniform, 2 burst, 3 poisson, 4 trace",
+		func() uint32 { return tgSubtype(tg.Generator()) })
+	b.RW(RegCtrl, "CTRL", "bit0 enable, bit1 reset-stats",
+		func() uint32 {
+			if tg.Enabled() {
+				return CtrlEnable
 			}
-		}
-		return 0, errBadReg("read", reg)
-	}
-	return 0, errBadReg("read", reg)
+			return 0
+		},
+		func(v uint32) error {
+			tg.SetEnabled(v&CtrlEnable != 0)
+			if v&CtrlResetStats != 0 {
+				tg.ResetStats()
+			}
+			return nil
+		})
+	b.WO(RegSeed, "SEED", "reseed the random-initialization registers",
+		func(v uint32) error { tg.Reseed(v); return nil })
+	b.RW(RegLimitLo, "LIMIT_LO", "packet budget, low word (0 = unlimited)",
+		func() uint32 { return limitLo },
+		func(v uint32) error {
+			limitLo = v
+			tg.SetLimit(uint64(limitHi)<<32 | uint64(limitLo))
+			return nil
+		})
+	b.RW(RegLimitHi, "LIMIT_HI", "packet budget, high word",
+		func() uint32 { return limitHi },
+		func(v uint32) error {
+			limitHi = v
+			tg.SetLimit(uint64(limitHi)<<32 | uint64(limitLo))
+			return nil
+		})
+	b.RO64(RegTGOffered, "OFFERED", "packets created by the generator",
+		func() uint64 { return tg.Stats().Offered })
+	b.RO64(RegTGPacketsSent, "PKTS_SENT", "packets fully injected",
+		func() uint64 { return tg.Stats().Injector.PacketsSent })
+	b.RO64(RegTGFlitsSent, "FLITS_SENT", "flits injected",
+		func() uint64 { return tg.Stats().Injector.FlitsSent })
+	b.RO64(RegTGStallCycles, "STALL", "injector stall cycles (no credit / busy wire)",
+		func() uint64 { return tg.Stats().Injector.StallCycles })
+	b.RO64(RegTGBackpressure, "BACKPRESSURE", "cycles a demand waited for queue space",
+		func() uint64 { return tg.Stats().BackpressureCycles })
+	b.Window(RegParamBase, NumParamRegs, "PARAM", RW,
+		"model parameters, index-aligned with the model's parameter table",
+		func(i uint32) (uint32, error) {
+			if p, ok := tg.Generator().(traffic.Parameterized); ok {
+				if v, ok := p.ReadParam(i); ok {
+					return v, nil
+				}
+			}
+			return 0, errBadReg("read", RegParamBase+i)
+		},
+		func(i, v uint32) error {
+			p, ok := tg.Generator().(traffic.Parameterized)
+			if !ok {
+				return fmt.Errorf("regmap: %s has no parameter registers", b.DeviceName())
+			}
+			if !p.WriteParam(i, v) {
+				return fmt.Errorf("regmap: %s rejected parameter 0x%03x = %d", b.DeviceName(), RegParamBase+i, v)
+			}
+			return nil
+		})
+	return b
 }
 
-// WriteReg implements bus.Device.
-func (d *TGDevice) WriteReg(reg, v uint32) error {
-	switch reg {
-	case RegCtrl:
-		d.tg.SetEnabled(v&CtrlEnable != 0)
-		if v&CtrlResetStats != 0 {
-			d.tg.ResetStats()
-		}
-		return nil
-	case RegSeed:
-		d.tg.Reseed(v)
-		return nil
-	case RegLimitLo:
-		d.limitLo = v
-		d.tg.SetLimit(uint64(d.limitHi)<<32 | uint64(d.limitLo))
-		return nil
-	case RegLimitHi:
-		d.limitHi = v
-		d.tg.SetLimit(uint64(d.limitHi)<<32 | uint64(d.limitLo))
-		return nil
-	}
-	if reg >= RegParamBase && reg < RegParamBase+NumParamRegs {
-		p, ok := d.tg.Generator().(traffic.Parameterized)
-		if !ok {
-			return fmt.Errorf("regmap: %s has no parameter registers", d.DeviceName())
-		}
-		if !p.WriteParam(reg-RegParamBase, v) {
-			return fmt.Errorf("regmap: %s rejected parameter 0x%03x = %d", d.DeviceName(), reg, v)
-		}
-		return nil
-	}
-	return errBadReg("write", reg)
-}
+// NewTRDevice builds the register bank of a traffic receptor.
+func NewTRDevice(tr *receptor.TR) *Bank {
+	b := NewBank(tr.ComponentName())
+	b.Describe("Traffic receptor (TYPE = 2)",
+		"Latency registers carry data in trace mode; size/gap histograms exist in "+
+			"stochastic mode. Reading an absent histogram or an out-of-range bin or "+
+			"flow index is a bus error.")
+	var expectLo, expectHi uint32
+	var histSel, histIdx uint32
+	var flowSel uint32
 
-// TRDevice is the register bank of a traffic receptor.
-type TRDevice struct {
-	tr       *receptor.TR
-	expectLo uint32
-	expectHi uint32
-	histSel  uint32
-	histIdx  uint32
-}
-
-// NewTRDevice wraps a TR.
-func NewTRDevice(tr *receptor.TR) *TRDevice { return &TRDevice{tr: tr} }
-
-// DeviceName implements bus.Device.
-func (d *TRDevice) DeviceName() string { return d.tr.ComponentName() }
-
-func (d *TRDevice) hist() (bins int, width, over uint64, bin func(int) uint64, ok bool) {
-	var h interface {
+	hist := func() (h interface {
 		NumBins() int
 		BinWidth() uint64
 		Overflow() uint64
 		Bin(int) uint64
+	}, err error) {
+		switch histSel {
+		case HistSize:
+			if tr.SizeHist() != nil {
+				return tr.SizeHist(), nil
+			}
+		case HistGap:
+			if tr.GapHist() != nil {
+				return tr.GapHist(), nil
+			}
+		case HistLat:
+			if tr.LatHist() != nil {
+				return tr.LatHist(), nil
+			}
+		}
+		return nil, fmt.Errorf("regmap: %s has no histogram %d", b.DeviceName(), histSel)
 	}
-	switch d.histSel {
-	case HistSize:
-		if d.tr.SizeHist() == nil {
-			return 0, 0, 0, nil, false
+	// bin returns the selected histogram bin, validating the index
+	// against the bin count (out-of-range reads are bus errors, not
+	// silent zeros).
+	bin := func() (uint64, error) {
+		h, err := hist()
+		if err != nil {
+			return 0, err
 		}
-		h = d.tr.SizeHist()
-	case HistGap:
-		if d.tr.GapHist() == nil {
-			return 0, 0, 0, nil, false
+		if int(histIdx) >= h.NumBins() {
+			return 0, fmt.Errorf("regmap: %s histogram bin %d out of range (bins %d)",
+				b.DeviceName(), histIdx, h.NumBins())
 		}
-		h = d.tr.GapHist()
-	case HistLat:
-		if d.tr.LatHist() == nil {
-			return 0, 0, 0, nil, false
-		}
-		h = d.tr.LatHist()
-	default:
-		return 0, 0, 0, nil, false
+		return h.Bin(int(histIdx)), nil
 	}
-	return h.NumBins(), h.BinWidth(), h.Overflow(), h.Bin, true
+	// flow returns the selected per-source latency row.
+	flow := func() (receptor.SourceLatency, error) {
+		fl := tr.PerSourceLatency()
+		if int(flowSel) >= len(fl) {
+			return receptor.SourceLatency{}, fmt.Errorf("regmap: %s flow %d out of range (flows %d)",
+				b.DeviceName(), flowSel, len(fl))
+		}
+		return fl[flowSel], nil
+	}
+
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeTR })
+	b.RO(RegSubtype, "SUBTYPE", "1 stochastic, 2 trace-driven",
+		func() uint32 {
+			if tr.Mode() == receptor.Stochastic {
+				return SubtypeStochastic
+			}
+			return SubtypeTraceTR
+		})
+	b.RW(RegCtrl, "CTRL", "bit1 reset-stats",
+		func() uint32 { return 0 },
+		func(v uint32) error {
+			if v&CtrlResetStats != 0 {
+				tr.ResetStats()
+			}
+			return nil
+		})
+	b.RW(RegLimitLo, "EXPECT_LO", "packets after which the TR reports done, low word",
+		func() uint32 { return expectLo },
+		func(v uint32) error {
+			expectLo = v
+			tr.SetExpect(uint64(expectHi)<<32 | uint64(expectLo))
+			return nil
+		})
+	b.RW(RegLimitHi, "EXPECT_HI", "expected packet count, high word",
+		func() uint32 { return expectHi },
+		func(v uint32) error {
+			expectHi = v
+			tr.SetExpect(uint64(expectHi)<<32 | uint64(expectLo))
+			return nil
+		})
+	b.RO64(RegTRPackets, "PACKETS", "packets received",
+		func() uint64 { return tr.Stats().Packets })
+	b.RO64(RegTRFlits, "FLITS", "flits received",
+		func() uint64 { return tr.Stats().Flits })
+	b.RO64(RegTRRunningTime, "RUN_TIME", "total running time (first to last flit)",
+		func() uint64 { return tr.Stats().RunningTime })
+	b.RO64(RegTRCongestion, "CONGESTION", "congestion counter (excess latency cycles)",
+		func() uint64 { return tr.Stats().CongestionCycles })
+	b.RO(RegTRNetLatMeanQ8, "LAT_MEAN", "mean network latency, Q8 fixed point",
+		func() uint32 { return q8(tr.Stats().NetLatencyMean) })
+	b.RO(RegTRNetLatMin, "LAT_MIN", "min network latency (cycles)",
+		func() uint32 { return uint32(tr.Stats().NetLatencyMin) })
+	b.RO(RegTRNetLatMax, "LAT_MAX", "max network latency (cycles)",
+		func() uint32 { return uint32(tr.Stats().NetLatencyMax) })
+	b.RO(RegTRNetLatStdQ8, "LAT_STD", "latency std deviation, Q8",
+		func() uint32 { return q8(tr.Stats().NetLatencyStd) })
+	b.RO(RegTRTotLatMeanQ8, "TLAT_MEAN", "mean total (birth to delivery) latency, Q8",
+		func() uint32 { return q8(tr.Stats().TotLatencyMean) })
+	b.RO(RegTRNetLatP95, "LAT_P95", "95th-percentile latency bound from the histogram (cycles)",
+		func() uint32 { return uint32(tr.Stats().NetLatencyP95) })
+
+	b.RW(RegHistSel, "HIST_SEL", "0 = sizes, 1 = inter-arrival gaps, 2 = latency",
+		func() uint32 { return histSel },
+		func(v uint32) error {
+			if v > HistLat {
+				return fmt.Errorf("regmap: %s histogram selector %d", b.DeviceName(), v)
+			}
+			histSel = v
+			return nil
+		})
+	b.RW(RegHistIdx, "HIST_IDX", "bin index for HIST_DATA",
+		func() uint32 { return histIdx },
+		func(v uint32) error { histIdx = v; return nil })
+	b.ROErr(RegHistData, "HIST_DATA", "selected histogram bin count, low word",
+		func() (uint32, error) {
+			v, err := bin()
+			return uint32(v), err
+		})
+	b.ROErr(RegHistBins, "HIST_BINS", "number of bins",
+		func() (uint32, error) {
+			h, err := hist()
+			if err != nil {
+				return 0, err
+			}
+			return uint32(h.NumBins()), nil
+		})
+	b.ROErr(RegHistWidth, "HIST_WIDTH", "bin width",
+		func() (uint32, error) {
+			h, err := hist()
+			if err != nil {
+				return 0, err
+			}
+			return uint32(h.BinWidth()), nil
+		})
+	b.ROErr(RegHistOver, "HIST_OVER", "overflow count",
+		func() (uint32, error) {
+			h, err := hist()
+			if err != nil {
+				return 0, err
+			}
+			return uint32(h.Overflow()), nil
+		})
+	b.ROErr(RegHistDataHi, "HIST_DATA_HI", "selected histogram bin count, high word",
+		func() (uint32, error) {
+			v, err := bin()
+			return uint32(v >> 32), err
+		})
+
+	b.F64(RegTRNetLatMeanF64, "LAT_MEAN_F64", "mean network latency",
+		func() float64 { return tr.Stats().NetLatencyMean })
+	b.F64(RegTRNetLatMinF64, "LAT_MIN_F64", "min network latency",
+		func() float64 { return tr.Stats().NetLatencyMin })
+	b.F64(RegTRNetLatMaxF64, "LAT_MAX_F64", "max network latency",
+		func() float64 { return tr.Stats().NetLatencyMax })
+	b.F64(RegTRNetLatStdF64, "LAT_STD_F64", "latency std deviation",
+		func() float64 { return tr.Stats().NetLatencyStd })
+	b.F64(RegTRTotLatMeanF64, "TLAT_MEAN_F64", "mean total latency",
+		func() float64 { return tr.Stats().TotLatencyMean })
+
+	b.RW(RegFlowSel, "FLOW_SEL", "flow index, ordered by source endpoint",
+		func() uint32 { return flowSel },
+		func(v uint32) error { flowSel = v; return nil })
+	b.RO(RegFlowCount, "FLOW_COUNT", "number of flows the latency analyzer observed",
+		func() uint32 { return uint32(len(tr.PerSourceLatency())) })
+	b.ROErr(RegFlowSrc, "FLOW_SRC", "selected flow's source endpoint",
+		func() (uint32, error) {
+			fl, err := flow()
+			return uint32(fl.Src), err
+		})
+	b.RO64(RegFlowPackets, "FLOW_PACKETS", "selected flow's packet count",
+		func() uint64 {
+			fl, err := flow()
+			if err != nil {
+				return 0
+			}
+			return fl.Packets
+		})
+	b.F64(RegFlowMeanF64, "FLOW_MEAN_F64", "selected flow's mean network latency",
+		func() float64 {
+			fl, err := flow()
+			if err != nil {
+				return 0
+			}
+			return fl.Mean
+		})
+	b.F64(RegFlowMaxF64, "FLOW_MAX_F64", "selected flow's max network latency",
+		func() float64 {
+			fl, err := flow()
+			if err != nil {
+				return 0
+			}
+			return fl.Max
+		})
+	return b
 }
 
-// ReadReg implements bus.Device.
-func (d *TRDevice) ReadReg(reg uint32) (uint32, error) {
-	st := d.tr.Stats()
-	switch reg {
-	case RegType:
-		return TypeTR, nil
-	case RegSubtype:
-		if d.tr.Mode() == receptor.Stochastic {
-			return SubtypeStochastic, nil
-		}
-		return SubtypeTraceTR, nil
-	case RegCtrl:
-		return 0, nil
-	case RegLimitLo:
-		return d.expectLo, nil
-	case RegLimitHi:
-		return d.expectHi, nil
-	case RegTRPackets:
-		return lo(st.Packets), nil
-	case RegTRPackets + 1:
-		return hi(st.Packets), nil
-	case RegTRFlits:
-		return lo(st.Flits), nil
-	case RegTRFlits + 1:
-		return hi(st.Flits), nil
-	case RegTRRunningTime:
-		return lo(st.RunningTime), nil
-	case RegTRRunningTime + 1:
-		return hi(st.RunningTime), nil
-	case RegTRCongestion:
-		return lo(st.CongestionCycles), nil
-	case RegTRCongestion + 1:
-		return hi(st.CongestionCycles), nil
-	case RegTRNetLatMeanQ8:
-		return q8(st.NetLatencyMean), nil
-	case RegTRNetLatMin:
-		return uint32(st.NetLatencyMin), nil
-	case RegTRNetLatMax:
-		return uint32(st.NetLatencyMax), nil
-	case RegTRNetLatStdQ8:
-		return q8(st.NetLatencyStd), nil
-	case RegTRTotLatMeanQ8:
-		return q8(st.TotLatencyMean), nil
-	case RegTRNetLatP95:
-		return uint32(st.NetLatencyP95), nil
-	case RegHistSel:
-		return d.histSel, nil
-	case RegHistIdx:
-		return d.histIdx, nil
-	case RegHistData:
-		_, _, _, bin, ok := d.hist()
-		if !ok {
-			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
-		}
-		return uint32(bin(int(d.histIdx))), nil
-	case RegHistBins:
-		bins, _, _, _, ok := d.hist()
-		if !ok {
-			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
-		}
-		return uint32(bins), nil
-	case RegHistWidth:
-		_, width, _, _, ok := d.hist()
-		if !ok {
-			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
-		}
-		return uint32(width), nil
-	case RegHistOver:
-		_, _, over, _, ok := d.hist()
-		if !ok {
-			return 0, fmt.Errorf("regmap: %s has no histogram %d", d.DeviceName(), d.histSel)
-		}
-		return uint32(over), nil
-	}
-	return 0, errBadReg("read", reg)
-}
-
-// WriteReg implements bus.Device.
-func (d *TRDevice) WriteReg(reg, v uint32) error {
-	switch reg {
-	case RegCtrl:
-		if v&CtrlResetStats != 0 {
-			d.tr.ResetStats()
-		}
-		return nil
-	case RegLimitLo:
-		d.expectLo = v
-		d.tr.SetExpect(uint64(d.expectHi)<<32 | uint64(d.expectLo))
-		return nil
-	case RegLimitHi:
-		d.expectHi = v
-		d.tr.SetExpect(uint64(d.expectHi)<<32 | uint64(d.expectLo))
-		return nil
-	case RegHistSel:
-		if v > HistLat {
-			return fmt.Errorf("regmap: %s histogram selector %d", d.DeviceName(), v)
-		}
-		d.histSel = v
-		return nil
-	case RegHistIdx:
-		d.histIdx = v
-		return nil
-	}
-	return errBadReg("write", reg)
-}
-
-// SwitchDevice is the register bank of a switch.
-type SwitchDevice struct {
-	sw *switchfab.Switch
-}
-
-// NewSwitchDevice wraps a switch.
-func NewSwitchDevice(sw *switchfab.Switch) *SwitchDevice { return &SwitchDevice{sw: sw} }
-
-// DeviceName implements bus.Device.
-func (d *SwitchDevice) DeviceName() string { return d.sw.ComponentName() }
-
-// ReadReg implements bus.Device.
-func (d *SwitchDevice) ReadReg(reg uint32) (uint32, error) {
-	st := d.sw.Stats()
-	switch reg {
-	case RegType:
-		return TypeSwitch, nil
-	case RegSubtype:
-		return 0, nil
-	case RegCtrl:
-		return 0, nil
-	case RegSwFlitsRouted:
-		return lo(st.FlitsRouted), nil
-	case RegSwFlitsRouted + 1:
-		return hi(st.FlitsRouted), nil
-	case RegSwPacketsRouted:
-		return lo(st.PacketsRouted), nil
-	case RegSwPacketsRouted + 1:
-		return hi(st.PacketsRouted), nil
-	case RegSwBlocked:
-		return lo(st.BlockedCycles), nil
-	case RegSwBlocked + 1:
-		return hi(st.BlockedCycles), nil
-	case RegSwCycles:
-		return lo(st.Cycles), nil
-	case RegSwCycles + 1:
-		return hi(st.Cycles), nil
-	}
-	return 0, errBadReg("read", reg)
-}
-
-// WriteReg implements bus.Device.
-func (d *SwitchDevice) WriteReg(reg, v uint32) error {
-	switch reg {
-	case RegCtrl:
-		if v&CtrlResetStats != 0 {
-			d.sw.ResetStats()
-		}
-		return nil
-	}
-	return errBadReg("write", reg)
+// NewSwitchDevice builds the register bank of a switch.
+func NewSwitchDevice(sw *switchfab.Switch) *Bank {
+	b := NewBank(sw.ComponentName())
+	b.Describe("Switch (TYPE = 3)", "")
+	b.RO(RegType, "TYPE", "device class", func() uint32 { return TypeSwitch })
+	b.RO(RegSubtype, "SUBTYPE", "always 0", func() uint32 { return 0 })
+	b.RW(RegCtrl, "CTRL", "bit1 reset-stats",
+		func() uint32 { return 0 },
+		func(v uint32) error {
+			if v&CtrlResetStats != 0 {
+				sw.ResetStats()
+			}
+			return nil
+		})
+	b.RO64(RegSwFlitsRouted, "FLITS", "flits routed",
+		func() uint64 { return sw.Stats().FlitsRouted })
+	b.RO64(RegSwPacketsRouted, "PACKETS", "packets routed (tails forwarded)",
+		func() uint64 { return sw.Stats().PacketsRouted })
+	b.RO64(RegSwBlocked, "BLOCKED", "blocked head-flit cycles (congestion)",
+		func() uint64 { return sw.Stats().BlockedCycles })
+	b.RO64(RegSwCycles, "CYCLES", "committed cycles",
+		func() uint64 { return sw.Stats().Cycles })
+	return b
 }

@@ -319,7 +319,7 @@ func TestQ8Encoding(t *testing.T) {
 
 // mkSwitchDevice builds a minimal switch register bank for register
 // sweep tests.
-func mkSwitchDevice(t *testing.T) *SwitchDevice {
+func mkSwitchDevice(t *testing.T) *Bank {
 	t.Helper()
 	tb := routing.NewTable(1)
 	sw, err := switchfab.New(switchfab.Config{

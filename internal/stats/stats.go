@@ -146,31 +146,39 @@ func (h *Histogram) Reset() {
 // Render draws the histogram as ASCII art, width columns wide, as the
 // paper's monitor displays it on the host PC.
 func (h *Histogram) Render(width int) string {
+	return RenderBins(h.binWidth, h.bins, h.overflow, width)
+}
+
+// RenderBins draws raw histogram bins as ASCII art, width columns wide.
+// It is the rendering behind Histogram.Render, split out so a monitor
+// that reconstructed the bins over the register bus produces the same
+// picture as one holding the Histogram itself.
+func RenderBins(binWidth uint64, bins []uint64, overflow uint64, width int) string {
 	if width < 1 {
 		width = 40
 	}
 	var peak uint64
-	for _, b := range h.bins {
+	for _, b := range bins {
 		if b > peak {
 			peak = b
 		}
 	}
-	if h.overflow > peak {
-		peak = h.overflow
+	if overflow > peak {
+		peak = overflow
 	}
 	var sb strings.Builder
-	for i, b := range h.bins {
+	for i, b := range bins {
 		bar := 0
 		if peak > 0 {
 			bar = int(float64(b) / float64(peak) * float64(width))
 		}
 		fmt.Fprintf(&sb, "[%6d,%6d) %8d |%s\n",
-			uint64(i)*h.binWidth, uint64(i+1)*h.binWidth, b, strings.Repeat("#", bar))
+			uint64(i)*binWidth, uint64(i+1)*binWidth, b, strings.Repeat("#", bar))
 	}
-	if h.overflow > 0 {
-		bar := int(float64(h.overflow) / float64(peak) * float64(width))
+	if overflow > 0 {
+		bar := int(float64(overflow) / float64(peak) * float64(width))
 		fmt.Fprintf(&sb, "[%6d,   inf) %8d |%s\n",
-			uint64(len(h.bins))*h.binWidth, h.overflow, strings.Repeat("#", bar))
+			uint64(len(bins))*binWidth, overflow, strings.Repeat("#", bar))
 	}
 	return sb.String()
 }

@@ -111,6 +111,15 @@ func (s *Source) Done() bool { return s.planIdx >= len(s.plan) && s.count == 0 }
 // Sent returns flits and packets injected.
 func (s *Source) Sent() (flits, packets uint64) { return s.flitsSent, s.packetsSent }
 
+// PlanLen returns the number of planned packets.
+func (s *Source) PlanLen() int { return len(s.plan) }
+
+// PlanPos returns how many planned packets have been expanded so far.
+func (s *Source) PlanPos() int { return s.planIdx }
+
+// Credits returns the current VC-0 credit balance.
+func (s *Source) Credits() int { return s.credits }
+
 // Sink is a minimal traffic sink for virtual-channel networks: it
 // consumes one flit per cycle, returns a credit on the flit's VC, and
 // reassembles packets (flits of different packets interleave on the
@@ -188,3 +197,11 @@ func (k *Sink) Done() bool { return k.expect > 0 && k.packets >= k.expect }
 
 // Received returns flits and packets delivered.
 func (k *Sink) Received() (flits, packets uint64) { return k.flits, k.packets }
+
+// Expect returns the packet count after which the sink reports done
+// (0 = never).
+func (k *Sink) Expect() uint64 { return k.expect }
+
+// NumVC returns the number of virtual channels the sink returns credits
+// on.
+func (k *Sink) NumVC() int { return len(k.credUp) }

@@ -1,4 +1,4 @@
-package vcswitch
+package vcswitch_test
 
 import (
 	"fmt"
@@ -11,6 +11,7 @@ import (
 	"nocemu/internal/routing"
 	"nocemu/internal/topology"
 	"nocemu/internal/traffic"
+	"nocemu/internal/vcswitch"
 
 	"nocemu/internal/platform"
 	"nocemu/internal/receptor"
@@ -18,7 +19,7 @@ import (
 
 func TestNewValidation(t *testing.T) {
 	tb := routing.NewTable(1)
-	bad := []Config{
+	bad := []vcswitch.Config{
 		{Name: "", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
 		{Name: "s", NumIn: 0, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
 		{Name: "s", NumIn: 1, NumOut: 0, NumVC: 1, BufDepth: 1, Arb: arb.RoundRobin, Table: tb},
@@ -28,11 +29,11 @@ func TestNewValidation(t *testing.T) {
 		{Name: "s", NumIn: 1, NumOut: 1, NumVC: 1, BufDepth: 1, Arb: arb.Policy("x"), Table: tb},
 	}
 	for i, cfg := range bad {
-		if _, err := New(cfg); err == nil {
+		if _, err := vcswitch.New(cfg); err == nil {
 			t.Errorf("case %d accepted", i)
 		}
 	}
-	s, err := New(Config{Name: "s", NumIn: 2, NumOut: 2, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
+	s, err := vcswitch.New(vcswitch.Config{Name: "s", NumIn: 2, NumOut: 2, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,14 +68,14 @@ func plan(dst flit.EndpointID, n int, length uint16) []flit.Packet {
 
 // buildShared wires two sources through one 2-in/1-out VC switch into a
 // sink, with a VC map that puts each source on its own output VC.
-func buildShared(t *testing.T, numVC int, vcmap VCMap, perSrc int, length uint16) (*engine.Engine, *Sink, *Switch) {
+func buildShared(t *testing.T, numVC int, vcmap vcswitch.VCMap, perSrc int, length uint16) (*engine.Engine, *vcswitch.Sink, *vcswitch.Switch) {
 	t.Helper()
 	eng := engine.New()
 	tb := routing.NewTable(1)
 	if err := tb.Set(0, 100, []int{0}); err != nil {
 		t.Fatal(err)
 	}
-	sw, err := New(Config{
+	sw, err := vcswitch.New(vcswitch.Config{
 		Name: "vs0", Node: 0, NumIn: 2, NumOut: 1, NumVC: numVC,
 		BufDepth: 4, Arb: arb.RoundRobin, Table: tb, VCMap: vcmap,
 	})
@@ -86,7 +87,7 @@ func buildShared(t *testing.T, numVC int, vcmap VCMap, perSrc int, length uint16
 		if err := sw.ConnectInput(i, l, crs); err != nil {
 			t.Fatal(err)
 		}
-		src, err := NewSource(fmt.Sprintf("src%d", i), flit.EndpointID(i+1), l, crs[0],
+		src, err := vcswitch.NewSource(fmt.Sprintf("src%d", i), flit.EndpointID(i+1), l, crs[0],
 			sw.BufDepth(), plan(100, perSrc, length))
 		if err != nil {
 			t.Fatal(err)
@@ -97,7 +98,7 @@ func buildShared(t *testing.T, numVC int, vcmap VCMap, perSrc int, length uint16
 	if err := sw.ConnectOutput(0, outL, outCrs, 4); err != nil {
 		t.Fatal(err)
 	}
-	snk, err := NewSink("snk", 100, outL, outCrs, uint64(2*perSrc))
+	snk, err := vcswitch.NewSink("snk", 100, outL, outCrs, uint64(2*perSrc))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -178,7 +179,7 @@ func TestWormholeDoesNotInterleaveBaseline(t *testing.T) {
 // with two virtual channels and a dateline.
 func TestDatelineBreaksRingDeadlock(t *testing.T) {
 	// Single VC: wedges (long packets, tiny buffers, cyclic routes).
-	eng1, sinks1, err := Ring3(1, false, 10, 16, 2)
+	eng1, sinks1, err := vcswitch.Ring3(1, false, 10, 16, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -195,7 +196,7 @@ func TestDatelineBreaksRingDeadlock(t *testing.T) {
 	}
 
 	// Two VCs + dateline: completes.
-	eng2, sinks2, err := Ring3(2, true, 10, 16, 2)
+	eng2, sinks2, err := vcswitch.Ring3(2, true, 10, 16, 2)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,31 +266,31 @@ func TestVCMatchesWormholeOnPaperTraffic(t *testing.T) {
 func TestEndpointValidation(t *testing.T) {
 	l := link.NewLink("l")
 	cr := link.NewCreditLink("c")
-	if _, err := NewSource("", 0, l, cr, 2, nil); err == nil {
+	if _, err := vcswitch.NewSource("", 0, l, cr, 2, nil); err == nil {
 		t.Error("empty source name accepted")
 	}
-	if _, err := NewSource("s", 0, nil, cr, 2, nil); err == nil {
+	if _, err := vcswitch.NewSource("s", 0, nil, cr, 2, nil); err == nil {
 		t.Error("nil source link accepted")
 	}
-	if _, err := NewSource("s", 0, l, nil, 2, nil); err == nil {
+	if _, err := vcswitch.NewSource("s", 0, l, nil, 2, nil); err == nil {
 		t.Error("nil source credit accepted")
 	}
-	if _, err := NewSource("s", 0, l, cr, 0, nil); err == nil {
+	if _, err := vcswitch.NewSource("s", 0, l, cr, 0, nil); err == nil {
 		t.Error("zero credits accepted")
 	}
-	if _, err := NewSink("", 9, l, []*link.CreditLink{cr}, 1); err == nil {
+	if _, err := vcswitch.NewSink("", 9, l, []*link.CreditLink{cr}, 1); err == nil {
 		t.Error("empty sink name accepted")
 	}
-	if _, err := NewSink("k", 9, nil, []*link.CreditLink{cr}, 1); err == nil {
+	if _, err := vcswitch.NewSink("k", 9, nil, []*link.CreditLink{cr}, 1); err == nil {
 		t.Error("nil sink link accepted")
 	}
-	if _, err := NewSink("k", 9, l, nil, 1); err == nil {
+	if _, err := vcswitch.NewSink("k", 9, l, nil, 1); err == nil {
 		t.Error("no sink credit wires accepted")
 	}
-	if _, err := NewSink("k", 9, l, []*link.CreditLink{nil}, 1); err == nil {
+	if _, err := vcswitch.NewSink("k", 9, l, []*link.CreditLink{nil}, 1); err == nil {
 		t.Error("nil sink credit wire accepted")
 	}
-	src, err := NewSource("s", 0, l, cr, 2, nil)
+	src, err := vcswitch.NewSource("s", 0, l, cr, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -301,7 +302,7 @@ func TestEndpointValidation(t *testing.T) {
 
 func TestConnectErrors(t *testing.T) {
 	tb := routing.NewTable(1)
-	s, err := New(Config{Name: "s", NumIn: 1, NumOut: 1, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
+	s, err := vcswitch.New(vcswitch.Config{Name: "s", NumIn: 1, NumOut: 1, NumVC: 2, BufDepth: 2, Arb: arb.RoundRobin, Table: tb})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -346,14 +347,14 @@ func TestConnectErrors(t *testing.T) {
 }
 
 func TestRing3Validation(t *testing.T) {
-	if _, _, err := Ring3(1, false, 0, 1, 2); err == nil {
+	if _, _, err := vcswitch.Ring3(1, false, 0, 1, 2); err == nil {
 		t.Error("zero packets accepted")
 	}
-	if _, _, err := Ring3(1, false, 1, 0, 2); err == nil {
+	if _, _, err := vcswitch.Ring3(1, false, 1, 0, 2); err == nil {
 		t.Error("zero length accepted")
 	}
 	// Default buffer depth kicks in for bufDepth < 1.
-	eng, sinks, err := Ring3(2, true, 1, 1, 0)
+	eng, sinks, err := vcswitch.Ring3(2, true, 1, 1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
