@@ -17,8 +17,16 @@ race:
 race-all:
 	go test -race ./...
 
+# Machine-readable benchmark suite: the emulator speed matrix (three
+# loads, gated and ungated, plus a parallel row) as bench.json — the
+# artifact CI uploads. `make bench-go` runs the full go-test benches.
 .PHONY: bench
 bench:
+	go run ./cmd/nocbench -exp none -workers 4 -json bench.json
+	@cat bench.json
+
+.PHONY: bench-go
+bench-go:
 	go test -bench=. -benchmem ./...
 
 .PHONY: vet

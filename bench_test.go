@@ -91,6 +91,34 @@ func BenchmarkTable2EmulatorParallel(b *testing.B) {
 	}
 }
 
+// BenchmarkTable2EmulatorGating ablates quiescence-aware scheduling
+// (the software clock gating of DESIGN.md §10) across injection loads.
+// Statistics are bit-identical with gating on or off; only cycles/s
+// moves. Expected shape: large wins at low load (mostly idle cycles
+// are skipped or fast-forwarded), parity at saturation (nothing is
+// ever quiet, and the fast path degenerates to the naive walk).
+func BenchmarkTable2EmulatorGating(b *testing.B) {
+	for _, load := range []float64{0.01, 0.10, 0.50} {
+		for _, gate := range []bool{true, false} {
+			b.Run(fmt.Sprintf("load=%.2f/gate=%v", load, gate), func(b *testing.B) {
+				benchCycles(b, 50_000, func(b *testing.B) func(uint64) {
+					cfg, err := platform.PaperConfig(platform.PaperOptions{Load: load})
+					if err != nil {
+						b.Fatal(err)
+					}
+					cfg.NoGate = !gate
+					p, err := platform.Build(cfg)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.Cleanup(p.Close)
+					return p.RunCycles
+				})
+			})
+		}
+	}
+}
+
 // BenchmarkTable2SystemCLike measures the dynamic event-calendar
 // scheduler over the same components — the middle row.
 func BenchmarkTable2SystemCLike(b *testing.B) {

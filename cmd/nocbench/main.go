@@ -8,6 +8,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,11 @@ import (
 
 func main() {
 	var (
-		exps    = flag.String("exp", "t1,t2,f1,f2,f3,f4,scale,sat,vc,buf", "comma-separated experiments to run (t1,t2,f1..f4,scale,sat,vc,buf)")
+		exps    = flag.String("exp", "t1,t2,f1,f2,f3,f4,scale,sat,vc,buf", "comma-separated experiments to run (t1,t2,f1..f4,scale,sat,vc,buf; 'none' skips all)")
 		csvDir  = flag.String("csv", "", "directory to write figure series as CSV")
 		workers = flag.Int("workers", 0, "add a parallel-kernel row to the t2 speed table with this many workers (0 = off)")
+		gate    = flag.Bool("gate", true, "quiescence-aware scheduling in the t2 speed rows (ablation: -gate=false; results are identical)")
+		jsonOut = flag.String("json", "", "write the benchmark suite (name, cycles/s, allocs/op) as JSON to this file")
 	)
 	flag.Parse()
 
@@ -35,13 +38,36 @@ func main() {
 	for _, e := range strings.Split(*exps, ",") {
 		selected[strings.TrimSpace(e)] = true
 	}
-	if err := run(selected, *csvDir, *workers); err != nil {
+	if err := run(selected, *csvDir, *workers, !*gate); err != nil {
 		fmt.Fprintln(os.Stderr, "nocbench:", err)
 		os.Exit(1)
 	}
+	if *jsonOut != "" {
+		if err := writeBenchJSON(*jsonOut, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+	}
 }
 
-func run(selected map[string]bool, csvDir string, workers int) error {
+// writeBenchJSON runs the machine-readable benchmark suite and writes
+// it to path — the artifact `make bench` produces and CI uploads.
+func writeBenchJSON(path string, workers int) error {
+	rows, err := experiments.BenchSuite(0, workers)
+	if err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rows)
+}
+
+func run(selected map[string]bool, csvDir string, workers int, noGate bool) error {
 	writeCSV := func(name string, series ...stats.Series) error {
 		if csvDir == "" {
 			return nil
@@ -67,7 +93,7 @@ func run(selected map[string]bool, csvDir string, workers int) error {
 	}
 	if selected["t2"] {
 		fmt.Println("=== Table 2: simulation speed comparison (slide 18) ===")
-		res, err := experiments.Table2(experiments.Table2Options{Workers: workers})
+		res, err := experiments.Table2(experiments.Table2Options{Workers: workers, NoGate: noGate})
 		if err != nil {
 			return err
 		}

@@ -40,6 +40,7 @@ func main() {
 		seed       = flag.Uint("seed", 1, "platform seed")
 		cycles     = flag.Uint64("cycles", 10_000_000, "maximum emulated cycles")
 		workers    = flag.Int("workers", 0, "simulation worker goroutines (0 = sequential kernel; results are identical)")
+		gate       = flag.Bool("gate", true, "quiescence-aware scheduling (clock gating); results are identical either way")
 		jsonOut    = flag.Bool("json", false, "emit JSON instead of the text report")
 		hist       = flag.Bool("hist", false, "append receptor histograms")
 		noSynth    = flag.Bool("no-synthesis", false, "skip the FPGA area estimate")
@@ -62,6 +63,13 @@ func main() {
 	if *workers != 0 {
 		cfg.Workers = *workers
 	}
+	// Same idea for -gate: only an explicit flag overrides the config's
+	// "no_gate" field.
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "gate" {
+			cfg.NoGate = !*gate
+		}
+	})
 
 	rep, err := flow.Run(cfg, control.Program{}, flow.Options{
 		MaxCycles:     *cycles,

@@ -142,6 +142,14 @@ func (q *FIFO) Commit(cycle uint64) {
 	}
 }
 
+// SkipIdle accounts n skipped cycles during which the owner staged no
+// operations: each would have committed nothing but still advanced the
+// occupancy statistics by the (unchanged) committed size.
+func (q *FIFO) SkipIdle(n uint64) {
+	q.cycles += n
+	q.sumOccupancy += uint64(q.size) * n
+}
+
 // Drain removes every queued flit — committed entries and a staged
 // push alike — passing each to release (which may be nil). It is the
 // end-of-run reclamation path: with pooled flits, every occupied slot

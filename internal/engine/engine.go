@@ -101,6 +101,9 @@ type Engine struct {
 	sortedNames []string
 	namesStale  bool
 	cycle       uint64
+	// sched holds the quiescence-aware scheduling state (quiesce.go);
+	// nil when gating is off, which is the default.
+	sched *sched
 }
 
 // New returns an empty engine at cycle zero.
@@ -196,6 +199,12 @@ func (e *Engine) Cycle() uint64 { return e.cycle }
 
 // Step advances the simulation by exactly one cycle.
 func (e *Engine) Step() {
+	if e.sched != nil {
+		e.schedEnter()
+		e.stepGatedInner()
+		e.settleParked()
+		return
+	}
 	c := e.cycle
 	for _, comp := range e.components {
 		comp.Tick(c)
@@ -207,8 +216,13 @@ func (e *Engine) Step() {
 }
 
 // Run advances the simulation by n cycles and returns the number of
-// cycles actually executed (always n).
+// cycles actually executed (always n; with gating enabled, cycles
+// skipped by fast-forward count as executed).
 func (e *Engine) Run(n uint64) uint64 {
+	if e.sched != nil {
+		executed, _ := e.runGated(n, false)
+		return executed
+	}
 	for i := uint64(0); i < n; i++ {
 		e.Step()
 	}
@@ -245,6 +259,9 @@ func (e *Engine) RunUntil(maxCycles uint64) (executed uint64, stopped bool) {
 	if len(e.stoppers) == 0 && len(e.aborters) == 0 {
 		return e.Run(maxCycles), false
 	}
+	if e.sched != nil {
+		return e.runGated(maxCycles, true)
+	}
 	for executed < maxCycles {
 		if stop, byStopper := e.pollStop(); stop {
 			return executed, byStopper
@@ -255,8 +272,34 @@ func (e *Engine) RunUntil(maxCycles uint64) (executed uint64, stopped bool) {
 	return executed, false
 }
 
-// Reset rewinds the cycle counter without touching component state;
-// callers that reuse an engine must reset their components through the
-// control plane (which is the point of the paper's software-driven
-// re-initialization).
-func (e *Engine) Reset() { e.cycle = 0 }
+// Reset rewinds the cycle counter and re-arms the kernel's cached
+// run-control state: outstanding quiescence skip accounting is
+// settled, every parked component (including the cached Stopper and
+// Aborter components among them) returns to the active walk, and the
+// wake heap is cleared, so the next run polls and evaluates everything
+// afresh from cycle zero.
+//
+// Reset does NOT reset component state. Callers that reuse an engine
+// must re-initialize their components through the control plane (which
+// is the point of the paper's software-driven re-initialization);
+// otherwise the next run continues from the components' current state
+// at cycle zero.
+func (e *Engine) Reset() {
+	if e.sched != nil {
+		e.schedEnter()
+		e.settleParked()
+		s := e.sched
+		s.heap = s.heap[:0]
+		s.armed = s.armed[:0]
+		for i := range s.parkedAt {
+			s.parkedAt[i] = 0
+			if s.quies[i] != nil {
+				s.nextTry[i] = 0 // backoffs reference the old timeline
+			}
+		}
+		for _, st := range s.settlers {
+			st.Rewind()
+		}
+	}
+	e.cycle = 0
+}

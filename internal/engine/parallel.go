@@ -128,6 +128,22 @@ type ParallelEngine struct {
 	commitGate gate
 	batchStart uint64
 	closed     bool
+
+	// Quiescence gating (see quiesce.go). The parallel kernel gates the
+	// schedule as a whole rather than per component: workers always walk
+	// their full shards (a quiet component's Tick/Commit is a no-op, so
+	// this is bit-identical to the sequential kernel's per-component
+	// parking), and the coordinator — inside the quiesced window it
+	// already owns for stop polling — fast-forwards the cycle counter
+	// whenever every component reports quiet, paying the skipped cycles
+	// into the per-cycle counters with SkipIdle. nextCycle carries the
+	// (possibly fast-forwarded) cycle to the workers; it is written
+	// before the commit-gate release and read after the await, so the
+	// gate's epoch atomic orders it.
+	gated         bool
+	quies         []Quiescable
+	allQuiescable bool
+	nextCycle     uint64
 }
 
 // NewParallel builds a parallel kernel over eng with the given worker
@@ -165,8 +181,18 @@ func (p *ParallelEngine) Workers() int { return p.workers }
 // Cycle returns the number of completed cycles.
 func (p *ParallelEngine) Cycle() uint64 { return p.eng.Cycle() }
 
-// Reset rewinds the cycle counter without touching component state.
+// Reset rewinds the cycle counter and re-arms cached run-control
+// state without touching component state (see Engine.Reset).
 func (p *ParallelEngine) Reset() { p.eng.Reset() }
+
+// SetGated enables or disables quiescence-aware cycle skipping for
+// this kernel. Unlike the sequential engine the parallel kernel needs
+// no arm hooks: every component is still evaluated each executed
+// cycle, and only globally idle windows are skipped.
+func (p *ParallelEngine) SetGated(on bool) { p.gated = on }
+
+// Gated reports whether quiescence-aware cycle skipping is enabled.
+func (p *ParallelEngine) Gated() bool { return p.gated }
 
 // Close releases the worker pool. The kernel must not be used after
 // Close; the underlying Engine remains usable. Close is idempotent.
@@ -200,6 +226,18 @@ func (p *ParallelEngine) refreshShards() {
 		p.shards[w] = append(p.shards[w], c)
 		w = (w + 1) % len(p.shards)
 	}
+	// Quiescence scoreboard: global fast-forward is possible only when
+	// every registered component can declare idleness.
+	p.quies = p.quies[:0]
+	p.allQuiescable = true
+	for _, c := range p.eng.components {
+		q, ok := c.(Quiescable)
+		if !ok {
+			p.allQuiescable = false
+			break
+		}
+		p.quies = append(p.quies, q)
+	}
 }
 
 // runWorker is the pool goroutine body: park on the channel, then
@@ -224,7 +262,10 @@ func (p *ParallelEngine) runWorker(id int, wake chan struct{}) {
 			if cmd == cmdStop {
 				break
 			}
-			cycle++
+			// The coordinator publishes the next cycle before the
+			// release; normally cycle+1, further ahead after a
+			// quiescence fast-forward.
+			cycle = p.nextCycle
 		}
 	}
 }
@@ -275,14 +316,64 @@ func (p *ParallelEngine) runBatch(max uint64, poll bool) (executed uint64, stopp
 			p.commitGate.release(cmdStop)
 			return executed, false
 		}
+		// The stop poll must run before any fast-forward: the quiet
+		// contract guarantees no Stopper/Aborter answer changes inside a
+		// skipped window, but the answer as of the next cycle must be
+		// honoured before skipping anything — exactly as the sequential
+		// gated kernel polls at the top of its loop.
 		if poll {
 			if stop, byStopper := p.eng.pollStop(); stop {
 				p.commitGate.release(cmdStop)
 				return executed, byStopper
 			}
 		}
+		if p.gated && p.allQuiescable {
+			executed += p.fastForward(c, max-executed)
+			if executed >= max {
+				p.commitGate.release(cmdStop)
+				return executed, false
+			}
+		}
+		p.nextCycle = p.eng.cycle
 		p.commitGate.release(cmdGo)
 	}
+}
+
+// fastForward runs in the coordinator's quiesced window after cycle
+// committed has fully committed. If every component is quiet it jumps
+// the cycle counter to the earliest wake (bounded by the remaining
+// budget), paying the skipped cycles into every component's per-cycle
+// counters, and returns the number of cycles skipped. The quiet
+// contract guarantees the skipped Tick/Commit pairs would have been
+// no-ops and that no Stopper/Aborter answer changes inside the skipped
+// window, so results — including the stop cycle — stay bit-identical.
+func (p *ParallelEngine) fastForward(committed, budget uint64) uint64 {
+	minWake := NeverWake
+	for _, q := range p.quies {
+		w, quiet := q.NextWake(committed)
+		if !quiet {
+			return 0
+		}
+		if w < minWake {
+			minWake = w
+		}
+	}
+	target := p.eng.cycle + budget
+	if target < p.eng.cycle { // overflow
+		target = NeverWake
+	}
+	if minWake < target {
+		target = minWake
+	}
+	if target <= p.eng.cycle {
+		return 0
+	}
+	n := target - p.eng.cycle
+	for _, q := range p.quies {
+		q.SkipIdle(p.eng.cycle, n)
+	}
+	p.eng.cycle = target
+	return n
 }
 
 // Step advances the simulation by exactly one cycle.

@@ -1,0 +1,412 @@
+// Quiescence-aware scheduling — the software analogue of clock gating.
+//
+// Most cycles of a realistic emulation run are idle: generators sleep
+// through inter-packet gaps, switches sit with empty buffers, links
+// carry nothing. The FPGA pays nothing for an idle device; the naive
+// kernel still walks it twice per cycle. A component that can prove it
+// will stage and commit nothing for a while implements Quiescable; the
+// kernel then parks it — removes it from the per-cycle walk — until
+// either its declared wake cycle arrives (wake heap) or a neighbour
+// stages something onto one of its input wires (arm hook, installed by
+// the platform on the link Send path). When every component is parked
+// the kernel fast-forwards the global cycle counter straight to the
+// earliest wake.
+//
+// Two rules make the skipping invisible:
+//
+//   - The quiet contract. A component may report quiet only if, absent
+//     new input, every skipped Tick/Commit pair would have been a
+//     no-op apart from derivable per-cycle counters (link utilization
+//     denominators, buffer occupancy integrals), consumed no
+//     randomness, and left its Stopper/Aborter answers unchanged
+//     before the returned wake cycle. A cycle-driven Stopper or
+//     Aborter must therefore bound its own flip with its wake, which
+//     is what keeps fast-forward and pollStop exact.
+//
+//   - Skip accounting. While parked, a component's per-cycle counters
+//     are owed the skipped cycles. The kernel records the cycle a
+//     component was parked from and pays the debt with one SkipIdle
+//     call on wake, and settles every parked component at the end of
+//     each run entry point, so external observers (monitor, register
+//     reads, stats resets) always see the same numbers the naive
+//     schedule would have produced.
+package engine
+
+// NeverWake is the wake cycle of a component that only input can
+// reactivate.
+const NeverWake = ^uint64(0)
+
+// Quiescable is implemented by components that can declare idleness.
+// See the package comment above for the quiet contract; a component
+// that cannot honour it simply does not implement the interface and is
+// walked every cycle.
+type Quiescable interface {
+	Component
+	// NextWake reports whether the component is quiet as of the end of
+	// the given (just committed) cycle and, if so, the first future
+	// cycle at which it may act again absent new input (NeverWake if
+	// only input reactivates it).
+	NextWake(cycle uint64) (wake uint64, quiet bool)
+	// SkipIdle accounts n skipped cycles [from, from+n) during which
+	// the component was parked: per-cycle counters and internal
+	// countdowns advance exactly as n no-op Tick/Commit pairs would
+	// have advanced them.
+	SkipIdle(from, n uint64)
+}
+
+// Settler is implemented by components that gate sub-devices
+// internally (the platform's wire bank) and need a chance to pay their
+// own skip-accounting debt when the kernel settles at the end of a
+// run.
+type Settler interface {
+	// Settle brings every internally parked sub-device's counters up
+	// to the given cycle.
+	Settle(cycle uint64)
+	// Rewind resets internal park watermarks to cycle zero after the
+	// kernel's cycle counter is rewound (Engine.Reset). The kernel
+	// settles first, so no skip debt is outstanding when this runs.
+	Rewind()
+}
+
+// wakeEntry is a heap record: component idx sleeps until wake. gen
+// guards against stale entries (the component woke and re-parked since
+// the push); entries are discarded lazily on pop.
+type wakeEntry struct {
+	wake uint64
+	idx  int
+	gen  uint64
+}
+
+type wakeHeap []wakeEntry
+
+func (h *wakeHeap) push(e wakeEntry) {
+	*h = append(*h, e)
+	a := *h
+	for i := len(a) - 1; i > 0; {
+		p := (i - 1) / 2
+		if a[p].wake <= a[i].wake {
+			break
+		}
+		a[p], a[i] = a[i], a[p]
+		i = p
+	}
+}
+
+func (h *wakeHeap) pop() wakeEntry {
+	a := *h
+	top := a[0]
+	n := len(a) - 1
+	a[0] = a[n]
+	*h = a[:n]
+	for i := 0; ; {
+		l, r, m := 2*i+1, 2*i+2, i
+		if l < n && a[l].wake < a[m].wake {
+			m = l
+		}
+		if r < n && a[r].wake < a[m].wake {
+			m = r
+		}
+		if m == i {
+			break
+		}
+		a[i], a[m] = a[m], a[i]
+		i = m
+	}
+	return top
+}
+
+// sched is the gating state of a sequential Engine: one slot per
+// registered component, in registration order.
+type sched struct {
+	active   []bool
+	parkedAt []uint64 // first cycle the parked component has not executed
+	gen      []uint64 // bumped on every park/wake; validates heap entries
+	// nextTry is the single gate of the park scan: the cycle from which
+	// a component is next considered for parking. A busy component backs
+	// off parkRetry cycles; a parked or non-Quiescable component holds
+	// NeverWake (the walk's active flags, not this, decide ticking).
+	// Parking is transparent, so delaying it never changes results — it
+	// only trims the scan cost at saturation.
+	nextTry   []uint64
+	quies     []Quiescable
+	settlers  []Settler
+	heap      wakeHeap
+	armed     []int // parked components re-activated during this tick walk
+	walkPos   int   // index the tick walk is at; -1 outside a walk
+	numActive int
+	synced    int // number of components the slots cover
+}
+
+// parkRetry is the scan backoff: a component found busy is re-examined
+// for parking every parkRetry-th cycle instead of every cycle.
+const parkRetry = 8
+
+// SetGated enables or disables quiescence-aware scheduling. Disabled
+// (the default for a fresh engine) the kernel walks every component
+// every cycle, exactly as before this optimisation existed. Switching
+// off settles any outstanding skip accounting first. Results are
+// bit-identical either way; gating only changes how fast idle cycles
+// execute.
+func (e *Engine) SetGated(on bool) {
+	if on {
+		if e.sched == nil {
+			e.sched = &sched{walkPos: -1}
+		}
+		return
+	}
+	if e.sched != nil {
+		e.schedEnter()
+		e.settleParked()
+		e.sched = nil
+	}
+}
+
+// Gated reports whether quiescence-aware scheduling is enabled.
+func (e *Engine) Gated() bool { return e.sched != nil }
+
+// Armer returns a closure that re-activates the named component — the
+// scheduler half of the arm-on-input rule. The platform binds one to
+// each wire's Send hook so a parked consumer is woken in the same
+// cycle its input is staged. The closure is cheap when the component
+// is already active and safe to call when gating is off.
+func (e *Engine) Armer(name string) (func(), bool) {
+	i, ok := e.names[name]
+	if !ok {
+		return nil, false
+	}
+	return func() { e.armIndex(i) }, true
+}
+
+func (e *Engine) armIndex(i int) {
+	s := e.sched
+	if s == nil || i >= s.synced || s.active[i] {
+		return
+	}
+	e.wakeComp(i, e.cycle)
+}
+
+// ArmerN returns one closure that arms every named component, guarded
+// by a single nothing-is-parked bail-out — the form the platform binds
+// to wire Send hooks, where up to three targets (wire component,
+// consumer, watchdog) share one staging event. The bail-out keeps the
+// hook nearly free at saturation, when the schedule has nothing parked
+// for long stretches.
+func (e *Engine) ArmerN(names ...string) (func(), bool) {
+	idx := make([]int, len(names))
+	for k, n := range names {
+		i, ok := e.names[n]
+		if !ok {
+			return nil, false
+		}
+		idx[k] = i
+	}
+	return func() {
+		s := e.sched
+		if s == nil || s.numActive >= s.synced {
+			return
+		}
+		for _, i := range idx {
+			if i < s.synced && !s.active[i] {
+				e.wakeComp(i, e.cycle)
+			}
+		}
+	}, true
+}
+
+// wakeComp re-activates a parked component at the given cycle, paying
+// its skip-accounting debt. If the current tick walk has already
+// passed the component's slot it is queued on the armed list so it
+// still ticks this cycle.
+func (e *Engine) wakeComp(i int, cycle uint64) {
+	s := e.sched
+	s.active[i] = true
+	s.numActive++
+	s.gen[i]++
+	if s.parkedAt[i] < cycle {
+		if q := s.quies[i]; q != nil {
+			q.SkipIdle(s.parkedAt[i], cycle-s.parkedAt[i])
+		}
+	}
+	s.parkedAt[i] = cycle
+	s.nextTry[i] = 0
+	if i <= s.walkPos {
+		s.armed = append(s.armed, i)
+	}
+}
+
+// wakeDue wakes every validly parked component whose wake cycle has
+// arrived, discarding stale heap entries.
+func (e *Engine) wakeDue(cycle uint64) {
+	s := e.sched
+	for len(s.heap) > 0 && s.heap[0].wake <= cycle {
+		ent := s.heap.pop()
+		if !s.active[ent.idx] && s.gen[ent.idx] == ent.gen {
+			e.wakeComp(ent.idx, cycle)
+		}
+	}
+}
+
+// schedEnter syncs the gating slots with the registry and re-activates
+// every parked component. It runs once per kernel entry point: state
+// may have changed between runs (control-plane enables, new fault
+// schedules, stats resets) in ways a parked component's recorded wake
+// cannot see, so everything gets one honestly evaluated cycle and
+// re-parks itself via the normal scan.
+func (e *Engine) schedEnter() {
+	s := e.sched
+	for s.synced < len(e.components) {
+		c := e.components[s.synced]
+		q, _ := c.(Quiescable)
+		s.quies = append(s.quies, q)
+		if st, ok := c.(Settler); ok {
+			s.settlers = append(s.settlers, st)
+		}
+		s.active = append(s.active, true)
+		s.parkedAt = append(s.parkedAt, e.cycle)
+		s.gen = append(s.gen, 0)
+		if q == nil {
+			s.nextTry = append(s.nextTry, NeverWake)
+		} else {
+			s.nextTry = append(s.nextTry, 0)
+		}
+		s.numActive++
+		s.synced++
+	}
+	for i := range s.active {
+		if !s.active[i] {
+			e.wakeComp(i, e.cycle)
+		}
+	}
+	s.armed = s.armed[:0]
+	s.heap = s.heap[:0]
+}
+
+// settleParked pays the outstanding skip accounting of every parked
+// component (and of internally gated Settlers) up to the current
+// cycle, so any observer that runs between kernel calls sees exactly
+// the counters a naive schedule would have produced. Components stay
+// parked; their park cycle advances to now.
+func (e *Engine) settleParked() {
+	s := e.sched
+	c := e.cycle
+	for i, q := range s.quies {
+		if q == nil || s.active[i] || s.parkedAt[i] >= c {
+			continue
+		}
+		q.SkipIdle(s.parkedAt[i], c-s.parkedAt[i])
+		s.parkedAt[i] = c
+	}
+	for _, st := range s.settlers {
+		st.Settle(c)
+	}
+}
+
+// stepGatedInner executes one cycle over the active set. The two-phase
+// protocol makes tick order irrelevant, so parked components woken
+// mid-walk (armed list) tick after the main walk without changing the
+// result; they were quiet, so their catch-up tick stages nothing and
+// reads nothing another component staged this cycle.
+func (e *Engine) stepGatedInner() {
+	s := e.sched
+	c := e.cycle
+	e.wakeDue(c)
+	comps := e.components
+	if s.numActive == len(comps) {
+		// Fast path: nothing is parked, so no arm hook can fire and no
+		// walk bookkeeping is needed — the walk is exactly the naive
+		// kernel's.
+		for _, comp := range comps {
+			comp.Tick(c)
+		}
+		for _, comp := range comps {
+			comp.Commit(c)
+		}
+	} else {
+		for i, comp := range comps {
+			s.walkPos = i
+			if s.active[i] {
+				comp.Tick(c)
+			}
+		}
+		// Components armed from here on have been passed by every walk.
+		s.walkPos = len(comps)
+		for n := 0; n < len(s.armed); n++ {
+			comps[s.armed[n]].Tick(c)
+		}
+		s.armed = s.armed[:0]
+		s.walkPos = -1
+		for i, comp := range comps {
+			if s.active[i] {
+				comp.Commit(c)
+			}
+		}
+	}
+	for i, tryAt := range s.nextTry {
+		if c < tryAt {
+			continue
+		}
+		wake, quiet := s.quies[i].NextWake(c)
+		if !quiet {
+			s.nextTry[i] = c + parkRetry
+			continue
+		}
+		if wake > c+1 {
+			s.active[i] = false
+			s.numActive--
+			s.parkedAt[i] = c + 1
+			s.gen[i]++
+			s.nextTry[i] = NeverWake
+			if wake != NeverWake {
+				s.heap.push(wakeEntry{wake: wake, idx: i, gen: s.gen[i]})
+			}
+		}
+	}
+	e.cycle = c + 1
+}
+
+// runGated is the gated core of Run and RunUntil. The stop predicate
+// is evaluated at exactly the same points as the naive kernel — before
+// every executed cycle, including cycles reached by fast-forward — so
+// the stop cycle is bit-identical: the quiet contract guarantees no
+// Stopper/Aborter answer changes inside a skipped window.
+func (e *Engine) runGated(maxCycles uint64, poll bool) (executed uint64, stopped bool) {
+	e.schedEnter()
+	s := e.sched
+	for executed < maxCycles {
+		if poll {
+			if stop, byStopper := e.pollStop(); stop {
+				e.settleParked()
+				return executed, byStopper
+			}
+		}
+		if s.numActive == 0 {
+			// Everything is parked: fast-forward to the earliest
+			// valid wake, bounded by the remaining cycle budget.
+			target := e.cycle + (maxCycles - executed)
+			if target < e.cycle { // overflow
+				target = NeverWake
+			}
+			for len(s.heap) > 0 {
+				top := s.heap[0]
+				if s.active[top.idx] || s.gen[top.idx] != top.gen {
+					s.heap.pop()
+					continue
+				}
+				if top.wake < target {
+					target = top.wake
+				}
+				break
+			}
+			if target > e.cycle {
+				executed += target - e.cycle
+				e.cycle = target
+			}
+			e.wakeDue(e.cycle)
+			continue
+		}
+		e.stepGatedInner()
+		executed++
+	}
+	e.settleParked()
+	return executed, false
+}

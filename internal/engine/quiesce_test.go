@@ -1,0 +1,293 @@
+package engine
+
+import "testing"
+
+// cycleCounter is the simplest honest Quiescable: it owns one
+// derivable per-cycle counter. Parked, the kernel owes it the skipped
+// cycles through SkipIdle — so count must always equal the cycles the
+// naive schedule would have executed.
+type cycleCounter struct {
+	name  string
+	count uint64
+	ticks uint64
+}
+
+func (c *cycleCounter) ComponentName() string { return c.name }
+func (c *cycleCounter) Tick(cycle uint64)     { c.count++; c.ticks++ }
+func (c *cycleCounter) Commit(cycle uint64)   {}
+func (c *cycleCounter) NextWake(cycle uint64) (uint64, bool) {
+	return NeverWake, true
+}
+func (c *cycleCounter) SkipIdle(from, n uint64) { c.count += n }
+
+// alarm sleeps between the wake cycles of its schedule; each wake it
+// ticks once (recording the cycle) and goes back to sleep.
+type alarm struct {
+	name    string
+	wakes   []uint64
+	tickedC []uint64
+	skipped uint64
+}
+
+func (a *alarm) ComponentName() string { return a.name }
+func (a *alarm) Tick(cycle uint64) {
+	for _, w := range a.wakes {
+		if w == cycle {
+			a.tickedC = append(a.tickedC, cycle)
+		}
+	}
+}
+func (a *alarm) Commit(cycle uint64) {}
+func (a *alarm) NextWake(cycle uint64) (uint64, bool) {
+	for _, w := range a.wakes {
+		if w > cycle {
+			return w, true
+		}
+	}
+	return NeverWake, true
+}
+func (a *alarm) SkipIdle(from, n uint64) { a.skipped += n }
+
+// timedStopper is a cycle-driven Stopper obeying the quiet contract:
+// it declares its flip cycle as its wake, flips only when ticked at or
+// after it, so a fast-forward can never jump past the stop.
+type timedStopper struct {
+	name   string
+	doneAt uint64
+	done   bool
+}
+
+func (s *timedStopper) ComponentName() string { return s.name }
+func (s *timedStopper) Tick(cycle uint64) {
+	if cycle >= s.doneAt {
+		s.done = true
+	}
+}
+func (s *timedStopper) Commit(cycle uint64) {}
+func (s *timedStopper) Done() bool          { return s.done }
+func (s *timedStopper) NextWake(cycle uint64) (uint64, bool) {
+	if s.done {
+		return NeverWake, true
+	}
+	return s.doneAt, true
+}
+func (s *timedStopper) SkipIdle(from, n uint64) {}
+
+// timedAborter is the Aborter analogue of timedStopper.
+type timedAborter struct {
+	name    string
+	abortAt uint64
+	fired   bool
+}
+
+func (a *timedAborter) ComponentName() string { return a.name }
+func (a *timedAborter) Tick(cycle uint64) {
+	if cycle >= a.abortAt {
+		a.fired = true
+	}
+}
+func (a *timedAborter) Commit(cycle uint64) {}
+func (a *timedAborter) Aborted() bool       { return a.fired }
+func (a *timedAborter) NextWake(cycle uint64) (uint64, bool) {
+	if a.fired {
+		return NeverWake, true
+	}
+	return a.abortAt, true
+}
+func (a *timedAborter) SkipIdle(from, n uint64) {}
+
+// TestGatedRunFastForwards checks that an all-quiet schedule executes
+// by fast-forward: the cycle counter still sees every cycle (via
+// SkipIdle) while almost nothing is actually walked.
+func TestGatedRunFastForwards(t *testing.T) {
+	e := New()
+	e.SetGated(true)
+	c := &cycleCounter{name: "c"}
+	e.MustRegister(c)
+	if n := e.Run(10_000); n != 10_000 {
+		t.Fatalf("Run executed %d, want 10000", n)
+	}
+	if e.Cycle() != 10_000 {
+		t.Errorf("cycle = %d, want 10000", e.Cycle())
+	}
+	if c.count != 10_000 {
+		t.Errorf("counter saw %d cycles, want 10000", c.count)
+	}
+	if c.ticks > 10 {
+		t.Errorf("counter was walked %d times; gating should have parked it", c.ticks)
+	}
+}
+
+// TestGatedStopperMidSkipStopsExactly pits a far-future alarm against
+// a Stopper that flips inside the would-be skip window: the run must
+// stop at exactly the naive schedule's cycle, never at the alarm's.
+func TestGatedStopperMidSkipStopsExactly(t *testing.T) {
+	build := func(gated bool) (*Engine, *timedStopper) {
+		e := New()
+		e.SetGated(gated)
+		s := &timedStopper{name: "stop", doneAt: 137}
+		e.MustRegister(s)
+		e.MustRegister(&alarm{name: "far", wakes: []uint64{90_000}})
+		return e, s
+	}
+	naive, _ := build(false)
+	wantN, wantStopped := naive.RunUntil(100_000)
+	gated, _ := build(true)
+	gotN, gotStopped := gated.RunUntil(100_000)
+	if gotN != wantN || gotStopped != wantStopped {
+		t.Errorf("gated run (%d,%v), naive (%d,%v)", gotN, gotStopped, wantN, wantStopped)
+	}
+	if wantN != 138 || !wantStopped {
+		t.Errorf("naive baseline (%d,%v), want (138,true)", wantN, wantStopped)
+	}
+}
+
+// TestGatedAborterNeverSkippedPast is the Aborter version: the abort
+// cycle bounds every fast-forward, so the run ends exactly there even
+// though every other component sleeps far beyond it.
+func TestGatedAborterNeverSkippedPast(t *testing.T) {
+	build := func(gated bool) *Engine {
+		e := New()
+		e.SetGated(gated)
+		e.MustRegister(&timedAborter{name: "abort", abortAt: 211})
+		e.MustRegister(&alarm{name: "far", wakes: []uint64{80_000}})
+		e.MustRegister(&cycleCounter{name: "c"})
+		return e
+	}
+	naive := build(false)
+	wantN, wantStopped := naive.RunUntil(100_000)
+	gated := build(true)
+	gotN, gotStopped := gated.RunUntil(100_000)
+	if gotN != wantN || gotStopped != wantStopped {
+		t.Errorf("gated run (%d,%v), naive (%d,%v)", gotN, gotStopped, wantN, wantStopped)
+	}
+	if wantN != 212 || wantStopped {
+		t.Errorf("naive baseline (%d,%v), want (212,false)", wantN, wantStopped)
+	}
+}
+
+// TestGatedAlarmScheduleExact checks wake precision and skip
+// accounting: the alarm ticks at exactly its scheduled cycles and the
+// executed + skipped bookkeeping covers every cycle of the run.
+func TestGatedAlarmScheduleExact(t *testing.T) {
+	e := New()
+	e.SetGated(true)
+	a := &alarm{name: "a", wakes: []uint64{3, 500, 501, 7777}}
+	e.MustRegister(a)
+	e.Run(10_000)
+	want := []uint64{3, 500, 501, 7777}
+	if len(a.tickedC) != len(want) {
+		t.Fatalf("alarm ticked at %v, want %v", a.tickedC, want)
+	}
+	for i := range want {
+		if a.tickedC[i] != want[i] {
+			t.Fatalf("alarm ticked at %v, want %v", a.tickedC, want)
+		}
+	}
+}
+
+// TestGatedResetMatchesNaive runs the same run/Reset/run sequence on a
+// gated and a naive engine: the gated kernel must settle outstanding
+// skip debt at Reset and restart its watermarks on the new timeline,
+// so the counters agree at every observation point.
+func TestGatedResetMatchesNaive(t *testing.T) {
+	build := func(gated bool) (*Engine, *cycleCounter, *alarm) {
+		e := New()
+		e.SetGated(gated)
+		c := &cycleCounter{name: "c"}
+		a := &alarm{name: "a", wakes: []uint64{60, 180}}
+		e.MustRegister(c)
+		e.MustRegister(a)
+		return e, c, a
+	}
+	run := func(gated bool) (counts [2]uint64, ticked [2]int) {
+		e, c, a := build(gated)
+		e.Run(100)
+		counts[0], ticked[0] = c.count, len(a.tickedC)
+		e.Reset()
+		e.Run(200)
+		counts[1], ticked[1] = c.count, len(a.tickedC)
+		return
+	}
+	wantCounts, wantTicked := run(false)
+	gotCounts, gotTicked := run(true)
+	if gotCounts != wantCounts {
+		t.Errorf("counter after run/Reset/run = %v, naive %v", gotCounts, wantCounts)
+	}
+	if gotTicked != wantTicked {
+		t.Errorf("alarm ticks after run/Reset/run = %v, naive %v", gotTicked, wantTicked)
+	}
+	if wantCounts != [2]uint64{100, 300} {
+		t.Errorf("naive baseline counters = %v, want [100 300]", wantCounts)
+	}
+}
+
+// armCaller is a non-quiescable component whose Tick fires an arm
+// closure at a chosen cycle — the shape of a link Send hook.
+type armCaller struct {
+	name   string
+	at     uint64
+	armFn  func()
+	called bool
+}
+
+func (p *armCaller) ComponentName() string { return p.name }
+func (p *armCaller) Tick(cycle uint64) {
+	if cycle == p.at && p.armFn != nil {
+		p.armFn()
+		p.called = true
+	}
+}
+func (p *armCaller) Commit(cycle uint64) {}
+
+// tickSink records every cycle it is walked and otherwise reports
+// input-only quiescence (NeverWake) — only an arm hook can wake it.
+type tickSink struct {
+	name    string
+	tickedC []uint64
+}
+
+func (s *tickSink) ComponentName() string { return s.name }
+func (s *tickSink) Tick(cycle uint64)     { s.tickedC = append(s.tickedC, cycle) }
+func (s *tickSink) Commit(cycle uint64)   {}
+func (s *tickSink) NextWake(cycle uint64) (uint64, bool) {
+	return NeverWake, true
+}
+func (s *tickSink) SkipIdle(from, n uint64) {}
+
+// TestGatedArmWakesSameCycle checks the arm-on-input rule in both
+// schedule orders: a NeverWake-parked consumer must tick exactly once
+// in the very cycle a producer's hook arms it, whether the producer's
+// slot comes before or after the consumer's in the walk.
+func TestGatedArmWakesSameCycle(t *testing.T) {
+	for _, producerFirst := range []bool{true, false} {
+		e := New()
+		e.SetGated(true)
+		consumer := &tickSink{name: "consumer"}
+		producer := &armCaller{name: "producer", at: 40}
+		if producerFirst {
+			e.MustRegister(producer)
+			e.MustRegister(consumer)
+		} else {
+			e.MustRegister(consumer)
+			e.MustRegister(producer)
+		}
+		arm, ok := e.ArmerN("consumer")
+		if !ok {
+			t.Fatal("ArmerN did not resolve consumer")
+		}
+		producer.armFn = arm
+		e.Run(100)
+		if !producer.called {
+			t.Fatal("producer never fired the arm hook")
+		}
+		// Cycle 0 is the honest post-entry evaluation, cycle 40 the
+		// armed wake; nothing else may have walked the sink.
+		want := []uint64{0, 40}
+		if len(consumer.tickedC) != len(want) ||
+			consumer.tickedC[0] != want[0] || consumer.tickedC[1] != want[1] {
+			t.Errorf("producerFirst=%v: consumer ticked at %v, want %v",
+				producerFirst, consumer.tickedC, want)
+		}
+	}
+}

@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"nocemu/internal/platform"
+)
+
+// BenchRow is one benchmark measurement in the machine-readable format
+// cmd/nocbench -json emits (and CI uploads as an artifact).
+type BenchRow struct {
+	Name         string  `json:"name"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	AllocsPerOp  float64 `json:"allocs_per_op"`
+}
+
+// BenchSuite measures the emulator speed matrix for the JSON artifact:
+// the paper's reference platform at three injection loads, gated and
+// ungated (the quiescence-scheduling ablation), plus one
+// parallel-kernel row per load when workers > 0. Each row is one
+// RunCycles op of `cycles` emulated cycles after a warm-up;
+// allocs_per_op counts heap allocations during the op (steady-state
+// emulation allocates nothing, so this also guards the pooled flit
+// path).
+func BenchSuite(cycles uint64, workers int) ([]BenchRow, error) {
+	if cycles == 0 {
+		cycles = 200_000
+	}
+	var rows []BenchRow
+	for _, load := range []float64{0.01, 0.10, 0.45} {
+		for _, gate := range []bool{true, false} {
+			row, err := benchOne(
+				fmt.Sprintf("emu/load=%.2f/gate=%v", load, gate),
+				load, !gate, 0, cycles)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if workers > 0 {
+			row, err := benchOne(
+				fmt.Sprintf("emu/load=%.2f/workers=%d", load, workers),
+				load, false, workers, cycles)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
+	return rows, nil
+}
+
+func benchOne(name string, load float64, noGate bool, workers int, cycles uint64) (BenchRow, error) {
+	cfg, err := platform.PaperConfig(platform.PaperOptions{Load: load})
+	if err != nil {
+		return BenchRow{}, err
+	}
+	cfg.NoGate = noGate
+	cfg.Workers = workers
+	p, err := platform.Build(cfg)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	defer p.Close()
+	p.RunCycles(cycles / 10) // warm up pools, schedules, parking
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	p.RunCycles(cycles)
+	el := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchRow{
+		Name:         name,
+		CyclesPerSec: float64(cycles) / el.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+	}, nil
+}

@@ -85,5 +85,53 @@ func (c *Controller) Tick(cycle uint64) {
 // Commit implements engine.Component.
 func (c *Controller) Commit(cycle uint64) {}
 
+// appliedPerCycle counts the specs Tick would apply at the given cycle,
+// mirroring its domination order (an active stuck window on the same
+// link earlier in the list suppresses later applications).
+func (c *Controller) appliedPerCycle(cycle uint64) uint64 {
+	var n uint64
+	for i, s := range c.specs {
+		if cycle < s.From || cycle >= s.Until {
+			continue
+		}
+		stuck := false
+		for _, p := range c.specs[:i] {
+			if p.Link == s.Link && p.Mode == link.FaultStuck && cycle >= p.From && cycle < p.Until {
+				stuck = true
+				break
+			}
+		}
+		if !stuck {
+			n++
+		}
+	}
+	return n
+}
+
+// NextWake implements engine.Quiescable. Tick recomputes fault modes
+// purely from the cycle number, so between window boundaries it sets
+// the same modes it set last cycle: the controller is always quiet and
+// wakes at the next From/Until boundary, where the active set changes.
+// The links keep carrying the correct modes while it is parked.
+func (c *Controller) NextWake(cycle uint64) (uint64, bool) {
+	wake := ^uint64(0)
+	for _, s := range c.specs {
+		if s.From > cycle && s.From < wake {
+			wake = s.From
+		}
+		if s.Until > cycle && s.Until < wake {
+			wake = s.Until
+		}
+	}
+	return wake, true
+}
+
+// SkipIdle implements engine.Quiescable: the active set is constant
+// across a skipped span (no boundary inside it), so the applied counter
+// advances by the per-cycle application count times the span length.
+func (c *Controller) SkipIdle(from, n uint64) {
+	c.applied += c.appliedPerCycle(from) * n
+}
+
 // AppliedCycles returns the total link-cycles of active faults.
 func (c *Controller) AppliedCycles() uint64 { return c.applied }

@@ -134,6 +134,9 @@ type File struct {
 	// Workers selects the simulation kernel (0 = sequential, N >= 1 =
 	// parallel kernel with N workers; results are bit-identical).
 	Workers int `json:"workers,omitempty"`
+	// NoGate disables quiescence-aware scheduling (results are
+	// bit-identical either way; gating only speeds up idle cycles).
+	NoGate bool `json:"no_gate,omitempty"`
 }
 
 // buildTopology materializes the topology spec.
@@ -223,6 +226,7 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 		MeshWidth:      f.MeshWidth,
 		Seed:           f.Seed,
 		Workers:        f.Workers,
+		NoGate:         f.NoGate,
 	}
 	for _, ov := range f.Overrides {
 		cfg.Overrides = append(cfg.Overrides, platform.RouteOverride{

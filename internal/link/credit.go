@@ -13,6 +13,12 @@ type CreditLink struct {
 	next uint32
 
 	sent uint64
+
+	// onSend fires on every Send — the gated scheduler's arm hook, so a
+	// parked wire commits the staged credits. Uncollected credits need
+	// no wake on the consumer side: they accumulate on the wire and the
+	// consumer collects the same total whenever it next runs.
+	onSend func()
 }
 
 // NewCreditLink returns an empty credit wire.
@@ -30,7 +36,28 @@ func (c *CreditLink) Tick(cycle uint64) {}
 func (c *CreditLink) Send(n uint32) {
 	c.next += n
 	c.sent += uint64(n)
+	if c.onSend != nil {
+		c.onSend()
+	}
 }
+
+// SetSendHook installs the callback fired on every Send (the gated
+// scheduler's arm closure).
+func (c *CreditLink) SetSendHook(h func()) { c.onSend = h }
+
+// Idle reports whether no credits are staged; committed-but-untaken
+// credits keep accumulating without commits, so they do not block
+// quiescence.
+func (c *CreditLink) Idle() bool { return c.next == 0 }
+
+// NextWake implements engine.Quiescable.
+func (c *CreditLink) NextWake(cycle uint64) (uint64, bool) {
+	return ^uint64(0), c.next == 0
+}
+
+// SkipIdle implements engine.Quiescable: an idle credit commit is a
+// pure no-op.
+func (c *CreditLink) SkipIdle(from, n uint64) {}
 
 // Take collects all visible credits, zeroing the wire.
 func (c *CreditLink) Take() uint32 {

@@ -54,6 +54,10 @@ type Link struct {
 	// pooled flits return to their freelist instead of leaking; nil
 	// leaves dropped flits to the garbage collector.
 	onDrop func(*flit.Flit)
+	// onSend fires on every successful Send — the arm-on-input hook the
+	// gated scheduler uses to wake this wire and its consumer in the
+	// same cycle the producer stages a flit. Nil when gating is off.
+	onSend func()
 }
 
 // NewLink returns an idle link with the given instance name.
@@ -77,8 +81,31 @@ func (l *Link) Send(f *flit.Flit) error {
 		return fmt.Errorf("link %s: double drive in one cycle", l.name)
 	}
 	l.next = f
+	if l.onSend != nil {
+		l.onSend()
+	}
 	return nil
 }
+
+// SetSendHook installs the callback fired on every successful Send;
+// the platform binds the gated scheduler's arm closures here so parked
+// consumers wake the cycle their input is staged.
+func (l *Link) SetSendHook(h func()) { l.onSend = h }
+
+// Idle reports whether the wire holds nothing, committed or staged —
+// the link's quiescence condition. An idle commit advances only the
+// utilization denominator, whatever the fault mode.
+func (l *Link) Idle() bool { return l.cur == nil && l.next == nil }
+
+// NextWake implements engine.Quiescable: an idle wire stays idle until
+// a producer stages a flit (the Send hook re-arms it).
+func (l *Link) NextWake(cycle uint64) (uint64, bool) {
+	return ^uint64(0), l.Idle()
+}
+
+// SkipIdle implements engine.Quiescable: n skipped idle commits would
+// each have advanced only the utilization denominator.
+func (l *Link) SkipIdle(from, n uint64) { l.totalCycles += n }
 
 // Busy reports whether a flit has already been staged this cycle.
 func (l *Link) Busy() bool { return l.next != nil }

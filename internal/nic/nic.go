@@ -272,6 +272,15 @@ func (e *Ejector) Pump(cycle uint64, onFlit func(*flit.Flit), onPacket func(*fli
 // from its own Commit.
 func (e *Ejector) Commit(cycle uint64) { e.buf.Commit(cycle) }
 
+// Idle reports the ejector's quiescence condition: nothing committed
+// on the input wire and an empty reassembly buffer — a Pump would do
+// nothing. Valid between cycles (no staged buffer operations).
+func (e *Ejector) Idle() bool { return e.in.Peek() == nil && e.buf.Empty() }
+
+// SkipIdle accounts n skipped idle cycles: only the buffer's occupancy
+// statistics advance while the ejector is quiet.
+func (e *Ejector) SkipIdle(n uint64) { e.buf.SkipIdle(n) }
+
 // Drain releases the buffered flits through release and abandons
 // partial reassemblies (end-of-run reclamation).
 func (e *Ejector) Drain(release func(*flit.Flit)) {

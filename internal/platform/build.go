@@ -47,6 +47,28 @@ type Platform struct {
 
 	tgByEndpoint map[flit.EndpointID]*traffic.TG
 	trByEndpoint map[flit.EndpointID]*receptor.TR
+
+	// wirePairs remembers the registered wires for arm-hook rebinding
+	// (AttachWatchdog adds the watchdog to the injection-wire hooks).
+	wirePairs []wirePair
+	// bank is the bundled wire component (nil with SeparateWires); the
+	// arm hooks reach through it for per-wire gating.
+	bank *wireBank
+}
+
+// wirePair remembers one registered wire pair and the engine name of
+// the component consuming the flit link, for arm-hook installation.
+type wirePair struct {
+	l        *link.Link
+	c        *link.CreditLink
+	consumer string
+	// inject marks a TG injection wire. Only these need to arm the
+	// watchdog: the watchdog parks only when the network is fully
+	// drained, and the first send after a drain is always an injection.
+	inject bool
+	// li/ci index this pair inside the wire bank (-1 with
+	// Config.SeparateWires), for the bank's per-wire gating.
+	li, ci int
 }
 
 // Build compiles a platform from its configuration.
@@ -90,14 +112,20 @@ func Build(cfg Config) (*Platform, error) {
 	// releases flits back, so steady-state emulation allocates nothing.
 	p.pool = flit.NewPool()
 	bank := &wireBank{name: "wires"}
-	registerWires := func(l *link.Link, c *link.CreditLink) {
+	var pairs []wirePair
+	registerWires := func(l *link.Link, c *link.CreditLink, consumer string, inject bool) {
 		l.SetDropHandler(p.pool.Release)
 		p.allLinks = append(p.allLinks, l)
 		if cfg.SeparateWires {
+			pairs = append(pairs, wirePair{l: l, c: c, consumer: consumer, inject: inject, li: -1, ci: -1})
 			p.eng.MustRegister(l)
 			p.eng.MustRegister(c)
 			return
 		}
+		pairs = append(pairs, wirePair{
+			l: l, c: c, consumer: consumer, inject: inject,
+			li: len(bank.links), ci: len(bank.credits),
+		})
 		bank.links = append(bank.links, l)
 		bank.credits = append(bank.credits, c)
 	}
@@ -192,7 +220,7 @@ func Build(cfg Config) (*Platform, error) {
 		p.tgs = append(p.tgs, tg)
 		p.tgByEndpoint[spec.Endpoint] = tg
 		p.eng.MustRegister(tg)
-		registerWires(injL, injCr)
+		registerWires(injL, injCr, sw.ComponentName(), true)
 	}
 
 	// Traffic receptors.
@@ -236,7 +264,7 @@ func Build(cfg Config) (*Platform, error) {
 		p.trs = append(p.trs, tr)
 		p.trByEndpoint[spec.Endpoint] = tr
 		p.eng.MustRegister(tr)
-		registerWires(ejL, ejCr)
+		registerWires(ejL, ejCr, tr.ComponentName(), false)
 	}
 
 	// Register switches and inter-switch wires after endpoints so
@@ -248,10 +276,11 @@ func Build(cfg Config) (*Platform, error) {
 		p.eng.MustRegister(sw)
 	}
 	for i := range p.links {
-		registerWires(p.links[i], credits[i])
+		registerWires(p.links[i], credits[i], p.switches[specs[i].To].ComponentName(), false)
 	}
 	if !cfg.SeparateWires {
 		p.eng.MustRegister(bank)
+		p.bank = bank
 	}
 
 	// Bus attachment and control plane.
@@ -306,17 +335,106 @@ func Build(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	p.proc = proc
+
+	// Quiescence-aware scheduling (on unless cfg.NoGate). The parallel
+	// kernel gates the whole schedule (fast-forward only, no arm hooks
+	// needed); the sequential kernel parks individual components, which
+	// requires the arm-on-input hooks on every wire's Send path.
+	if !cfg.NoGate {
+		if p.par != nil {
+			p.par.SetGated(true)
+		} else {
+			p.eng.SetGated(true)
+			if p.bank != nil {
+				p.bank.enableGating(p.eng.Cycle)
+			}
+			p.installArmHooks(pairs)
+		}
+	}
 	return p, nil
+}
+
+// installArmHooks binds the arm-on-input rule to every wire: staging a
+// flit arms the wire's scheduling component (the bank, or the wire
+// itself with SeparateWires) and the consuming switch or receptor.
+// Staging credits arms only the wire component: credits accumulate
+// losslessly, so the consumer collects an identical total whenever its
+// own input next wakes it. AttachWatchdog later rebinds the injection
+// wires to also arm the watchdog.
+func (p *Platform) installArmHooks(pairs []wirePair) {
+	p.wirePairs = pairs
+	for _, wp := range pairs {
+		p.bindArmHook(wp, "")
+	}
+}
+
+// bindArmHook installs the Send hooks of one wire pair, optionally
+// adding an extra arm target (the watchdog) to the flit wire.
+func (p *Platform) bindArmHook(wp wirePair, extra string) {
+	selfName := "wires"
+	crName := "wires"
+	if p.cfg.SeparateWires {
+		selfName = wp.l.ComponentName()
+		crName = wp.c.ComponentName()
+	}
+	targets := []string{selfName, wp.consumer}
+	if extra != "" {
+		targets = append(targets, extra)
+	}
+	armFlit, ok1 := p.eng.ArmerN(targets...)
+	armCr, ok2 := p.eng.ArmerN(crName)
+	if !ok1 || !ok2 {
+		panic(fmt.Sprintf("platform %s: arm hook target missing (%v)", p.cfg.Name, targets))
+	}
+	if bank := p.bank; bank != nil && bank.gated {
+		li, ci := wp.li, wp.ci
+		wp.l.SetSendHook(func() {
+			bank.armLink(li)
+			armFlit()
+		})
+		wp.c.SetSendHook(func() {
+			bank.armCredit(ci)
+			armCr()
+		})
+		return
+	}
+	wp.l.SetSendHook(armFlit)
+	wp.c.SetSendHook(armCr)
+}
+
+// Gated reports whether quiescence-aware scheduling is enabled on the
+// platform's kernel.
+func (p *Platform) Gated() bool {
+	if p.par != nil {
+		return p.par.Gated()
+	}
+	return p.eng.Gated()
 }
 
 // wireBank commits every passive wire of the platform in one engine
 // component — the software analogue of the FPGA clocking all nets at
 // once. With Config.SeparateWires each wire schedules individually
 // instead.
+//
+// On a gated sequential platform the bank additionally gates each wire
+// internally: only wires with something staged or in flight are
+// committed, the rest hold a per-wire park watermark and are paid
+// their missed idle commits (flit-wire utilization denominators) when
+// a Send re-arms them or when the kernel settles. The bank itself
+// reports quiet to the engine exactly when its active lists are empty.
 type wireBank struct {
 	name    string
 	links   []*link.Link
 	credits []*link.CreditLink
+
+	// Internal gating state (gated sequential platforms only).
+	gated   bool
+	cycle   func() uint64 // engine cycle, for arm-time catch-up
+	actL    []int         // indices of links with traffic, unordered
+	actC    []int
+	lActive []bool
+	cActive []bool
+	lPark   []uint64 // first cycle link i has not committed
 }
 
 func (w *wireBank) ComponentName() string { return w.name }
@@ -324,11 +442,128 @@ func (w *wireBank) ComponentName() string { return w.name }
 func (w *wireBank) Tick(cycle uint64) {}
 
 func (w *wireBank) Commit(cycle uint64) {
-	for _, l := range w.links {
+	if !w.gated {
+		for _, l := range w.links {
+			l.Commit(cycle)
+		}
+		for _, c := range w.credits {
+			c.Commit(cycle)
+		}
+		return
+	}
+	keep := w.actL[:0]
+	for _, i := range w.actL {
+		l := w.links[i]
 		l.Commit(cycle)
+		if l.Idle() {
+			w.lActive[i] = false
+			w.lPark[i] = cycle + 1
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	w.actL = keep
+	keep = w.actC[:0]
+	for _, i := range w.actC {
+		c := w.credits[i]
+		c.Commit(cycle)
+		if c.Idle() {
+			w.cActive[i] = false
+		} else {
+			keep = append(keep, i)
+		}
+	}
+	w.actC = keep
+}
+
+// enableGating switches the bank to per-wire scheduling; cycle supplies
+// the engine's current cycle for arm-time skip accounting.
+func (w *wireBank) enableGating(cycle func() uint64) {
+	w.gated = true
+	w.cycle = cycle
+	w.lActive = make([]bool, len(w.links))
+	w.cActive = make([]bool, len(w.credits))
+	w.lPark = make([]uint64, len(w.links))
+}
+
+// armLink re-activates flit wire i (called from its Send hook), paying
+// the idle commits it skipped while parked. Credit wires carry no
+// per-cycle counters, so armCredit pays nothing.
+func (w *wireBank) armLink(i int) {
+	if w.lActive[i] {
+		return
+	}
+	w.lActive[i] = true
+	if c := w.cycle(); c > w.lPark[i] {
+		w.links[i].SkipIdle(w.lPark[i], c-w.lPark[i])
+	}
+	w.actL = append(w.actL, i)
+}
+
+func (w *wireBank) armCredit(i int) {
+	if w.cActive[i] {
+		return
+	}
+	w.cActive[i] = true
+	w.actC = append(w.actC, i)
+}
+
+// Settle implements engine.Settler: bring every internally parked flit
+// wire's utilization denominator up to date, so observers between runs
+// see exactly the naive schedule's counters.
+func (w *wireBank) Settle(cycle uint64) {
+	if !w.gated {
+		return
+	}
+	for i, l := range w.links {
+		if !w.lActive[i] && cycle > w.lPark[i] {
+			l.SkipIdle(w.lPark[i], cycle-w.lPark[i])
+			w.lPark[i] = cycle
+		}
+	}
+}
+
+// Rewind implements engine.Settler: after Engine.Reset the park
+// watermarks must restart from cycle zero (the kernel settled first,
+// so no debt is outstanding).
+func (w *wireBank) Rewind() {
+	for i := range w.lPark {
+		w.lPark[i] = 0
+	}
+}
+
+// NextWake implements engine.Quiescable: the bank is quiet when every
+// bundled wire is idle — nothing staged anywhere and nothing committed
+// on a flit wire (committed-but-uncollected credits accumulate without
+// commits and do not block quiescence). Any Send on a bundled wire
+// arms the bank, so staged values always commit on schedule.
+func (w *wireBank) NextWake(cycle uint64) (uint64, bool) {
+	if w.gated {
+		return engine.NeverWake, len(w.actL) == 0 && len(w.actC) == 0
+	}
+	for _, l := range w.links {
+		if !l.Idle() {
+			return 0, false
+		}
 	}
 	for _, c := range w.credits {
-		c.Commit(cycle)
+		if !c.Idle() {
+			return 0, false
+		}
+	}
+	return engine.NeverWake, true
+}
+
+// SkipIdle implements engine.Quiescable: an idle commit advances only
+// each flit wire's utilization denominator. With internal gating the
+// per-wire park watermarks already account for skipped cycles (paid on
+// arm or Settle), so the bank-level call pays nothing.
+func (w *wireBank) SkipIdle(from, n uint64) {
+	if w.gated {
+		return
+	}
+	for _, l := range w.links {
+		l.SkipIdle(from, n)
 	}
 }
 

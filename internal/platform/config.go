@@ -126,6 +126,14 @@ type Config struct {
 	// built with Workers > 0 hold a goroutine pool; call
 	// Platform.Close when done with them.
 	Workers int
+	// NoGate disables quiescence-aware scheduling (the software
+	// analogue of clock gating, on by default): with gating the kernel
+	// parks provably idle devices and fast-forwards through globally
+	// idle spans, producing bit-identical results to the naive
+	// every-device-every-cycle schedule at a fraction of the cost at
+	// low load. Set NoGate for ablation benchmarks of the naive
+	// schedule.
+	NoGate bool
 }
 
 func (c *Config) applyDefaults() {

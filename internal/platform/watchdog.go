@@ -32,6 +32,17 @@ func (p *Platform) AttachWatchdog(patience uint64) (*Watchdog, error) {
 	if err := p.eng.Register(w); err != nil {
 		return nil, err
 	}
+	// On a gated sequential platform the watchdog parks once the network
+	// drains; the first send after a drain is always an injection, so
+	// re-arming it from the injection-wire hooks alone is sufficient
+	// (no other wire can fire while sent == recv).
+	if p.par == nil && p.eng.Gated() {
+		for _, wp := range p.wirePairs {
+			if wp.inject {
+				p.bindArmHook(wp, w.name)
+			}
+		}
+	}
 	return w, nil
 }
 
@@ -66,6 +77,28 @@ func (w *Watchdog) Tick(cycle uint64) {
 
 // Commit implements engine.Component.
 func (w *Watchdog) Commit(cycle uint64) {}
+
+// NextWake implements engine.Quiescable. The watchdog is quiet only
+// when the network is fully drained (every sent flit consumed and the
+// progress tracker caught up): then both Tick branches are no-ops at
+// any cycle, so the stall countdown cannot advance while parked. Any
+// flit-link Send re-arms it (the platform wires the hook), so the
+// countdown toward an abort is never skipped past — a deadlocked
+// network keeps it active every cycle, exactly like the naive schedule.
+func (w *Watchdog) NextWake(cycle uint64) (uint64, bool) {
+	var sent, recv uint64
+	for _, tg := range w.p.tgs {
+		sent += tg.Stats().Injector.FlitsSent
+	}
+	for _, tr := range w.p.trs {
+		recv += tr.Stats().Flits
+	}
+	return ^uint64(0), sent == recv && recv == w.lastRecv
+}
+
+// SkipIdle implements engine.Quiescable: a drained watchdog tick
+// advances no counters.
+func (w *Watchdog) SkipIdle(from, n uint64) {}
 
 // Aborted implements engine.Aborter.
 func (w *Watchdog) Aborted() bool { return w.stalled }

@@ -213,6 +213,18 @@ func (t *TR) Tick(cycle uint64) {
 // Commit implements engine.Component.
 func (t *TR) Commit(cycle uint64) { t.ej.Commit(cycle) }
 
+// NextWake implements engine.Quiescable. Every receptor statistic is
+// arrival-driven, so the TR is quiet exactly when its ejector is idle;
+// it is woken by the upstream switch staging a flit onto its input
+// wire. Done is monotonic and cannot change without an arrival.
+func (t *TR) NextWake(cycle uint64) (uint64, bool) {
+	return ^uint64(0), t.ej.Idle()
+}
+
+// SkipIdle implements engine.Quiescable: only the ejector buffer's
+// occupancy statistics advance per quiet cycle.
+func (t *TR) SkipIdle(from, n uint64) { t.ej.SkipIdle(n) }
+
 // Done implements engine.Stopper.
 func (t *TR) Done() bool {
 	return t.cfg.ExpectPackets > 0 && t.packets >= t.cfg.ExpectPackets

@@ -334,6 +334,36 @@ func (s *Switch) Commit(cycle uint64) {
 	s.stats.Cycles++
 }
 
+// NextWake implements engine.Quiescable. The switch is quiet when all
+// input buffers are empty and no flit is committed on an input wire:
+// with no heads there is nothing to route, arbitrate, forward or mark
+// blocked, and pending credits accumulate losslessly on the wires until
+// the next evaluated cycle. Wormhole locks and per-input routes may
+// persist while quiet; they are frozen state, revisited when an input
+// arms the switch.
+func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
+	for _, q := range s.inBufs {
+		if !q.Empty() {
+			return 0, false
+		}
+	}
+	for _, in := range s.inLinks {
+		if in.Peek() != nil {
+			return 0, false
+		}
+	}
+	return ^uint64(0), true
+}
+
+// SkipIdle implements engine.Quiescable: each skipped cycle would have
+// committed empty buffers and counted one switch cycle.
+func (s *Switch) SkipIdle(from, n uint64) {
+	s.stats.Cycles += n
+	for _, q := range s.inBufs {
+		q.SkipIdle(n)
+	}
+}
+
 // Drain empties every input buffer through release and clears the
 // wormhole locks and per-input routes (end-of-run reclamation: a
 // drained packet's tail never arrives, so the locks must be force-

@@ -100,6 +100,37 @@ func (t *TG) Tick(cycle uint64) {
 // Tick phase (its links commit separately).
 func (t *TG) Commit(cycle uint64) {}
 
+// NextWake implements engine.Quiescable. The TG is quiet when it holds
+// no backpressured demand, its source queue has drained, and the
+// generator either will never emit again (budget/trace exhausted, or
+// disabled — Done cannot change while quiet) or promises a pure
+// countdown sleep, in which case the wake cycle is the first Step that
+// may emit. Uncollected credits accumulate on the credit wire, so
+// skipping the per-cycle collection is invisible.
+func (t *TG) NextWake(cycle uint64) (uint64, bool) {
+	if t.hasPending || !t.inj.Drained() {
+		return 0, false
+	}
+	if !t.enabled || t.limitReached() || t.gen.Exhausted() {
+		return ^uint64(0), true
+	}
+	n, ok := t.gen.Sleep(cycle)
+	if !ok || n == 0 {
+		return 0, false
+	}
+	return cycle + 1 + n, true
+}
+
+// SkipIdle implements engine.Quiescable: repay the generator the Step
+// calls the skipped cycles would have made. Nothing else advances per
+// cycle while the TG is quiet (the injector neither stalls nor pumps
+// with an empty queue).
+func (t *TG) SkipIdle(from, n uint64) {
+	if t.enabled && !t.hasPending && !t.limitReached() && !t.gen.Exhausted() {
+		t.gen.SkipSteps(n)
+	}
+}
+
 // Done implements engine.Stopper: the TG is done when its packet budget
 // (or trace) is exhausted and every flit has left the network
 // interface.

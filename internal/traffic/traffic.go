@@ -43,6 +43,16 @@ type Generator interface {
 	// Reset rewinds generator state (trace position, Markov state) for
 	// a software-only re-run.
 	Reset()
+	// Sleep reports how many upcoming Step calls after the given cycle
+	// are guaranteed to be no-ops that consume no randomness (a pure
+	// countdown, or waiting for a trace record's cycle). ok=false means
+	// the model cannot promise any — e.g. it draws randomness every
+	// step. The owning TG uses this for quiescence: it parks through
+	// the sleep and repays the skipped calls with SkipSteps.
+	Sleep(cycle uint64) (n uint64, ok bool)
+	// SkipSteps advances internal countdowns exactly as n no-op Step
+	// calls would have; n must not exceed the last Sleep result.
+	SkipSteps(n uint64)
 }
 
 // DstPolicy selects how destinations are drawn.
@@ -189,6 +199,24 @@ func (u *Uniform) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	return true
 }
 
+// Sleep implements Generator: while wait is counting down, Step only
+// decrements it. Before the first Step the model still owes its
+// random-phase draw, so it cannot sleep.
+func (u *Uniform) Sleep(cycle uint64) (uint64, bool) {
+	if !u.started {
+		return 0, false
+	}
+	return u.wait, u.wait > 0
+}
+
+// SkipSteps implements Generator.
+func (u *Uniform) SkipSteps(n uint64) {
+	if n > u.wait {
+		n = u.wait
+	}
+	u.wait -= n
+}
+
 // BurstConfig parameterizes the burst model: a 2-state Markov chain.
 // In the ON state the generator emits packets back to back; transition
 // probabilities are Q16 fixed point (65536 = probability 1), the format
@@ -261,6 +289,21 @@ func (b *Burst) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	return true
 }
 
+// Sleep implements Generator: only the serialization countdown is a
+// guaranteed no-op; in the OFF state every Step draws the Markov
+// transition, so the model cannot sleep there.
+func (b *Burst) Sleep(cycle uint64) (uint64, bool) {
+	return b.busy, b.busy > 0
+}
+
+// SkipSteps implements Generator.
+func (b *Burst) SkipSteps(n uint64) {
+	if n > b.busy {
+		n = b.busy
+	}
+	b.busy -= n
+}
+
 // MeanLoad returns the analytic mean offered load (flits/cycle) of a
 // burst configuration, used by experiments to size parameters: the
 // chain is ON for meanLen/pOnOff cycles per burst and OFF for
@@ -324,6 +367,13 @@ func (p *Poisson) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	return true
 }
 
+// Sleep implements Generator: a Poisson model draws randomness every
+// cycle and can never sleep.
+func (p *Poisson) Sleep(cycle uint64) (uint64, bool) { return 0, false }
+
+// SkipSteps implements Generator.
+func (p *Poisson) SkipSteps(n uint64) {}
+
 // TraceGen replays a recorded trace: each record is emitted at its
 // recorded cycle, or as soon afterwards as backpressure allows.
 type TraceGen struct {
@@ -364,3 +414,19 @@ func (g *TraceGen) Step(cycle uint64, r *rng.LFSR, d *Demand) bool {
 	*d = Demand{Dst: rec.Dst, Len: rec.Len}
 	return true
 }
+
+// Sleep implements Generator: until the next record's cycle arrives,
+// Step is a stateless no-op.
+func (g *TraceGen) Sleep(cycle uint64) (uint64, bool) {
+	if g.idx >= len(g.tr.Records) {
+		return 0, false
+	}
+	next := g.tr.Records[g.idx].Cycle
+	if next <= cycle+1 {
+		return 0, false
+	}
+	return next - cycle - 1, true
+}
+
+// SkipSteps implements Generator; waiting consumes no state.
+func (g *TraceGen) SkipSteps(n uint64) {}

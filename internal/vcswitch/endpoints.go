@@ -108,6 +108,18 @@ func (s *Source) Commit(cycle uint64) {}
 // Done implements engine.Stopper.
 func (s *Source) Done() bool { return s.planIdx >= len(s.plan) && s.count == 0 }
 
+// NextWake implements engine.Quiescable: the source is quiet only once
+// its plan is exhausted and serialized (it expands the next planned
+// packet as soon as the ring drains, so it is busy until then).
+// Uncollected credits accumulate on the wire.
+func (s *Source) NextWake(cycle uint64) (uint64, bool) {
+	return ^uint64(0), s.planIdx >= len(s.plan) && s.count == 0
+}
+
+// SkipIdle implements engine.Quiescable: a drained source's Tick only
+// collects credits, which accumulate losslessly while quiet.
+func (s *Source) SkipIdle(from, n uint64) {}
+
 // Sent returns flits and packets injected.
 func (s *Source) Sent() (flits, packets uint64) { return s.flitsSent, s.packetsSent }
 
@@ -194,6 +206,16 @@ func (k *Sink) Commit(cycle uint64) {}
 
 // Done implements engine.Stopper.
 func (k *Sink) Done() bool { return k.expect > 0 && k.packets >= k.expect }
+
+// NextWake implements engine.Quiescable: quiet when nothing is
+// committed on the input wire; the upstream switch's Send arms it.
+func (k *Sink) NextWake(cycle uint64) (uint64, bool) {
+	return ^uint64(0), k.in.Peek() == nil
+}
+
+// SkipIdle implements engine.Quiescable: an empty-input Tick is a pure
+// no-op.
+func (k *Sink) SkipIdle(from, n uint64) {}
 
 // Received returns flits and packets delivered.
 func (k *Sink) Received() (flits, packets uint64) { return k.flits, k.packets }

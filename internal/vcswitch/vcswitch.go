@@ -322,5 +322,35 @@ func (s *Switch) Commit(cycle uint64) {
 	}
 }
 
+// NextWake implements engine.Quiescable: quiet when every VC buffer is
+// empty and no flit is committed on an input wire. VC allocations
+// (lock/route) may persist; they are frozen until an input arms the
+// switch. Per-VC credits accumulate losslessly on their wires.
+func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
+	for i := range s.inBufs {
+		for _, q := range s.inBufs[i] {
+			if !q.Empty() {
+				return 0, false
+			}
+		}
+	}
+	for _, in := range s.inLinks {
+		if in.Peek() != nil {
+			return 0, false
+		}
+	}
+	return ^uint64(0), true
+}
+
+// SkipIdle implements engine.Quiescable: a quiet cycle only advances
+// the VC buffers' occupancy statistics.
+func (s *Switch) SkipIdle(from, n uint64) {
+	for i := range s.inBufs {
+		for _, q := range s.inBufs[i] {
+			q.SkipIdle(n)
+		}
+	}
+}
+
 // Stats returns the counters.
 func (s *Switch) Stats() Stats { return s.stats }
