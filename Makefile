@@ -5,11 +5,13 @@ test:
 	go test ./...
 
 # Tier-1.5: race-detector pass over the concurrency-bearing packages.
-# The parallel kernel's determinism property tests run the full worker
-# matrix under -race here; slower than tier-1, so a separate target.
+# The parallel kernel's determinism property tests (including the
+# golden-trace and tracing observer-effect matrices) run the full
+# worker matrix under -race here; slower than tier-1, so a separate
+# target.
 .PHONY: race
 race:
-	go test -race ./internal/engine/... ./internal/platform/...
+	go test -race ./internal/engine/... ./internal/platform/... ./internal/probe/... ./internal/monitor/...
 
 # Full race sweep (everything, including the root-package experiment
 # tests). Slow; for pre-release checks.
@@ -34,6 +36,22 @@ vet:
 	go vet ./...
 	gofmt -l .
 
+# Short fuzz pass over the trace JSONL codec: encode -> decode ->
+# re-encode must be lossless (the golden-trace fixtures rest on
+# byte-stable re-encoding). The corpus grows under
+# internal/probe/testdata over time; `make fuzz` explores for a few
+# seconds beyond it.
+.PHONY: fuzz
+fuzz:
+	go test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime 5s ./internal/probe
+
+# Coverage profile for CI: runs tier-1 tests with -coverprofile and
+# prints the per-function summary tail (total coverage) to the log.
+.PHONY: cover
+cover:
+	go test -coverprofile=coverage.out ./...
+	go tool cover -func=coverage.out | tail -n 1
+
 # Register-map documentation: regenerate REGISTERS.md from the live
 # schema, and fail when the committed file has drifted from it.
 .PHONY: regs
@@ -45,11 +63,11 @@ regs-check:
 	@go run ./cmd/nocgen regs | diff -u REGISTERS.md - \
 		|| { echo "REGISTERS.md is stale: run 'make regs'"; exit 1; }
 
-# One-stop pre-commit gate: build, tests, vet, the REGISTERS.md drift
-# check, and a gofmt check that fails (not just lists) when any file is
-# unformatted.
+# One-stop pre-commit gate: build, tests, vet, the trace-codec fuzz
+# smoke, the REGISTERS.md drift check, and a gofmt check that fails
+# (not just lists) when any file is unformatted.
 .PHONY: check
-check: test vet regs-check
+check: test vet fuzz regs-check
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \

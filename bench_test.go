@@ -13,6 +13,7 @@ import (
 	"nocemu/internal/arb"
 	"nocemu/internal/experiments"
 	"nocemu/internal/platform"
+	"nocemu/internal/probe"
 	"nocemu/internal/resource"
 	"nocemu/internal/rtl"
 	"nocemu/internal/tlm"
@@ -117,6 +118,28 @@ func BenchmarkTable2EmulatorGating(b *testing.B) {
 			})
 		}
 	}
+}
+
+// BenchmarkTable2EmulatorTracing quantifies the event-tracing overhead
+// (DESIGN.md §11): the reference platform with the probe subsystem
+// enabled, events buffered in the per-producer rings and tallied into
+// the window metrics but never exported. Compare the cycles/s metric
+// against BenchmarkTable2Emulator for the enabled-mode cost; the
+// disabled-mode cost is zero by construction (nil-probe hooks) and is
+// guarded by TestTraceOffZeroAlloc.
+func BenchmarkTable2EmulatorTracing(b *testing.B) {
+	benchCycles(b, 50_000, func(b *testing.B) func(uint64) {
+		cfg, err := platform.PaperConfig(platform.PaperOptions{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		cfg.Trace = &probe.Config{}
+		p, err := platform.Build(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return p.RunCycles
+	})
 }
 
 // BenchmarkTable2SystemCLike measures the dynamic event-calendar

@@ -27,6 +27,7 @@ func main() {
 		workers = flag.Int("workers", 0, "add a parallel-kernel row to the t2 speed table with this many workers (0 = off)")
 		gate    = flag.Bool("gate", true, "quiescence-aware scheduling in the t2 speed rows (ablation: -gate=false; results are identical)")
 		jsonOut = flag.String("json", "", "write the benchmark suite (name, cycles/s, allocs/op) as JSON to this file")
+		doTrace = flag.Bool("trace", true, "include tracing-enabled overhead rows (emu/load=*/trace) in the -json bench suite")
 	)
 	flag.Parse()
 
@@ -43,7 +44,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *workers); err != nil {
+		if err := writeBenchJSON(*jsonOut, *workers, *doTrace); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}
@@ -52,8 +53,8 @@ func main() {
 
 // writeBenchJSON runs the machine-readable benchmark suite and writes
 // it to path — the artifact `make bench` produces and CI uploads.
-func writeBenchJSON(path string, workers int) error {
-	rows, err := experiments.BenchSuite(0, workers)
+func writeBenchJSON(path string, workers int, traced bool) error {
+	rows, err := experiments.BenchSuite(0, workers, traced)
 	if err != nil {
 		return err
 	}

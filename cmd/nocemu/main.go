@@ -24,6 +24,7 @@ import (
 	"nocemu/internal/jsonio"
 	"nocemu/internal/monitor"
 	"nocemu/internal/platform"
+	"nocemu/internal/probe"
 	"nocemu/internal/trace"
 )
 
@@ -45,6 +46,9 @@ func main() {
 		hist       = flag.Bool("hist", false, "append receptor histograms")
 		noSynth    = flag.Bool("no-synthesis", false, "skip the FPGA area estimate")
 		recordDir  = flag.String("record-dir", "", "record every receptor's arrivals and write one trace file per receptor into this directory")
+		doTrace    = flag.Bool("trace", false, "enable event tracing (also appends the trace-metrics report)")
+		traceOut   = flag.String("trace-out", "", "write the event trace to this file (JSONL, or VCD with a .vcd suffix; implies -trace)")
+		traceWin   = flag.Uint64("trace-window", 0, "trace metrics sampling window in cycles (0 = default)")
 	)
 	flag.Parse()
 
@@ -70,6 +74,12 @@ func main() {
 			cfg.NoGate = !*gate
 		}
 	})
+	if (*doTrace || *traceOut != "" || *traceWin != 0) && cfg.Trace == nil {
+		cfg.Trace = &probe.Config{}
+	}
+	if *traceWin != 0 {
+		cfg.Trace.Window = *traceWin
+	}
 
 	rep, err := flow.Run(cfg, control.Program{}, flow.Options{
 		MaxCycles:     *cycles,
@@ -105,6 +115,43 @@ func main() {
 			os.Exit(1)
 		}
 	}
+	if cfg.Trace != nil {
+		if !*jsonOut {
+			fmt.Println()
+			if err := monitor.WriteTraceMetrics(os.Stdout, rep.Platform); err != nil {
+				fmt.Fprintln(os.Stderr, "nocemu:", err)
+				os.Exit(1)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeTrace(rep.Platform, *traceOut); err != nil {
+				fmt.Fprintln(os.Stderr, "nocemu:", err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+// writeTrace exports the collected event stream: JSONL by default, VCD
+// when the path ends in .vcd.
+func writeTrace(p *platform.Platform, path string) error {
+	c := p.Probe()
+	if c == nil {
+		return fmt.Errorf("no trace collector on this platform")
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if filepath.Ext(path) == ".vcd" {
+		err = c.WriteVCD(f)
+	} else {
+		err = c.WriteJSONL(f)
+	}
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // writeRecordings saves every receptor's recorded arrival trace as

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"nocemu/internal/flit"
+	"nocemu/internal/probe"
 )
 
 // FIFO is a fixed-capacity two-phase flit queue.
@@ -34,6 +35,10 @@ type FIFO struct {
 	maxOccupancy int
 	cycles       uint64
 	blocked      uint64
+
+	// probe records committed pushes with post-push occupancy; nil when
+	// tracing is off.
+	probe *probe.Probe
 }
 
 // New returns an empty FIFO with the given capacity (>= 1).
@@ -119,6 +124,11 @@ func (q *FIFO) Pop() *flit.Flit {
 // congestion signal the paper's receptors count.
 func (q *FIFO) MarkBlocked() { q.blocked++ }
 
+// SetProbe attaches the tracing probe (nil disables tracing). The
+// owning component commits this FIFO, so the probe shares that
+// component's single-producer discipline.
+func (q *FIFO) SetProbe(p *probe.Probe) { q.probe = p }
+
 // Commit applies staged operations and advances the occupancy
 // statistics.
 func (q *FIFO) Commit(cycle uint64) {
@@ -130,6 +140,7 @@ func (q *FIFO) Commit(cycle uint64) {
 		q.pendingPop = false
 	}
 	if q.pendingPush != nil {
+		q.probe.FlitBuffer(cycle, uint64(q.pendingPush.Packet), q.size+1)
 		q.items[(q.head+q.size)%len(q.items)] = q.pendingPush
 		q.size++
 		q.pushes++

@@ -104,6 +104,9 @@ type Engine struct {
 	// sched holds the quiescence-aware scheduling state (quiesce.go);
 	// nil when gating is off, which is the default.
 	sched *sched
+	// strace receives kernel scheduling events (trace.go); nil — the
+	// default — disables them.
+	strace SchedTrace
 }
 
 // New returns an empty engine at cycle zero.

@@ -369,6 +369,9 @@ func (p *ParallelEngine) fastForward(committed, budget uint64) uint64 {
 		return 0
 	}
 	n := target - p.eng.cycle
+	if p.eng.strace != nil {
+		p.eng.strace.SchedFastForward(p.eng.cycle, target)
+	}
 	for _, q := range p.quies {
 		q.SkipIdle(p.eng.cycle, n)
 	}

@@ -232,6 +232,9 @@ func (e *Engine) wakeComp(i int, cycle uint64) {
 	if i <= s.walkPos {
 		s.armed = append(s.armed, i)
 	}
+	if e.strace != nil {
+		e.strace.SchedWake(cycle, e.components[i].ComponentName())
+	}
 }
 
 // wakeDue wakes every validly parked component whose wake cycle has
@@ -359,6 +362,9 @@ func (e *Engine) stepGatedInner() {
 			if wake != NeverWake {
 				s.heap.push(wakeEntry{wake: wake, idx: i, gen: s.gen[i]})
 			}
+			if e.strace != nil {
+				e.strace.SchedPark(c, comps[i].ComponentName())
+			}
 		}
 	}
 	e.cycle = c + 1
@@ -398,6 +404,9 @@ func (e *Engine) runGated(maxCycles uint64, poll bool) (executed uint64, stopped
 				break
 			}
 			if target > e.cycle {
+				if e.strace != nil {
+					e.strace.SchedFastForward(e.cycle, target)
+				}
 				executed += target - e.cycle
 				e.cycle = target
 			}

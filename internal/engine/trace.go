@@ -1,0 +1,29 @@
+package engine
+
+// SchedTrace receives kernel scheduling events — the probe subsystem's
+// window into the machinery of quiesce.go and parallel.go. Unlike the
+// data-path events the probes emit, scheduling events describe the
+// kernel rather than the emulated platform: which components park,
+// when, and how far the cycle counter fast-forwards legitimately
+// depend on the kernel and gating choices, so consumers must not treat
+// these events as emulation results.
+//
+// Implementations are called from single-threaded kernel contexts
+// only: park and wake fire on the engine's goroutine inside the
+// sequential gated walk, and fast-forward fires either there or inside
+// the parallel coordinator's quiesced window. No locking is required.
+type SchedTrace interface {
+	// SchedPark reports that the component was removed from the walk
+	// at the end of the given cycle.
+	SchedPark(cycle uint64, comp string)
+	// SchedWake reports that the component rejoined the walk at the
+	// given cycle.
+	SchedWake(cycle uint64, comp string)
+	// SchedFastForward reports a cycle-counter jump from from to to.
+	SchedFastForward(from, to uint64)
+}
+
+// SetSchedTrace installs (or, with nil, removes) the scheduling-event
+// consumer. The parallel kernel shares the underlying engine's
+// consumer.
+func (e *Engine) SetSchedTrace(t SchedTrace) { e.strace = t }

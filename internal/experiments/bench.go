@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"nocemu/internal/platform"
+	"nocemu/internal/probe"
 )
 
 // BenchRow is one benchmark measurement in the machine-readable format
@@ -19,12 +20,14 @@ type BenchRow struct {
 // BenchSuite measures the emulator speed matrix for the JSON artifact:
 // the paper's reference platform at three injection loads, gated and
 // ungated (the quiescence-scheduling ablation), plus one
-// parallel-kernel row per load when workers > 0. Each row is one
-// RunCycles op of `cycles` emulated cycles after a warm-up;
-// allocs_per_op counts heap allocations during the op (steady-state
-// emulation allocates nothing, so this also guards the pooled flit
-// path).
-func BenchSuite(cycles uint64, workers int) ([]BenchRow, error) {
+// parallel-kernel row per load when workers > 0, plus (when traced)
+// one trace-enabled row per load quantifying the event-tracing
+// overhead (full event capture retained in memory, never exported).
+// Each row is one RunCycles op of `cycles` emulated cycles after a
+// warm-up; allocs_per_op counts heap allocations during the op
+// (steady-state emulation allocates nothing with tracing off, so this
+// also guards the pooled flit path and the nil-probe hooks).
+func BenchSuite(cycles uint64, workers int, traced bool) ([]BenchRow, error) {
 	if cycles == 0 {
 		cycles = 200_000
 	}
@@ -33,7 +36,7 @@ func BenchSuite(cycles uint64, workers int) ([]BenchRow, error) {
 		for _, gate := range []bool{true, false} {
 			row, err := benchOne(
 				fmt.Sprintf("emu/load=%.2f/gate=%v", load, gate),
-				load, !gate, 0, cycles)
+				load, !gate, 0, cycles, false)
 			if err != nil {
 				return nil, err
 			}
@@ -42,7 +45,16 @@ func BenchSuite(cycles uint64, workers int) ([]BenchRow, error) {
 		if workers > 0 {
 			row, err := benchOne(
 				fmt.Sprintf("emu/load=%.2f/workers=%d", load, workers),
-				load, false, workers, cycles)
+				load, false, workers, cycles, false)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+		if traced {
+			row, err := benchOne(
+				fmt.Sprintf("emu/load=%.2f/trace", load),
+				load, false, 0, cycles, true)
 			if err != nil {
 				return nil, err
 			}
@@ -52,13 +64,16 @@ func BenchSuite(cycles uint64, workers int) ([]BenchRow, error) {
 	return rows, nil
 }
 
-func benchOne(name string, load float64, noGate bool, workers int, cycles uint64) (BenchRow, error) {
+func benchOne(name string, load float64, noGate bool, workers int, cycles uint64, traced bool) (BenchRow, error) {
 	cfg, err := platform.PaperConfig(platform.PaperOptions{Load: load})
 	if err != nil {
 		return BenchRow{}, err
 	}
 	cfg.NoGate = noGate
 	cfg.Workers = workers
+	if traced {
+		cfg.Trace = &probe.Config{}
+	}
 	p, err := platform.Build(cfg)
 	if err != nil {
 		return BenchRow{}, err

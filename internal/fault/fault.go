@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"nocemu/internal/link"
+	"nocemu/internal/probe"
 )
 
 // Spec is one fault activation: Mode on Links[Link] for cycles
@@ -34,6 +35,9 @@ type Controller struct {
 	specs []Spec
 
 	applied uint64
+
+	// probe records fault-window transitions; nil when tracing is off.
+	probe *probe.Probe
 }
 
 // NewController validates the campaign against the link list.
@@ -65,13 +69,22 @@ func (c *Controller) ComponentName() string { return c.name }
 // fault mode for this cycle (stuck dominates corrupt when windows
 // overlap).
 func (c *Controller) Tick(cycle uint64) {
-	// Reset targeted links, then apply active windows.
+	// Reset targeted links, then apply active windows. Window transitions
+	// are traced exactly once: the quiescence contract guarantees Tick
+	// executes at every From/Until boundary (NextWake targets them), so
+	// the equality tests below cannot be skipped over.
 	for _, s := range c.specs {
 		c.links[s.Link].SetFault(link.FaultNone)
+		if cycle == s.Until {
+			c.probe.FaultClear(cycle, uint32(s.Link))
+		}
 	}
 	for _, s := range c.specs {
 		if cycle < s.From || cycle >= s.Until {
 			continue
+		}
+		if cycle == s.From {
+			c.probe.FaultArm(cycle, uint32(s.Link), uint64(s.Mode))
 		}
 		l := c.links[s.Link]
 		if l.Fault() == link.FaultStuck {
@@ -132,6 +145,9 @@ func (c *Controller) NextWake(cycle uint64) (uint64, bool) {
 func (c *Controller) SkipIdle(from, n uint64) {
 	c.applied += c.appliedPerCycle(from) * n
 }
+
+// SetProbe attaches the tracing probe (nil disables tracing).
+func (c *Controller) SetProbe(p *probe.Probe) { c.probe = p }
 
 // AppliedCycles returns the total link-cycles of active faults.
 func (c *Controller) AppliedCycles() uint64 { return c.applied }

@@ -13,6 +13,7 @@ import (
 	"nocemu/internal/arb"
 	"nocemu/internal/flit"
 	"nocemu/internal/platform"
+	"nocemu/internal/probe"
 	"nocemu/internal/receptor"
 	"nocemu/internal/routing"
 	"nocemu/internal/topology"
@@ -137,6 +138,10 @@ type File struct {
 	// NoGate disables quiescence-aware scheduling (results are
 	// bit-identical either way; gating only speeds up idle cycles).
 	NoGate bool `json:"no_gate,omitempty"`
+	// Trace enables the event-tracing subsystem; the nested fields are
+	// probe.Config ("window", "ring_cap", "sched"). Omit to run with
+	// tracing off.
+	Trace *probe.Config `json:"trace,omitempty"`
 }
 
 // buildTopology materializes the topology spec.
@@ -227,6 +232,7 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 		Seed:           f.Seed,
 		Workers:        f.Workers,
 		NoGate:         f.NoGate,
+		Trace:          f.Trace,
 	}
 	for _, ov := range f.Overrides {
 		cfg.Overrides = append(cfg.Overrides, platform.RouteOverride{

@@ -17,6 +17,7 @@ import (
 	"fmt"
 
 	"nocemu/internal/flit"
+	"nocemu/internal/probe"
 )
 
 // FaultMode selects an injected fault on a link (fault injection for
@@ -58,6 +59,8 @@ type Link struct {
 	// gated scheduler uses to wake this wire and its consumer in the
 	// same cycle the producer stages a flit. Nil when gating is off.
 	onSend func()
+	// probe records drop and fault-fire events; nil when tracing is off.
+	probe *probe.Probe
 }
 
 // NewLink returns an idle link with the given instance name.
@@ -147,6 +150,7 @@ func (l *Link) Commit(cycle uint64) {
 	}
 	if l.cur != nil && !l.taken && l.next != nil {
 		l.overruns++
+		l.probe.FlitDrop(cycle, uint64(l.cur.Packet), uint16(l.cur.Src), uint16(l.cur.Dst), l.cur.Index)
 		if l.onDrop != nil {
 			l.onDrop(l.cur) // the staged flit overwrites this one
 		}
@@ -154,6 +158,7 @@ func (l *Link) Commit(cycle uint64) {
 	if l.next != nil && l.fault == FaultCorrupt {
 		l.next.Payload = ^l.next.Payload
 		l.corrupted++
+		l.probe.FaultFire(cycle, uint64(l.next.Packet), uint16(l.next.Src), uint16(l.next.Dst), l.next.Index)
 	}
 	if l.taken || l.next != nil {
 		l.cur = l.next
@@ -172,6 +177,9 @@ func (l *Link) SetFault(m FaultMode) { l.fault = m }
 // SetDropHandler installs the callback invoked with any flit the link
 // loses (overrun drop) — the pooled datapath's fault-drop release path.
 func (l *Link) SetDropHandler(h func(*flit.Flit)) { l.onDrop = h }
+
+// SetProbe attaches the tracing probe (nil disables tracing).
+func (l *Link) SetProbe(p *probe.Probe) { l.probe = p }
 
 // Drain releases the link's in-flight state through release (which may
 // be nil): the committed flit on the wire and any staged flit a stuck

@@ -49,6 +49,7 @@ type busView struct {
 	trs      []devHandle
 	switches []devHandle
 	links    []devHandle
+	probes   []devHandle
 }
 
 // scanBus classifies every attached device by TYPE.
@@ -73,6 +74,8 @@ func scanBus(sys *bus.System) (*busView, error) {
 			v.switches = append(v.switches, d)
 		case regmap.TypeLink:
 			v.links = append(v.links, d)
+		case regmap.TypeProbe:
+			v.probes = append(v.probes, d)
 		}
 	}
 	if !haveCtrl {

@@ -21,6 +21,7 @@ import (
 	"nocemu/internal/buffer"
 	"nocemu/internal/flit"
 	"nocemu/internal/link"
+	"nocemu/internal/probe"
 )
 
 // Injector converts packets to flits and injects them into a switch
@@ -45,6 +46,10 @@ type Injector struct {
 	flitsSent   uint64
 	stallCycles uint64
 	peakQueue   int
+
+	// probe records inject and stall events; nil when tracing is off.
+	// The owning TG drives Pump, so the probe is single-producer.
+	probe *probe.Probe
 }
 
 // NewInjector builds an injector for the given endpoint. out carries
@@ -129,6 +134,7 @@ func (n *Injector) Pump(cycle uint64) {
 	}
 	if n.credits == 0 || n.out.Busy() {
 		n.stallCycles++
+		n.probe.CreditStall(cycle, uint16(n.ring[n.head].VC))
 		return
 	}
 	f := n.ring[n.head]
@@ -145,6 +151,7 @@ func (n *Injector) Pump(cycle uint64) {
 	if f.Kind.IsTail() {
 		n.packetsSent++
 	}
+	n.probe.FlitInject(cycle, uint64(f.Packet), uint16(f.Src), uint16(f.Dst), f.Index)
 }
 
 // Drain releases every queued flit through release (end-of-run
@@ -184,6 +191,9 @@ func (n *Injector) Stats() InjectorStats {
 // Drained reports whether all accepted packets have left the injector.
 func (n *Injector) Drained() bool { return n.count == 0 }
 
+// SetProbe attaches the tracing probe (nil disables tracing).
+func (n *Injector) SetProbe(p *probe.Probe) { n.probe = p }
+
 // ResetStats clears counters without touching queued flits or credits.
 func (n *Injector) ResetStats() {
 	n.packetsSent, n.flitsSent, n.stallCycles, n.peakQueue = 0, 0, 0, n.count
@@ -205,6 +215,10 @@ type Ejector struct {
 
 	flitsReceived  uint64
 	corruptedFlits uint64
+
+	// probe records eject and credit-grant events; nil when tracing is
+	// off. The owning TR drives Pump, so the probe is single-producer.
+	probe *probe.Probe
 }
 
 // NewEjector builds an ejector with the given input buffer depth. The
@@ -248,10 +262,13 @@ func (e *Ejector) Pump(cycle uint64, onFlit func(*flit.Flit), onPacket func(*fli
 		return
 	}
 	e.creditUp.Send(1)
+	e.probe.CreditGrant(cycle)
 	e.flitsReceived++
-	if f.Check != f.Checksum() {
+	corrupted := f.Check != f.Checksum()
+	if corrupted {
 		e.corruptedFlits++
 	}
+	e.probe.FlitEject(cycle, uint64(f.Packet), uint16(f.Src), uint16(f.Dst), f.Index, corrupted)
 	if f.Dst != e.endpoint {
 		panic(fmt.Sprintf("nic: ejector %d received flit for %d (misroute)", e.endpoint, f.Dst))
 	}
@@ -301,3 +318,11 @@ func (e *Ejector) PendingPackets() int { return e.asm.Pending() }
 // Depth returns the ejector buffer depth (the credits the upstream
 // switch output must be initialized with).
 func (e *Ejector) Depth() int { return e.buf.Cap() }
+
+// SetProbe attaches the tracing probe (nil disables tracing). The
+// internal reassembly buffer shares it: both are driven only from the
+// owning TR's Tick/Commit.
+func (e *Ejector) SetProbe(p *probe.Probe) {
+	e.probe = p
+	e.buf.SetProbe(p)
+}

@@ -9,6 +9,7 @@ import (
 	"nocemu/internal/flit"
 	"nocemu/internal/link"
 	"nocemu/internal/nic"
+	"nocemu/internal/probe"
 	"nocemu/internal/receptor"
 	"nocemu/internal/regmap"
 	"nocemu/internal/routing"
@@ -44,6 +45,11 @@ type Platform struct {
 	pool     *flit.Pool
 	ctrl     *control.Module
 	proc     *control.Processor
+
+	// collector is the event-tracing subsystem; nil unless Config.Trace
+	// is set. Probes are issued in build order, which fixes ring ids and
+	// therefore the canonical event order.
+	collector *probe.Collector
 
 	tgByEndpoint map[flit.EndpointID]*traffic.TG
 	trByEndpoint map[flit.EndpointID]*receptor.TR
@@ -111,10 +117,14 @@ func Build(cfg Config) (*Platform, error) {
 	// every terminal path (ejection, fault drop, end-of-run drain)
 	// releases flits back, so steady-state emulation allocates nothing.
 	p.pool = flit.NewPool()
+	if cfg.Trace != nil {
+		p.collector = probe.NewCollector(*cfg.Trace)
+	}
 	bank := &wireBank{name: "wires"}
 	var pairs []wirePair
 	registerWires := func(l *link.Link, c *link.CreditLink, consumer string, inject bool) {
 		l.SetDropHandler(p.pool.Release)
+		l.SetProbe(p.collector.NewProbe(l.ComponentName()))
 		p.allLinks = append(p.allLinks, l)
 		if cfg.SeparateWires {
 			pairs = append(pairs, wirePair{l: l, c: c, consumer: consumer, inject: inject, li: -1, ci: -1})
@@ -219,6 +229,7 @@ func Build(cfg Config) (*Platform, error) {
 		}
 		p.tgs = append(p.tgs, tg)
 		p.tgByEndpoint[spec.Endpoint] = tg
+		tg.SetProbe(p.collector.NewProbe(tg.ComponentName()))
 		p.eng.MustRegister(tg)
 		registerWires(injL, injCr, sw.ComponentName(), true)
 	}
@@ -263,6 +274,7 @@ func Build(cfg Config) (*Platform, error) {
 		}
 		p.trs = append(p.trs, tr)
 		p.trByEndpoint[spec.Endpoint] = tr
+		tr.SetProbe(p.collector.NewProbe(tr.ComponentName()))
 		p.eng.MustRegister(tr)
 		registerWires(ejL, ejCr, tr.ComponentName(), false)
 	}
@@ -273,6 +285,7 @@ func Build(cfg Config) (*Platform, error) {
 		if err := sw.CheckWired(); err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
+		sw.SetProbe(p.collector.NewProbe(sw.ComponentName()))
 		p.eng.MustRegister(sw)
 	}
 	for i := range p.links {
@@ -281,6 +294,22 @@ func Build(cfg Config) (*Platform, error) {
 	if !cfg.SeparateWires {
 		p.eng.MustRegister(bank)
 		p.bank = bank
+	}
+	// The collector registers after every data component so its serial
+	// Tick drains behind them; the samplers read only skip-debt-free
+	// state (committed occupancy, link busy-cycles), keeping boundary
+	// samples bit-identical across kernels and gating modes.
+	if p.collector != nil {
+		for _, sw := range p.switches {
+			p.collector.AddOccupancySampler(sw.BufferedFlits)
+		}
+		for _, l := range p.links {
+			p.collector.AddBusySampler(l.BusyCycles)
+		}
+		p.eng.MustRegister(p.collector)
+		if cfg.Trace.Sched {
+			p.eng.SetSchedTrace(p.collector)
+		}
 	}
 
 	// Bus attachment and control plane.
@@ -319,6 +348,11 @@ func Build(cfg Config) (*Platform, error) {
 			return nil, err
 		}
 	}
+	if p.collector != nil {
+		if _, err := p.sys.AttachNext(BusAux, regmap.NewProbeDevice(p.collector)); err != nil {
+			return nil, err
+		}
+	}
 	// Kernel selection: the sequential engine, or the sharded parallel
 	// kernel over the same component schedule (bit-identical results).
 	p.kern = p.eng
@@ -349,6 +383,15 @@ func Build(cfg Config) (*Platform, error) {
 				p.bank.enableGating(p.eng.Cycle)
 			}
 			p.installArmHooks(pairs)
+		}
+	}
+	// Emit-time arming: any probe emission wakes the collector so ring
+	// fills never depend on the parking schedule (which would make drops
+	// — and thus the exported stream — schedule-dependent). The armer is
+	// a no-op on ungated and parallel kernels.
+	if p.collector != nil {
+		if arm, ok := p.eng.Armer("probe"); ok {
+			p.collector.SetArm(arm)
 		}
 	}
 	return p, nil
@@ -663,6 +706,11 @@ func (p *Platform) TR(ep flit.EndpointID) (*receptor.TR, bool) {
 // Pool returns the platform's flit pool (accounting: Live, Acquired,
 // Released). Read it only while the platform is quiesced.
 func (p *Platform) Pool() *flit.Pool { return p.pool }
+
+// Probe returns the event-tracing collector, or nil when the platform
+// was built without Config.Trace. Read (export, metrics) only while the
+// platform is quiesced.
+func (p *Platform) Probe() *probe.Collector { return p.collector }
 
 // Drain releases every in-flight flit back to the pool: link wires
 // (including flits held by stuck faults), switch input buffers (with

@@ -11,6 +11,7 @@ import (
 
 	"nocemu/internal/arb"
 	"nocemu/internal/flit"
+	"nocemu/internal/probe"
 	"nocemu/internal/receptor"
 	"nocemu/internal/routing"
 	"nocemu/internal/topology"
@@ -134,6 +135,14 @@ type Config struct {
 	// low load. Set NoGate for ablation benchmarks of the naive
 	// schedule.
 	NoGate bool
+	// Trace enables the event-tracing and time-series metrics subsystem
+	// (internal/probe): every data-path component gets a probe feeding a
+	// per-component ring buffer, a collector drains them into a canonical
+	// event stream, and a trace-metrics register bank is attached on the
+	// auxiliary bus. Nil (the default) disables tracing completely — the
+	// hooks stay compiled in but cost nothing. The emitted stream is
+	// bit-identical across kernels (Workers, NoGate).
+	Trace *probe.Config
 }
 
 func (c *Config) applyDefaults() {

@@ -120,6 +120,7 @@ func (p *Platform) AddFaults(specs []fault.Spec) (*fault.Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	ctrl.SetProbe(p.collector.NewProbe(ctrl.ComponentName()))
 	if err := p.eng.Register(ctrl); err != nil {
 		return nil, err
 	}

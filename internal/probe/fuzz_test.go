@@ -1,0 +1,51 @@
+package probe
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// FuzzTraceRoundTrip checks that the JSONL codec is lossless: any
+// event the emitter can produce encodes to one line that decodes back
+// to the same event and re-encodes to the same bytes. Byte-stable
+// re-encoding is what the golden-trace fixtures and the differential
+// kernel tests rest on.
+func FuzzTraceRoundTrip(f *testing.F) {
+	f.Add(uint64(0), uint8(1), "tg0", uint32(0), uint64(0), uint16(0), uint16(0), uint16(0), uint16(0), uint32(0), uint64(0))
+	f.Add(uint64(123), uint8(2), "sw2", uint32(7), uint64(99), uint16(1), uint16(2), uint16(3), uint16(4), uint32(5), uint64(6))
+	f.Add(^uint64(0), uint8(13), "kernel", ^uint32(0), ^uint64(0), ^uint16(0), ^uint16(0), ^uint16(0), ^uint16(0), ^uint32(0), ^uint64(0))
+	f.Fuzz(func(t *testing.T, cycle uint64, kind uint8, comp string, ring uint32,
+		pkt uint64, src, dst, idx, vc uint16, port uint32, val uint64) {
+		// Constrain to what an emitter can produce: a defined kind and
+		// a component name that JSON strings represent exactly
+		// (valid UTF-8; JSON escaping handles the rest).
+		k := Kind(kind%uint8(numKinds-1)) + 1
+		comp = strings.ToValidUTF8(comp, "�")
+		if !utf8.ValidString(comp) {
+			t.Skip()
+		}
+		ev := Event{Cycle: cycle, Kind: k, Comp: comp, Ring: ring,
+			Pkt: pkt, Src: src, Dst: dst, Idx: idx, VC: vc, Port: port, Val: val}
+
+		line, err := ev.MarshalJSONL()
+		if err != nil {
+			t.Fatalf("encode: %v", err)
+		}
+		got, err := UnmarshalJSONL(line)
+		if err != nil {
+			t.Fatalf("decode %s: %v", line, err)
+		}
+		if got != ev {
+			t.Fatalf("decode changed event:\n in: %+v\nout: %+v", ev, got)
+		}
+		re, err := got.MarshalJSONL()
+		if err != nil {
+			t.Fatalf("re-encode: %v", err)
+		}
+		if !bytes.Equal(line, re) {
+			t.Fatalf("re-encode changed bytes:\n in: %s\nout: %s", line, re)
+		}
+	})
+}

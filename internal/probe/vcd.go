@@ -1,0 +1,84 @@
+package probe
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// WriteVCD exports the trace as a Value Change Dump for waveform-style
+// inspection in gtkwave-class viewers. Each component that emitted at
+// least one event becomes one 8-bit variable whose value at a cycle is
+// the code of the last event kind the component emitted that cycle
+// (zero between events), so the waveform reads as activity pulses per
+// device. The scheduler pseudo-ring becomes a "kernel" variable when
+// scheduler tracing was on. One emulated cycle is rendered as two
+// timesteps so a pulse and its return to zero are distinct edges.
+func (c *Collector) WriteVCD(w io.Writer) error {
+	events := c.Events()
+	bw := bufio.NewWriter(w)
+
+	// Variables in ring-id order — deterministic build order, like the
+	// canonical sort's tie-breaker.
+	ringComp := map[uint32]string{}
+	for i := range events {
+		ringComp[events[i].Ring] = events[i].Comp
+	}
+	ringOrder := make([]uint32, 0, len(ringComp))
+	for r := range ringComp {
+		ringOrder = append(ringOrder, r)
+	}
+	sort.Slice(ringOrder, func(i, j int) bool { return ringOrder[i] < ringOrder[j] })
+	ids := make(map[uint32]string, len(ringOrder))
+	for i, r := range ringOrder {
+		ids[r] = vcdID(i)
+	}
+
+	fmt.Fprintf(bw, "$timescale 1 ns $end\n$scope module nocemu $end\n")
+	for _, r := range ringOrder {
+		fmt.Fprintf(bw, "$var reg 8 %s %s $end\n", ids[r], ringComp[r])
+	}
+	fmt.Fprintf(bw, "$upscope $end\n$enddefinitions $end\n")
+
+	live := map[uint32]bool{}
+	dropLive := func(at uint64) {
+		if len(live) == 0 {
+			return
+		}
+		fmt.Fprintf(bw, "#%d\n", at)
+		for _, r := range ringOrder {
+			if live[r] {
+				fmt.Fprintf(bw, "b0 %s\n", ids[r])
+				delete(live, r)
+			}
+		}
+	}
+
+	i := 0
+	for i < len(events) {
+		cur := events[i].Cycle
+		fmt.Fprintf(bw, "#%d\n", cur*2)
+		for i < len(events) && events[i].Cycle == cur {
+			ev := &events[i]
+			fmt.Fprintf(bw, "b%b %s\n", uint8(ev.Kind), ids[ev.Ring])
+			live[ev.Ring] = true
+			i++
+		}
+		dropLive(cur*2 + 1)
+	}
+	return bw.Flush()
+}
+
+// vcdID builds a short printable identifier ("!", "\"", ... base-94).
+func vcdID(i int) string {
+	var b []byte
+	for {
+		b = append(b, byte('!'+i%94))
+		i /= 94
+		if i == 0 {
+			return string(b)
+		}
+		i--
+	}
+}

@@ -18,6 +18,7 @@ import (
 
 	"nocemu/internal/flit"
 	"nocemu/internal/nic"
+	"nocemu/internal/probe"
 	"nocemu/internal/stats"
 	"nocemu/internal/trace"
 )
@@ -157,6 +158,10 @@ func (t *TR) Mode() Mode { return t.cfg.Mode }
 
 // Ejector returns the network interface (for platform wiring).
 func (t *TR) Ejector() *nic.Ejector { return t.ej }
+
+// SetProbe attaches the tracing probe to the network interface (nil
+// disables tracing).
+func (t *TR) SetProbe(p *probe.Probe) { t.ej.SetProbe(p) }
 
 // SetExpect changes the completion threshold between runs.
 func (t *TR) SetExpect(n uint64) { t.cfg.ExpectPackets = n }

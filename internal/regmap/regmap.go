@@ -42,6 +42,7 @@ const (
 	TypePool     = 6
 	TypeVCSource = 7
 	TypeVCSink   = 8
+	TypeProbe    = 9
 )
 
 // Common register offsets.

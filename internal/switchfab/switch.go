@@ -19,6 +19,7 @@ import (
 	"nocemu/internal/buffer"
 	"nocemu/internal/flit"
 	"nocemu/internal/link"
+	"nocemu/internal/probe"
 	"nocemu/internal/rng"
 	"nocemu/internal/routing"
 	"nocemu/internal/topology"
@@ -92,6 +93,11 @@ type Switch struct {
 	wiredOuts int
 
 	stats Stats
+
+	// probe records route events for forwarded flits; nil when tracing
+	// is off. The input buffers share it (they commit from this switch's
+	// Commit, preserving the single-producer discipline).
+	probe *probe.Probe
 }
 
 // New builds a switch from its configuration.
@@ -305,6 +311,7 @@ func (s *Switch) Tick(cycle uint64) {
 		s.creditOut[winner].Send(1)
 		granted[winner] = true
 		s.stats.FlitsRouted++
+		s.probe.FlitRoute(cycle, uint64(f.Packet), uint16(f.Src), uint16(f.Dst), f.Index, uint16(f.VC), uint32(winner), uint32(o))
 		if f.Kind.IsTail() {
 			s.stats.PacketsRouted++
 			s.lock[o] = -1
@@ -379,8 +386,29 @@ func (s *Switch) Drain(release func(*flit.Flit)) {
 	}
 }
 
+// SetProbe attaches the tracing probe (nil disables tracing) and shares
+// it with the input buffers.
+func (s *Switch) SetProbe(p *probe.Probe) {
+	s.probe = p
+	for _, q := range s.inBufs {
+		q.SetProbe(p)
+	}
+}
+
 // Stats returns the activity counters.
 func (s *Switch) Stats() Stats { return s.stats }
+
+// BufferedFlits returns the committed occupancy summed over the input
+// buffers — the trace collector's boundary-sample source. Unlike the
+// mean-occupancy statistic it carries no skipped-cycle debt, so it is
+// exact whether or not the switch is parked.
+func (s *Switch) BufferedFlits() int {
+	n := 0
+	for _, q := range s.inBufs {
+		n += q.Len()
+	}
+	return n
+}
 
 // BufferStats returns the per-input buffer statistics.
 func (s *Switch) BufferStats() []buffer.Stats {

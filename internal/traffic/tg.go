@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"nocemu/internal/nic"
+	"nocemu/internal/probe"
 	"nocemu/internal/rng"
 )
 
@@ -53,6 +54,10 @@ func (t *TG) Generator() Generator { return t.gen }
 
 // Injector returns the network interface.
 func (t *TG) Injector() *nic.Injector { return t.inj }
+
+// SetProbe attaches the tracing probe to the network interface (nil
+// disables tracing).
+func (t *TG) SetProbe(p *probe.Probe) { t.inj.SetProbe(p) }
 
 // SetEnabled gates traffic creation; the control module uses it for the
 // start/stop registers. Queued flits still drain while disabled.

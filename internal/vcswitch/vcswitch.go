@@ -20,6 +20,7 @@ import (
 	"nocemu/internal/buffer"
 	"nocemu/internal/flit"
 	"nocemu/internal/link"
+	"nocemu/internal/probe"
 	"nocemu/internal/routing"
 	"nocemu/internal/topology"
 )
@@ -96,6 +97,10 @@ type Switch struct {
 
 	wiredIn, wiredOut int
 	stats             Stats
+
+	// probe records route events tagged with the outgoing VC; nil when
+	// tracing is off. The per-VC input buffers share it.
+	probe *probe.Probe
 }
 
 // New validates the configuration and builds the switch.
@@ -296,6 +301,7 @@ func (s *Switch) Tick(cycle uint64) {
 		s.credOut[i][v].Send(1)
 		s.granted[r] = true
 		s.stats.FlitsRouted++
+		s.probe.FlitRoute(cycle, uint64(f.Packet), uint16(f.Src), uint16(f.Dst), f.Index, uint16(rt.vc), uint32(i), uint32(o))
 		if f.Kind.IsTail() {
 			s.stats.PacketsRouted++
 			s.lock[o][rt.vc] = freeRef
@@ -348,6 +354,17 @@ func (s *Switch) SkipIdle(from, n uint64) {
 	for i := range s.inBufs {
 		for _, q := range s.inBufs[i] {
 			q.SkipIdle(n)
+		}
+	}
+}
+
+// SetProbe attaches the tracing probe (nil disables tracing) and shares
+// it with the per-VC input buffers.
+func (s *Switch) SetProbe(p *probe.Probe) {
+	s.probe = p
+	for i := range s.inBufs {
+		for _, q := range s.inBufs[i] {
+			q.SetProbe(p)
 		}
 	}
 }
