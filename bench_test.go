@@ -179,6 +179,91 @@ func BenchmarkTable2RTLLike(b *testing.B) {
 	})
 }
 
+// meshScaleCases is the BenchmarkMeshScale grid: mesh sizes from the
+// paper's 6-switch scale up to the 1024-node ROADMAP target, at low
+// and moderate injection.
+var meshScaleCases = []struct {
+	nodes int
+	inj   float64
+}{
+	{64, 0.02}, {64, 0.10},
+	{256, 0.02}, {256, 0.10},
+	{1024, 0.02}, {1024, 0.10},
+}
+
+func meshSide(nodes int) int {
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	return side
+}
+
+// BenchmarkMeshScale measures emulation speed on synthetic N×N meshes
+// under uniform-random traffic — the scale study behind the arena
+// scheduler (DESIGN.md §12). Cycles per iteration shrink with mesh
+// size so every case stays sub-second; the reported cycles/s metric is
+// comparable across sizes. Compare against BenchmarkMeshDispatch for
+// the arena-vs-interface ablation.
+func BenchmarkMeshScale(b *testing.B) {
+	for _, tc := range meshScaleCases {
+		tc := tc
+		cycles := uint64(200_000 / meshSide(tc.nodes)) // 25k / 12.5k / 6.25k
+		b.Run(fmt.Sprintf("nodes=%d/inj=%.2f", tc.nodes, tc.inj), func(b *testing.B) {
+			benchCycles(b, cycles, func(b *testing.B) func(uint64) {
+				cfg, err := platform.MeshConfig(platform.MeshOptions{
+					N: meshSide(tc.nodes), Injection: tc.inj,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				p, err := platform.Build(cfg)
+				if err != nil {
+					b.Fatal(err)
+				}
+				p.RunCycles(cycles / 10) // warm-up
+				return p.RunCycles
+			})
+		})
+	}
+}
+
+// BenchmarkMeshDispatch ablates the struct-of-arrays arena scheduler
+// against per-component interface dispatch (SeparateWires) on the two
+// largest meshes, at low injection (walk overhead dominates — the
+// devirtualization and cache-locality win shows here) and at moderate
+// injection (approaching saturation, where real routing work amortizes
+// the dispatch cost). The gap is recorded in EXPERIMENTS.md.
+func BenchmarkMeshDispatch(b *testing.B) {
+	for _, nodes := range []int{256, 1024} {
+		for _, inj := range []float64{0.02, 0.10} {
+			for _, mode := range []struct {
+				name     string
+				separate bool
+			}{{"arena", false}, {"separate", true}} {
+				nodes, inj, mode := nodes, inj, mode
+				cycles := uint64(200_000 / meshSide(nodes))
+				b.Run(fmt.Sprintf("nodes=%d/inj=%.2f/dispatch=%s", nodes, inj, mode.name), func(b *testing.B) {
+					benchCycles(b, cycles, func(b *testing.B) func(uint64) {
+						cfg, err := platform.MeshConfig(platform.MeshOptions{
+							N: meshSide(nodes), Injection: inj, SeparateWires: mode.separate,
+						})
+						if err != nil {
+							b.Fatal(err)
+						}
+						p, err := platform.Build(cfg)
+						if err != nil {
+							b.Fatal(err)
+						}
+						p.RunCycles(cycles / 10)
+						return p.RunCycles
+					})
+				})
+			}
+		}
+	}
+}
+
 // BenchmarkFigure1LinkLoad regenerates the slide-19 setup check: the
 // steady-state load of the two hot links under 4x45% traffic.
 func BenchmarkFigure1LinkLoad(b *testing.B) {

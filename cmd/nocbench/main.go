@@ -2,9 +2,10 @@
 // two tables and four figures of the DATE 2005 paper — printing each as
 // a text table with the paper's reported values alongside.
 //
-//	nocbench                 # everything
-//	nocbench -exp t2,f4      # a subset
-//	nocbench -csv results/   # also dump the figure series as CSV
+//	nocbench                          # everything
+//	nocbench -exp t2,f4               # a subset
+//	nocbench -csv results/            # also dump the figure series as CSV
+//	nocbench -exp t2 -cpuprofile c.pb # profile the selected runs (pprof)
 package main
 
 import (
@@ -13,6 +14,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"nocemu/internal/experiments"
@@ -28,6 +31,8 @@ func main() {
 		gate    = flag.Bool("gate", true, "quiescence-aware scheduling in the t2 speed rows (ablation: -gate=false; results are identical)")
 		jsonOut = flag.String("json", "", "write the benchmark suite (name, cycles/s, allocs/op) as JSON to this file")
 		doTrace = flag.Bool("trace", true, "include tracing-enabled overhead rows (emu/load=*/trace) in the -json bench suite")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
+		memProf = flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	)
 	flag.Parse()
 
@@ -39,12 +44,38 @@ func main() {
 	for _, e := range strings.Split(*exps, ",") {
 		selected[strings.TrimSpace(e)] = true
 	}
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
 	if err := run(selected, *csvDir, *workers, !*gate); err != nil {
 		fmt.Fprintln(os.Stderr, "nocbench:", err)
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
 		if err := writeBenchJSON(*jsonOut, *workers, *doTrace); err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+	}
+	if *memProf != "" {
+		f, err := os.Create(*memProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "nocbench:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		runtime.GC() // report live objects, not garbage
+		if err := pprof.WriteHeapProfile(f); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}

@@ -41,12 +41,32 @@ type FIFO struct {
 	probe *probe.Probe
 }
 
+// Init initializes a FIFO in place with the given capacity (>= 1) —
+// the construction path for dense FIFO storage, where queues live as
+// values inside their owning component (switch input buffers) instead
+// of behind individual heap pointers.
+func Init(q *FIFO, name string, capacity int) error {
+	if capacity < 1 {
+		return fmt.Errorf("buffer %s: capacity %d < 1", name, capacity)
+	}
+	*q = FIFO{name: name, items: make([]*flit.Flit, capacity)}
+	return nil
+}
+
+// MustInit is Init for construction paths where the capacity is static.
+func MustInit(q *FIFO, name string, capacity int) {
+	if err := Init(q, name, capacity); err != nil {
+		panic(err)
+	}
+}
+
 // New returns an empty FIFO with the given capacity (>= 1).
 func New(name string, capacity int) (*FIFO, error) {
-	if capacity < 1 {
-		return nil, fmt.Errorf("buffer %s: capacity %d < 1", name, capacity)
+	q := &FIFO{}
+	if err := Init(q, name, capacity); err != nil {
+		return nil, err
 	}
-	return &FIFO{name: name, items: make([]*flit.Flit, capacity)}, nil
+	return q, nil
 }
 
 // MustNew is New for construction paths where the capacity is static.

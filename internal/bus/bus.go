@@ -69,6 +69,12 @@ type Device interface {
 // ErrNoDevice is wrapped by accesses to unmapped addresses.
 var ErrNoDevice = fmt.Errorf("bus: no device at address")
 
+// ErrBusFull is wrapped by AttachNext when a bus has no free slot —
+// the paper's address format caps each bus at DevicesPerBus devices.
+// Platforms larger than the address budget treat this as a soft limit:
+// devices beyond it are emulated but not memory-mapped.
+var ErrBusFull = fmt.Errorf("bus: no free device slot")
+
 // Attachment records a mapped device.
 type Attachment struct {
 	Bus, Dev uint32
@@ -111,7 +117,7 @@ func (s *System) Attach(bus, dev uint32, d Device) error {
 }
 
 // AttachNext maps a device in the first free slot of the given bus and
-// returns the slot index.
+// returns the slot index. A full bus reports ErrBusFull.
 func (s *System) AttachNext(bus uint32, d Device) (uint32, error) {
 	if bus >= NumBuses {
 		return 0, fmt.Errorf("bus: bus %d out of range", bus)
@@ -121,7 +127,7 @@ func (s *System) AttachNext(bus uint32, d Device) (uint32, error) {
 			return dev, s.Attach(bus, dev, d)
 		}
 	}
-	return 0, fmt.Errorf("bus: bus %d full", bus)
+	return 0, fmt.Errorf("%w: bus %d", ErrBusFull, bus)
 }
 
 // Lookup returns the device at (bus, dev).

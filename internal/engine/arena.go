@@ -1,0 +1,117 @@
+// Struct-of-arrays component arenas.
+//
+// The kernel's generic schedule walks []Component — flexible, but every
+// call is an itab dispatch on a pointer that may land anywhere on the
+// heap. At the 1k-node scale the platform targets, the high-population
+// component types (wires, switches) dominate that walk, and they are
+// homogeneous: same concrete type, same Tick body, thousands of
+// instances. An Arena stores such a population as one dense value slice
+// and exposes batch evaluation over index ranges, so the inner loop is
+// a devirtualized, cache-linear walk over contiguous memory instead of
+// len(population) interface calls.
+//
+// Placement rule: a type goes into an arena when its population grows
+// with the platform (links, credit wires, switches — O(nodes) or
+// O(links) instances); it stays on the interface path when it is
+// low-population and heterogeneous (traffic devices, watchdog, fault
+// controller, collector — O(1) or O(endpoints) instances whose dispatch
+// cost is noise). Arenas register through RegisterArena and appear in
+// the schedule as ONE component each, so every existing consumer of the
+// registry — the sequential kernel, quiescence gating, the event
+// calendar of internal/tlm, Lookup — keeps working unchanged; only the
+// parallel kernel treats them specially, sharding their index ranges
+// across workers instead of assigning whole components.
+package engine
+
+// Arena is a dense, homogeneous population of sub-devices evaluated by
+// range loops. Tick/Commit (the Component methods) must be equivalent
+// to TickRange/CommitRange over the full range [0, Len()); the parallel
+// kernel partitions [0, Len()) into contiguous per-worker spans, so
+// elements must be independent within a phase, exactly like distinct
+// registered components are.
+type Arena interface {
+	Component
+	// Len returns the element count. It must stay constant while any
+	// kernel is running; the parallel kernel re-reads it only when the
+	// registration count changes.
+	Len() int
+	// TickRange ticks elements [lo, hi) for the given cycle.
+	TickRange(lo, hi int, cycle uint64)
+	// CommitRange commits elements [lo, hi) for the given cycle.
+	CommitRange(lo, hi int, cycle uint64)
+}
+
+// RegisterArena adds an arena to the evaluation schedule. The arena
+// occupies one slot in the component registry (its ComponentName must
+// be unique like any component's); the parallel kernel additionally
+// shards its index range across workers.
+func (e *Engine) RegisterArena(a Arena) error {
+	if a == nil {
+		return errArena("nil arena")
+	}
+	if a.Len() < 0 {
+		return errArena("negative arena length")
+	}
+	if err := e.Register(a); err != nil {
+		return err
+	}
+	e.arenas = append(e.arenas, a)
+	return nil
+}
+
+// MustRegisterArena is RegisterArena for construction paths where a
+// failure is a programming error.
+func (e *Engine) MustRegisterArena(a Arena) {
+	if err := e.RegisterArena(a); err != nil {
+		panic(err)
+	}
+}
+
+// Arenas returns the registered arenas in registration order (copied).
+func (e *Engine) Arenas() []Arena {
+	return append([]Arena(nil), e.arenas...)
+}
+
+// isArena reports whether component c was registered through
+// RegisterArena. The arena list is a handful of entries, so the linear
+// scan is cheaper than a map and runs only at shard-refresh time.
+func (e *Engine) isArena(c Component) bool {
+	for _, a := range e.arenas {
+		if Component(a) == c {
+			return true
+		}
+	}
+	return false
+}
+
+type errArena string
+
+func (e errArena) Error() string { return "engine: " + string(e) }
+
+// arenaSpan is one worker's contiguous slice of an arena's index range.
+type arenaSpan struct {
+	a      Arena
+	lo, hi int
+}
+
+// dealSpans partitions each arena's [0, Len()) into len(out) contiguous
+// spans, one per worker, appending to out[w]. Remainder elements go to
+// the lowest-numbered workers so span sizes differ by at most one.
+func dealSpans(arenas []Arena, out [][]arenaSpan) {
+	w := len(out)
+	for _, a := range arenas {
+		n := a.Len()
+		size, rem := n/w, n%w
+		lo := 0
+		for i := 0; i < w; i++ {
+			hi := lo + size
+			if i < rem {
+				hi++
+			}
+			if hi > lo {
+				out[i] = append(out[i], arenaSpan{a: a, lo: lo, hi: hi})
+			}
+			lo = hi
+		}
+	}
+}

@@ -100,7 +100,11 @@ type Engine struct {
 	// re-sort after a registration.
 	sortedNames []string
 	namesStale  bool
-	cycle       uint64
+	// arenas lists the components registered through RegisterArena
+	// (arena.go); the parallel kernel shards their index ranges instead
+	// of assigning them whole.
+	arenas []Arena
+	cycle  uint64
 	// sched holds the quiescence-aware scheduling state (quiesce.go);
 	// nil when gating is off, which is the default.
 	sched *sched

@@ -119,7 +119,12 @@ type ParallelEngine struct {
 	// the registration count changes. Components are dealt round-robin:
 	// the platform registers devices grouped by type, so interleaving
 	// gives every shard a mix of cheap wires and expensive switches.
-	shards  [][]Component
+	shards [][]Component
+	// spans partitions every registered arena's index range into one
+	// contiguous slice per worker (arena.go): an arena is too big to be
+	// one shard entry, so workers split its population by index while
+	// the arena still registers (and gates) as a single component.
+	spans   [][]arenaSpan
 	serial  []Component // SerialTicker components, coordinator-only
 	sharded int         // registration count the shards were built from
 
@@ -162,6 +167,7 @@ func NewParallel(eng *Engine, workers int) (*ParallelEngine, error) {
 		eng:     eng,
 		workers: workers,
 		shards:  make([][]Component, workers),
+		spans:   make([][]arenaSpan, workers),
 		sharded: -1,
 		work:    make([]chan struct{}, workers-1),
 	}
@@ -216,6 +222,9 @@ func (p *ParallelEngine) refreshShards() {
 	for i := range p.shards {
 		p.shards[i] = p.shards[i][:0]
 	}
+	for i := range p.spans {
+		p.spans[i] = p.spans[i][:0]
+	}
 	p.serial = p.serial[:0]
 	w := 0
 	for _, c := range p.eng.components {
@@ -223,9 +232,13 @@ func (p *ParallelEngine) refreshShards() {
 			p.serial = append(p.serial, c)
 			continue
 		}
+		if p.eng.isArena(c) {
+			continue // dealt by index range below, not as a whole
+		}
 		p.shards[w] = append(p.shards[w], c)
 		w = (w + 1) % len(p.shards)
 	}
+	dealSpans(p.eng.arenas, p.spans)
 	// Quiescence scoreboard: global fast-forward is possible only when
 	// every registered component can declare idleness.
 	p.quies = p.quies[:0]
@@ -248,12 +261,19 @@ func (p *ParallelEngine) runWorker(id int, wake chan struct{}) {
 	ce := p.commitGate.epoch.Load()
 	for range wake {
 		shard := p.shards[id]
+		spans := p.spans[id]
 		cycle := p.batchStart
 		for {
+			for _, s := range spans {
+				s.a.TickRange(s.lo, s.hi, cycle)
+			}
 			for _, c := range shard {
 				c.Tick(cycle)
 			}
 			te, _ = p.tickGate.await(te)
+			for _, s := range spans {
+				s.a.CommitRange(s.lo, s.hi, cycle)
+			}
 			for _, c := range shard {
 				c.Commit(cycle)
 			}
@@ -293,8 +313,12 @@ func (p *ParallelEngine) runBatch(max uint64, poll bool) (executed uint64, stopp
 		ch <- struct{}{}
 	}
 	shard := p.shards[0]
+	spans := p.spans[0]
 	for {
 		c := p.eng.cycle
+		for _, s := range spans {
+			s.a.TickRange(s.lo, s.hi, c)
+		}
 		for _, comp := range shard {
 			comp.Tick(c)
 		}
@@ -303,6 +327,9 @@ func (p *ParallelEngine) runBatch(max uint64, poll bool) (executed uint64, stopp
 			comp.Tick(c)
 		}
 		p.tickGate.release(cmdGo)
+		for _, s := range spans {
+			s.a.CommitRange(s.lo, s.hi, c)
+		}
 		for _, comp := range shard {
 			comp.Commit(c)
 		}

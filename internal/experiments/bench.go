@@ -22,7 +22,9 @@ type BenchRow struct {
 // ungated (the quiescence-scheduling ablation), plus one
 // parallel-kernel row per load when workers > 0, plus (when traced)
 // one trace-enabled row per load quantifying the event-tracing
-// overhead (full event capture retained in memory, never exported).
+// overhead (full event capture retained in memory, never exported),
+// plus the mesh-scale grid (emu/mesh=* rows, 64/256/1024 nodes at low
+// and moderate injection) exercising the arena scheduler at scale.
 // Each row is one RunCycles op of `cycles` emulated cycles after a
 // warm-up; allocs_per_op counts heap allocations during the op
 // (steady-state emulation allocates nothing with tracing off, so this
@@ -61,7 +63,51 @@ func BenchSuite(cycles uint64, workers int, traced bool) ([]BenchRow, error) {
 			rows = append(rows, row)
 		}
 	}
+	// Mesh scale rows: N×N uniform-random meshes from the paper's
+	// 6-switch scale up to the 1024-node ROADMAP target, on the arena
+	// scheduler (DESIGN.md §12). Cycles per row shrink with mesh side
+	// so every row costs roughly the same wall time; cycles/s stays
+	// comparable across sizes. Mirrors BenchmarkMeshScale in
+	// bench_test.go so CI artifacts track the same grid.
+	for _, nodes := range []int{64, 256, 1024} {
+		for _, inj := range []float64{0.02, 0.10} {
+			row, err := benchMesh(nodes, inj, cycles)
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, row)
+		}
+	}
 	return rows, nil
+}
+
+func benchMesh(nodes int, inj float64, cycles uint64) (BenchRow, error) {
+	side := 1
+	for side*side < nodes {
+		side++
+	}
+	meshCycles := cycles / uint64(side)
+	cfg, err := platform.MeshConfig(platform.MeshOptions{N: side, Injection: inj})
+	if err != nil {
+		return BenchRow{}, err
+	}
+	p, err := platform.Build(cfg)
+	if err != nil {
+		return BenchRow{}, err
+	}
+	defer p.Close()
+	p.RunCycles(meshCycles / 10) // warm up pools, schedules, parking
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	p.RunCycles(meshCycles)
+	el := time.Since(start)
+	runtime.ReadMemStats(&after)
+	return BenchRow{
+		Name:         fmt.Sprintf("emu/mesh=%d/inj=%.2f", nodes, inj),
+		CyclesPerSec: float64(meshCycles) / el.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+	}, nil
 }
 
 func benchOne(name string, load float64, noGate bool, workers int, cycles uint64, traced bool) (BenchRow, error) {

@@ -113,6 +113,15 @@ func (l *Link) SkipIdle(from, n uint64) { l.totalCycles += n }
 // Busy reports whether a flit has already been staged this cycle.
 func (l *Link) Busy() bool { return l.next != nil }
 
+// PendingFlit reports whether a flit will be visible on the wire after
+// its next commit: a committed flit not yet taken, or a staged one.
+// Consumers' quiescence checks use it so the answer is the same whether
+// they run before or after the wire's commit in the same cycle — after
+// commit it degenerates to Peek() != nil.
+func (l *Link) PendingFlit() bool {
+	return (l.cur != nil && !l.taken) || l.next != nil
+}
+
 // Peek returns the committed flit on the wire, if any, without
 // consuming it.
 func (l *Link) Peek() *flit.Flit { return l.cur }

@@ -1,0 +1,110 @@
+// Arena-path safety net (DESIGN.md §12): the dense component arenas
+// are a scheduling-layer optimisation, so every observable output —
+// monitor JSON, exported event trace — must be byte-identical to the
+// fully-individual registration path (Config.SeparateWires), across
+// kernels and gating modes. Plus the at-scale guards: a 16×16 mesh must
+// run allocation-free in steady state and leak no pooled flits.
+package platform_test
+
+import (
+	"bytes"
+	"testing"
+
+	"nocemu/internal/monitor"
+	"nocemu/internal/platform"
+	"nocemu/internal/probe"
+)
+
+// TestArenaSeparateWiresIdentical pins the tentpole's core property:
+// batching wires and switches into arenas changes nothing observable.
+// The monitor snapshot and the canonical trace of the paper platform
+// must match the per-component registration path byte for byte.
+func TestArenaSeparateWiresIdentical(t *testing.T) {
+	cfg, err := platform.PaperConfig(platform.PaperOptions{PacketsPerTG: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(separate bool, workers int, noGate bool) (monitorJSON, trace []byte) {
+		c := cfg
+		c.SeparateWires = separate
+		c.Workers = workers
+		c.NoGate = noGate
+		c.Trace = &probe.Config{}
+		p, err := platform.Build(c)
+		if err != nil {
+			t.Fatalf("separate=%v workers=%d noGate=%v: %v", separate, workers, noGate, err)
+		}
+		defer p.Close()
+		if _, stopped := p.Run(1_000_000); !stopped {
+			t.Fatalf("separate=%v workers=%d noGate=%v: run did not complete", separate, workers, noGate)
+		}
+		var mon, tr bytes.Buffer
+		if err := monitor.WriteJSON(&mon, p); err != nil {
+			t.Fatal(err)
+		}
+		if err := p.Probe().WriteJSONL(&tr); err != nil {
+			t.Fatal(err)
+		}
+		return mon.Bytes(), tr.Bytes()
+	}
+	for _, workers := range []int{0, 4} {
+		for _, noGate := range []bool{false, true} {
+			wantMon, wantTr := run(true, workers, noGate)
+			gotMon, gotTr := run(false, workers, noGate)
+			if !bytes.Equal(gotMon, wantMon) {
+				t.Errorf("workers=%d noGate=%v: monitor JSON differs between arena and separate wiring:\n%s",
+					workers, noGate, firstTraceDiff(wantMon, gotMon))
+			}
+			if !bytes.Equal(gotTr, wantTr) {
+				t.Errorf("workers=%d noGate=%v: trace differs between arena and separate wiring:\n%s",
+					workers, noGate, firstTraceDiff(wantTr, gotTr))
+			}
+		}
+	}
+}
+
+// TestMeshSteadyStateZeroAlloc is the at-scale allocation guard: on a
+// 16×16 mesh (256 nodes, the paper-scale target) the cycle loop must
+// allocate nothing once the flit pool has reached its high-water mark.
+func TestMeshSteadyStateZeroAlloc(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are meaningless under the race detector")
+	}
+	cfg, err := platform.MeshConfig(platform.MeshOptions{N: 16, Injection: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer p.Close()
+	p.RunCycles(50_000)
+	avg := testing.AllocsPerRun(20, func() {
+		p.RunCycles(100)
+	})
+	if avg > 0 {
+		t.Errorf("256-node mesh RunCycles allocates %.1f objects per 100 cycles, want 0", avg)
+	}
+}
+
+// TestMeshDrainLeakFree is the at-scale pool guard: after draining a
+// 16×16 mesh mid-flight, every pooled flit must be back on a freelist.
+func TestMeshDrainLeakFree(t *testing.T) {
+	for _, workers := range []int{0, 4} {
+		cfg, err := platform.MeshConfig(platform.MeshOptions{N: 16, Injection: 0.1, Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RunCycles(3_000)
+		p.Drain()
+		if live := p.Pool().Live(); live != 0 {
+			t.Errorf("workers=%d: %d flits still live after drain, want 0", workers, live)
+		}
+		p.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package platform
 
 import (
+	"errors"
 	"fmt"
 
 	"nocemu/internal/bus"
@@ -57,9 +58,16 @@ type Platform struct {
 	// wirePairs remembers the registered wires for arm-hook rebinding
 	// (AttachWatchdog adds the watchdog to the injection-wire hooks).
 	wirePairs []wirePair
-	// bank is the bundled wire component (nil with SeparateWires); the
-	// arm hooks reach through it for per-wire gating.
-	bank *wireBank
+	// wires is the dense wire arena (nil with SeparateWires); the arm
+	// hooks reach through it for per-wire gating.
+	wires *link.Arena
+	// swArena is the dense switch arena (nil with SeparateWires).
+	swArena *switchfab.Arena
+	// unmapped counts register devices the bus address space could not
+	// hold (bus.ErrBusFull). The paper's format caps each bus at 1024
+	// devices; platforms beyond that budget still emulate every device —
+	// only its memory-mapped register view is missing.
+	unmapped int
 }
 
 // wirePair remembers one registered wire pair and the engine name of
@@ -72,9 +80,12 @@ type wirePair struct {
 	// watchdog: the watchdog parks only when the network is fully
 	// drained, and the first send after a drain is always an injection.
 	inject bool
-	// li/ci index this pair inside the wire bank (-1 with
-	// Config.SeparateWires), for the bank's per-wire gating.
+	// li/ci index this pair inside the wire arena (-1 with
+	// Config.SeparateWires), for the arena's per-wire gating.
 	li, ci int
+	// swIdx is the consuming switch's index in the switch arena, or -1
+	// when the consumer is a receptor or the platform uses SeparateWires.
+	swIdx int
 }
 
 // Build compiles a platform from its configuration.
@@ -120,24 +131,56 @@ func Build(cfg Config) (*Platform, error) {
 	if cfg.Trace != nil {
 		p.collector = probe.NewCollector(*cfg.Trace)
 	}
-	bank := &wireBank{name: "wires"}
+	// Dense arenas for the high-population component types (arena.go in
+	// engine, link, switchfab): the wire count and switch count are both
+	// known from the topology, so the backing arrays are sized exactly.
+	// SeparateWires falls back to one engine component per device.
+	nWires := len(topo.Links()) + len(cfg.TGs) + len(cfg.TRs)
+	var (
+		wires   *link.Arena
+		swArena *switchfab.Arena
+		linkIdx map[*link.Link]int       // arena index of each flit wire
+		credIdx map[*link.CreditLink]int // arena index of each credit wire
+	)
+	if !cfg.SeparateWires {
+		wires = link.NewArena("wires", nWires, nWires)
+		swArena = switchfab.NewArena("switches", topo.NumSwitches())
+		linkIdx = make(map[*link.Link]int, nWires)
+		credIdx = make(map[*link.CreditLink]int, nWires)
+		p.wires = wires
+		p.swArena = swArena
+	}
+	newLink := func(name string) *link.Link {
+		if wires == nil {
+			return link.NewLink(name)
+		}
+		l := wires.NewLink(name)
+		linkIdx[l] = wires.NumLinks() - 1
+		return l
+	}
+	newCredit := func(name string) *link.CreditLink {
+		if wires == nil {
+			return link.NewCreditLink(name)
+		}
+		c := wires.NewCredit(name)
+		credIdx[c] = wires.NumCredits() - 1
+		return c
+	}
 	var pairs []wirePair
-	registerWires := func(l *link.Link, c *link.CreditLink, consumer string, inject bool) {
+	registerWires := func(l *link.Link, c *link.CreditLink, consumer string, swIdx int, inject bool) {
 		l.SetDropHandler(p.pool.Release)
 		l.SetProbe(p.collector.NewProbe(l.ComponentName()))
 		p.allLinks = append(p.allLinks, l)
 		if cfg.SeparateWires {
-			pairs = append(pairs, wirePair{l: l, c: c, consumer: consumer, inject: inject, li: -1, ci: -1})
+			pairs = append(pairs, wirePair{l: l, c: c, consumer: consumer, inject: inject, li: -1, ci: -1, swIdx: -1})
 			p.eng.MustRegister(l)
 			p.eng.MustRegister(c)
 			return
 		}
 		pairs = append(pairs, wirePair{
 			l: l, c: c, consumer: consumer, inject: inject,
-			li: len(bank.links), ci: len(bank.credits),
+			li: linkIdx[l], ci: credIdx[c], swIdx: swIdx,
 		})
-		bank.links = append(bank.links, l)
-		bank.credits = append(bank.credits, c)
 	}
 
 	// Switches.
@@ -149,12 +192,19 @@ func Build(cfg Config) (*Platform, error) {
 			return nil, fmt.Errorf("platform %s: switch %d has %d inputs and %d outputs; every switch needs both",
 				cfg.Name, s, numIn, numOut)
 		}
-		sw, err := switchfab.New(switchfab.Config{
+		swCfg := switchfab.Config{
 			Name: fmt.Sprintf("sw%d", s), Node: s,
 			NumIn: numIn, NumOut: numOut,
 			BufDepth: cfg.SwitchBufDepth, Arb: cfg.Arb, Select: cfg.Select,
 			Table: table, Seed: cfg.Seed ^ uint32(0x5157C000+s),
-		})
+		}
+		var sw *switchfab.Switch
+		var err error
+		if swArena != nil {
+			sw, err = swArena.New(swCfg) // arena index == int(s)
+		} else {
+			sw, err = switchfab.New(swCfg)
+		}
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
@@ -166,8 +216,8 @@ func Build(cfg Config) (*Platform, error) {
 	p.links = make([]*link.Link, len(specs))
 	credits := make([]*link.CreditLink, len(specs))
 	for i, ls := range specs {
-		p.links[i] = link.NewLink(fmt.Sprintf("link%d.s%d-s%d", i, ls.From, ls.To))
-		credits[i] = link.NewCreditLink(fmt.Sprintf("credit%d.s%d-s%d", i, ls.To, ls.From))
+		p.links[i] = newLink(fmt.Sprintf("link%d.s%d-s%d", i, ls.From, ls.To))
+		credits[i] = newCredit(fmt.Sprintf("credit%d.s%d-s%d", i, ls.To, ls.From))
 	}
 	// Wire link endpoints to switch ports by canonical port order.
 	for s := topology.NodeID(0); int(s) < topo.NumSwitches(); s++ {
@@ -202,8 +252,8 @@ func Build(cfg Config) (*Platform, error) {
 		if portIdx < 0 {
 			return nil, fmt.Errorf("platform %s: no input port for TG endpoint %d", cfg.Name, spec.Endpoint)
 		}
-		injL := link.NewLink(fmt.Sprintf("inj%d", spec.Endpoint))
-		injCr := link.NewCreditLink(fmt.Sprintf("injcr%d", spec.Endpoint))
+		injL := newLink(fmt.Sprintf("inj%d", spec.Endpoint))
+		injCr := newCredit(fmt.Sprintf("injcr%d", spec.Endpoint))
 		if err := sw.ConnectInput(portIdx, injL, injCr); err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
@@ -231,7 +281,7 @@ func Build(cfg Config) (*Platform, error) {
 		p.tgByEndpoint[spec.Endpoint] = tg
 		tg.SetProbe(p.collector.NewProbe(tg.ComponentName()))
 		p.eng.MustRegister(tg)
-		registerWires(injL, injCr, sw.ComponentName(), true)
+		registerWires(injL, injCr, sw.ComponentName(), int(ep.Switch), true)
 	}
 
 	// Traffic receptors.
@@ -248,8 +298,8 @@ func Build(cfg Config) (*Platform, error) {
 		if portIdx < 0 {
 			return nil, fmt.Errorf("platform %s: no output port for TR endpoint %d", cfg.Name, spec.Endpoint)
 		}
-		ejL := link.NewLink(fmt.Sprintf("ej%d", spec.Endpoint))
-		ejCr := link.NewCreditLink(fmt.Sprintf("ejcr%d", spec.Endpoint))
+		ejL := newLink(fmt.Sprintf("ej%d", spec.Endpoint))
+		ejCr := newCredit(fmt.Sprintf("ejcr%d", spec.Endpoint))
 		depth := spec.BufDepth
 		if depth == 0 {
 			depth = cfg.SwitchBufDepth
@@ -276,7 +326,7 @@ func Build(cfg Config) (*Platform, error) {
 		p.trByEndpoint[spec.Endpoint] = tr
 		tr.SetProbe(p.collector.NewProbe(tr.ComponentName()))
 		p.eng.MustRegister(tr)
-		registerWires(ejL, ejCr, tr.ComponentName(), false)
+		registerWires(ejL, ejCr, tr.ComponentName(), -1, false)
 	}
 
 	// Register switches and inter-switch wires after endpoints so
@@ -286,14 +336,18 @@ func Build(cfg Config) (*Platform, error) {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
 		}
 		sw.SetProbe(p.collector.NewProbe(sw.ComponentName()))
-		p.eng.MustRegister(sw)
+		if swArena == nil {
+			p.eng.MustRegister(sw)
+		}
+	}
+	if swArena != nil {
+		p.eng.MustRegisterArena(swArena)
 	}
 	for i := range p.links {
-		registerWires(p.links[i], credits[i], p.switches[specs[i].To].ComponentName(), false)
+		registerWires(p.links[i], credits[i], p.switches[specs[i].To].ComponentName(), int(specs[i].To), false)
 	}
-	if !cfg.SeparateWires {
-		p.eng.MustRegister(bank)
-		p.bank = bank
+	if wires != nil {
+		p.eng.MustRegisterArena(wires)
 	}
 	// The collector registers after every data component so its serial
 	// Tick drains behind them; the samplers read only skip-debt-free
@@ -325,18 +379,36 @@ func Build(cfg Config) (*Platform, error) {
 	if err := p.sys.Attach(BusControl, 0, ctrl); err != nil {
 		return nil, err
 	}
+	// attachNext with graceful spill: the paper's address format caps
+	// each bus at 1024 devices, and a 1k-node mesh overflows that budget
+	// (1024 switches + the control module, thousands of link devices).
+	// Register devices are passive views — they never tick, and TG
+	// enabling goes through the single control module — so a device that
+	// does not fit is simply left unmapped and counted; emulation results
+	// are unaffected. Attach order is preserved exactly (a spill maps
+	// nothing), keeping device numbering on smaller platforms unchanged.
+	attachNext := func(b uint32, d bus.Device) error {
+		if _, err := p.sys.AttachNext(b, d); err != nil {
+			if errors.Is(err, bus.ErrBusFull) {
+				p.unmapped++
+				return nil
+			}
+			return err
+		}
+		return nil
+	}
 	for _, sw := range p.switches {
-		if _, err := p.sys.AttachNext(BusControl, regmap.NewSwitchDevice(sw)); err != nil {
+		if err := attachNext(BusControl, regmap.NewSwitchDevice(sw)); err != nil {
 			return nil, err
 		}
 	}
 	for _, tg := range p.tgs {
-		if _, err := p.sys.AttachNext(BusTG, regmap.NewTGDevice(tg)); err != nil {
+		if err := attachNext(BusTG, regmap.NewTGDevice(tg)); err != nil {
 			return nil, err
 		}
 	}
 	for _, tr := range p.trs {
-		if _, err := p.sys.AttachNext(BusTR, regmap.NewTRDevice(tr)); err != nil {
+		if err := attachNext(BusTR, regmap.NewTRDevice(tr)); err != nil {
 			return nil, err
 		}
 	}
@@ -344,12 +416,12 @@ func Build(cfg Config) (*Platform, error) {
 		return nil, err
 	}
 	for _, l := range p.links {
-		if _, err := p.sys.AttachNext(BusAux, regmap.NewLinkDevice(l)); err != nil {
+		if err := attachNext(BusAux, regmap.NewLinkDevice(l)); err != nil {
 			return nil, err
 		}
 	}
 	if p.collector != nil {
-		if _, err := p.sys.AttachNext(BusAux, regmap.NewProbeDevice(p.collector)); err != nil {
+		if err := attachNext(BusAux, regmap.NewProbeDevice(p.collector)); err != nil {
 			return nil, err
 		}
 	}
@@ -379,8 +451,11 @@ func Build(cfg Config) (*Platform, error) {
 			p.par.SetGated(true)
 		} else {
 			p.eng.SetGated(true)
-			if p.bank != nil {
-				p.bank.enableGating(p.eng.Cycle)
+			if p.wires != nil {
+				p.wires.EnableGating(p.eng.Cycle)
+			}
+			if p.swArena != nil {
+				p.swArena.EnableGating(p.eng.Cycle)
 			}
 			p.installArmHooks(pairs)
 		}
@@ -398,7 +473,7 @@ func Build(cfg Config) (*Platform, error) {
 }
 
 // installArmHooks binds the arm-on-input rule to every wire: staging a
-// flit arms the wire's scheduling component (the bank, or the wire
+// flit arms the wire's scheduling component (the arena, or the wire
 // itself with SeparateWires) and the consuming switch or receptor.
 // Staging credits arms only the wire component: credits accumulate
 // losslessly, so the consumer collects an identical total whenever its
@@ -412,15 +487,21 @@ func (p *Platform) installArmHooks(pairs []wirePair) {
 }
 
 // bindArmHook installs the Send hooks of one wire pair, optionally
-// adding an extra arm target (the watchdog) to the flit wire.
+// adding an extra arm target (the watchdog) to the flit wire. With the
+// arenas in place the engine-level targets are the arena components;
+// the hook additionally arms the specific wire (and consuming switch)
+// inside its arena, since the engine parks arenas only as a whole.
 func (p *Platform) bindArmHook(wp wirePair, extra string) {
 	selfName := "wires"
 	crName := "wires"
+	consumer := wp.consumer
 	if p.cfg.SeparateWires {
 		selfName = wp.l.ComponentName()
 		crName = wp.c.ComponentName()
+	} else if wp.swIdx >= 0 {
+		consumer = p.swArena.ComponentName()
 	}
-	targets := []string{selfName, wp.consumer}
+	targets := []string{selfName, consumer}
 	if extra != "" {
 		targets = append(targets, extra)
 	}
@@ -429,14 +510,18 @@ func (p *Platform) bindArmHook(wp wirePair, extra string) {
 	if !ok1 || !ok2 {
 		panic(fmt.Sprintf("platform %s: arm hook target missing (%v)", p.cfg.Name, targets))
 	}
-	if bank := p.bank; bank != nil && bank.gated {
-		li, ci := wp.li, wp.ci
+	if wires := p.wires; wires != nil && wires.Gated() {
+		li, ci, si := wp.li, wp.ci, wp.swIdx
+		swArena := p.swArena
 		wp.l.SetSendHook(func() {
-			bank.armLink(li)
+			wires.ArmLink(li)
+			if si >= 0 {
+				swArena.Arm(si)
+			}
 			armFlit()
 		})
 		wp.c.SetSendHook(func() {
-			bank.armCredit(ci)
+			wires.ArmCredit(ci)
 			armCr()
 		})
 		return
@@ -452,162 +537,6 @@ func (p *Platform) Gated() bool {
 		return p.par.Gated()
 	}
 	return p.eng.Gated()
-}
-
-// wireBank commits every passive wire of the platform in one engine
-// component — the software analogue of the FPGA clocking all nets at
-// once. With Config.SeparateWires each wire schedules individually
-// instead.
-//
-// On a gated sequential platform the bank additionally gates each wire
-// internally: only wires with something staged or in flight are
-// committed, the rest hold a per-wire park watermark and are paid
-// their missed idle commits (flit-wire utilization denominators) when
-// a Send re-arms them or when the kernel settles. The bank itself
-// reports quiet to the engine exactly when its active lists are empty.
-type wireBank struct {
-	name    string
-	links   []*link.Link
-	credits []*link.CreditLink
-
-	// Internal gating state (gated sequential platforms only).
-	gated   bool
-	cycle   func() uint64 // engine cycle, for arm-time catch-up
-	actL    []int         // indices of links with traffic, unordered
-	actC    []int
-	lActive []bool
-	cActive []bool
-	lPark   []uint64 // first cycle link i has not committed
-}
-
-func (w *wireBank) ComponentName() string { return w.name }
-
-func (w *wireBank) Tick(cycle uint64) {}
-
-func (w *wireBank) Commit(cycle uint64) {
-	if !w.gated {
-		for _, l := range w.links {
-			l.Commit(cycle)
-		}
-		for _, c := range w.credits {
-			c.Commit(cycle)
-		}
-		return
-	}
-	keep := w.actL[:0]
-	for _, i := range w.actL {
-		l := w.links[i]
-		l.Commit(cycle)
-		if l.Idle() {
-			w.lActive[i] = false
-			w.lPark[i] = cycle + 1
-		} else {
-			keep = append(keep, i)
-		}
-	}
-	w.actL = keep
-	keep = w.actC[:0]
-	for _, i := range w.actC {
-		c := w.credits[i]
-		c.Commit(cycle)
-		if c.Idle() {
-			w.cActive[i] = false
-		} else {
-			keep = append(keep, i)
-		}
-	}
-	w.actC = keep
-}
-
-// enableGating switches the bank to per-wire scheduling; cycle supplies
-// the engine's current cycle for arm-time skip accounting.
-func (w *wireBank) enableGating(cycle func() uint64) {
-	w.gated = true
-	w.cycle = cycle
-	w.lActive = make([]bool, len(w.links))
-	w.cActive = make([]bool, len(w.credits))
-	w.lPark = make([]uint64, len(w.links))
-}
-
-// armLink re-activates flit wire i (called from its Send hook), paying
-// the idle commits it skipped while parked. Credit wires carry no
-// per-cycle counters, so armCredit pays nothing.
-func (w *wireBank) armLink(i int) {
-	if w.lActive[i] {
-		return
-	}
-	w.lActive[i] = true
-	if c := w.cycle(); c > w.lPark[i] {
-		w.links[i].SkipIdle(w.lPark[i], c-w.lPark[i])
-	}
-	w.actL = append(w.actL, i)
-}
-
-func (w *wireBank) armCredit(i int) {
-	if w.cActive[i] {
-		return
-	}
-	w.cActive[i] = true
-	w.actC = append(w.actC, i)
-}
-
-// Settle implements engine.Settler: bring every internally parked flit
-// wire's utilization denominator up to date, so observers between runs
-// see exactly the naive schedule's counters.
-func (w *wireBank) Settle(cycle uint64) {
-	if !w.gated {
-		return
-	}
-	for i, l := range w.links {
-		if !w.lActive[i] && cycle > w.lPark[i] {
-			l.SkipIdle(w.lPark[i], cycle-w.lPark[i])
-			w.lPark[i] = cycle
-		}
-	}
-}
-
-// Rewind implements engine.Settler: after Engine.Reset the park
-// watermarks must restart from cycle zero (the kernel settled first,
-// so no debt is outstanding).
-func (w *wireBank) Rewind() {
-	for i := range w.lPark {
-		w.lPark[i] = 0
-	}
-}
-
-// NextWake implements engine.Quiescable: the bank is quiet when every
-// bundled wire is idle — nothing staged anywhere and nothing committed
-// on a flit wire (committed-but-uncollected credits accumulate without
-// commits and do not block quiescence). Any Send on a bundled wire
-// arms the bank, so staged values always commit on schedule.
-func (w *wireBank) NextWake(cycle uint64) (uint64, bool) {
-	if w.gated {
-		return engine.NeverWake, len(w.actL) == 0 && len(w.actC) == 0
-	}
-	for _, l := range w.links {
-		if !l.Idle() {
-			return 0, false
-		}
-	}
-	for _, c := range w.credits {
-		if !c.Idle() {
-			return 0, false
-		}
-	}
-	return engine.NeverWake, true
-}
-
-// SkipIdle implements engine.Quiescable: an idle commit advances only
-// each flit wire's utilization denominator. With internal gating the
-// per-wire park watermarks already account for skipped cycles (paid on
-// arm or Settle), so the bank-level call pays nothing.
-func (w *wireBank) SkipIdle(from, n uint64) {
-	if w.gated {
-		return
-	}
-	for _, l := range w.links {
-		l.SkipIdle(from, n)
-	}
 }
 
 // DeriveTGSeed returns the random seed a TG gets: the spec's own seed,
@@ -706,6 +635,11 @@ func (p *Platform) TR(ep flit.EndpointID) (*receptor.TR, bool) {
 // Pool returns the platform's flit pool (accounting: Live, Acquired,
 // Released). Read it only while the platform is quiesced.
 func (p *Platform) Pool() *flit.Pool { return p.pool }
+
+// Unmapped reports how many register devices did not fit the paper's
+// fixed 4×1024 bus address space and run without a memory mapping
+// (DESIGN.md §12, "Scale spill"). Zero on paper-scale platforms.
+func (p *Platform) Unmapped() int { return p.unmapped }
 
 // Probe returns the event-tracing collector, or nil when the platform
 // was built without Config.Trace. Read (export, metrics) only while the

@@ -1,0 +1,140 @@
+package platform
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/receptor"
+	"nocemu/internal/topology"
+	"nocemu/internal/traffic"
+)
+
+// MeshOptions parameterizes a synthetic N×N mesh (or torus) platform
+// with one traffic generator and one receptor per node — the
+// large-scale scenario generator behind BenchmarkMeshScale and the
+// topology studies. Everything is derived from the options and the
+// seed, so two calls with equal options build bit-identical platforms.
+type MeshOptions struct {
+	// N is the side length: the platform has N×N switches, N×N sources
+	// and N×N sinks (default 4).
+	N int
+	// Torus adds wrap-around links (requires N >= 3).
+	Torus bool
+	// Injection is the offered load per node in flits/cycle (default
+	// 0.1). Each TG draws uniform inter-packet gaps sized so that its
+	// long-run injection rate matches.
+	Injection float64
+	// PacketLen is the packet size in flits (default 4).
+	PacketLen uint16
+	// PacketsPerTG bounds each generator (0 = unlimited). Bounded
+	// platforms drain and are used by the leak and identity tests;
+	// unbounded ones feed fixed-cycle benchmarks.
+	PacketsPerTG uint64
+	// Seed is the platform base seed (0 uses the platform default).
+	Seed uint32
+	// Workers and NoGate select the kernel, as in Config.
+	Workers int
+	NoGate  bool
+	// SeparateWires registers every component individually instead of
+	// using the dense per-type arenas — the interface-dispatch ablation
+	// the scale benchmark compares against.
+	SeparateWires bool
+}
+
+func (o *MeshOptions) applyDefaults() {
+	if o.N == 0 {
+		o.N = 4
+	}
+	if o.Injection == 0 {
+		o.Injection = 0.1
+	}
+	if o.PacketLen == 0 {
+		o.PacketLen = 4
+	}
+}
+
+// MeshSink returns the sink endpoint attached to mesh node i (sources
+// are the node index itself).
+func MeshSink(n int, i int) flit.EndpointID {
+	return flit.EndpointID(n*n + i)
+}
+
+// MeshConfig builds the configuration of an N×N mesh platform under
+// uniform-random traffic: every node hosts one generator injecting
+// fixed-length packets at the configured rate, each packet addressed
+// uniformly at random to any other node's sink, routed XY (deadlock-
+// free). The result is a ready-to-Build Config; large N is the scale
+// workload ROADMAP item 4 calls for.
+func MeshConfig(o MeshOptions) (Config, error) {
+	o.applyDefaults()
+	if o.N < 1 {
+		return Config{}, fmt.Errorf("platform: mesh size %d", o.N)
+	}
+	if o.Injection <= 0 || o.Injection > 1 {
+		return Config{}, fmt.Errorf("platform: mesh injection %g out of (0,1]", o.Injection)
+	}
+	var topo *topology.Topology
+	var err error
+	if o.Torus {
+		topo, err = topology.Torus(o.N, o.N)
+	} else {
+		topo, err = topology.Mesh(o.N, o.N)
+	}
+	if err != nil {
+		return Config{}, err
+	}
+	n := o.N * o.N
+	if MeshSink(o.N, n-1) > ^flit.EndpointID(0)-1 {
+		return Config{}, fmt.Errorf("platform: mesh %d exceeds endpoint space", o.N)
+	}
+	sinks := make([]flit.EndpointID, n)
+	for i := 0; i < n; i++ {
+		sinks[i] = MeshSink(o.N, i)
+	}
+	for i := 0; i < n; i++ {
+		if err := topo.AddSource(flit.EndpointID(i), topology.NodeID(i)); err != nil {
+			return Config{}, err
+		}
+		if err := topo.AddSink(sinks[i], topology.NodeID(i)); err != nil {
+			return Config{}, err
+		}
+	}
+	// Gap sized for the injection rate: a packet occupies PacketLen
+	// injection cycles, so the mean gap g must satisfy
+	// L/(L+g) = rate; gaps are drawn uniformly from [0, 2g].
+	l := float64(o.PacketLen)
+	gapMax := uint32(2 * l * (1 - o.Injection) / o.Injection)
+	name := topo.Name()
+	cfg := Config{
+		Name:          name,
+		Topology:      topo,
+		Routing:       RoutingXY,
+		MeshWidth:     o.N,
+		Seed:          o.Seed,
+		Workers:       o.Workers,
+		NoGate:        o.NoGate,
+		SeparateWires: o.SeparateWires,
+	}
+	for i := 0; i < n; i++ {
+		// Uniform-random destinations over every other node's sink.
+		dsts := make([]flit.EndpointID, 0, n-1)
+		for j := 0; j < n; j++ {
+			if j != i {
+				dsts = append(dsts, sinks[j])
+			}
+		}
+		cfg.TGs = append(cfg.TGs, TGSpec{
+			Endpoint: flit.EndpointID(i),
+			Model:    ModelUniform,
+			Limit:    o.PacketsPerTG,
+			Uniform: &traffic.UniformConfig{
+				LenMin: o.PacketLen, LenMax: o.PacketLen,
+				GapMin: 0, GapMax: gapMax,
+				Dst:         traffic.DstConfig{Policy: traffic.DstUniform, Dsts: dsts},
+				RandomPhase: true,
+			},
+		})
+		cfg.TRs = append(cfg.TRs, TRSpec{Endpoint: sinks[i], Mode: receptor.Stochastic})
+	}
+	return cfg, nil
+}

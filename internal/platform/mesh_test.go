@@ -1,0 +1,123 @@
+package platform
+
+import (
+	"fmt"
+	"testing"
+
+	"nocemu/internal/flit"
+)
+
+// TestMeshConfigBuilds builds small mesh and torus platforms, runs
+// them, and checks flit conservation end to end.
+func TestMeshConfigBuilds(t *testing.T) {
+	for _, tc := range []struct {
+		n     int
+		torus bool
+	}{{2, false}, {4, false}, {4, true}, {8, false}} {
+		name := fmt.Sprintf("n=%d/torus=%v", tc.n, tc.torus)
+		t.Run(name, func(t *testing.T) {
+			cfg, err := MeshConfig(MeshOptions{N: tc.n, Torus: tc.torus, Injection: 0.2})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := len(cfg.TGs); got != tc.n*tc.n {
+				t.Fatalf("TGs = %d, want %d", got, tc.n*tc.n)
+			}
+			p, err := Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p.RunCycles(2_000)
+			tot := p.Totals()
+			if tot.FlitsSent == 0 {
+				t.Fatal("no traffic injected")
+			}
+			if tot.FlitsReceived == 0 {
+				t.Fatal("no traffic delivered")
+			}
+			if tot.FlitsReceived > tot.FlitsSent {
+				t.Fatalf("flits received %d > sent %d", tot.FlitsReceived, tot.FlitsSent)
+			}
+			// Drain abandons in-flight flits; everything must return to
+			// the pool.
+			p.Drain()
+			if live := p.Pool().Live(); live != 0 {
+				t.Fatalf("pool leak: %d live flits after drain", live)
+			}
+		})
+	}
+}
+
+// TestMeshConfigDeterministic checks that two identically-configured
+// mesh platforms produce identical statistics — the generator derives
+// everything from the options and seed.
+func TestMeshConfigDeterministic(t *testing.T) {
+	run := func() Totals {
+		cfg, err := MeshConfig(MeshOptions{N: 4, Injection: 0.3, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p.RunCycles(5_000)
+		return p.Totals()
+	}
+	a, b := run(), run()
+	if a != b {
+		t.Fatalf("non-deterministic mesh run:\n%+v\n%+v", a, b)
+	}
+}
+
+// TestMeshConfigLimits exercises bounded generators: with PacketsPerTG
+// set, the platform drains to completion and every node's receptors
+// collectively see every injected packet.
+func TestMeshConfigLimits(t *testing.T) {
+	cfg, err := MeshConfig(MeshOptions{N: 3, Injection: 0.5, PacketsPerTG: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		p.RunCycles(1_000)
+		if p.Drained() {
+			break
+		}
+	}
+	if !p.Drained() {
+		t.Fatal("mesh failed to drain")
+	}
+	tot := p.Totals()
+	want := uint64(9 * 20)
+	if tot.PacketsReceived != want {
+		t.Fatalf("packets received %d, want %d", tot.PacketsReceived, want)
+	}
+	if live := p.Pool().Live(); live != 0 {
+		t.Fatalf("pool leak: %d live flits", live)
+	}
+}
+
+// TestMeshConfigValidation covers option errors.
+func TestMeshConfigValidation(t *testing.T) {
+	if _, err := MeshConfig(MeshOptions{N: -1}); err == nil {
+		t.Error("negative N accepted")
+	}
+	if _, err := MeshConfig(MeshOptions{N: 2, Torus: true}); err == nil {
+		t.Error("2x2 torus accepted")
+	}
+	if _, err := MeshConfig(MeshOptions{Injection: 1.5}); err == nil {
+		t.Error("injection > 1 accepted")
+	}
+}
+
+// TestMeshSink pins the endpoint numbering contract: sources are node
+// indices, sinks live above them.
+func TestMeshSink(t *testing.T) {
+	if got := MeshSink(4, 3); got != flit.EndpointID(19) {
+		t.Fatalf("MeshSink(4, 3) = %d, want 19", got)
+	}
+}

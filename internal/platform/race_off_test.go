@@ -1,0 +1,8 @@
+//go:build !race
+
+package platform_test
+
+// raceEnabled reports whether the race detector is compiled in; the
+// allocation guards skip under it (instrumentation perturbs allocation
+// counts and the long warm-up adds minutes for no signal).
+const raceEnabled = false

@@ -28,8 +28,9 @@ import (
 var updateGolden = flag.Bool("update", false, "rewrite the golden trace fixtures")
 
 // traceWorkerCounts spans the sequential kernel and a worker sweep
-// past the 6-switch platform's shard count.
-var traceWorkerCounts = []int{0, 1, 4, 16}
+// past the 6-switch platform's shard count, including odd counts that
+// leave arena index ranges unevenly partitioned.
+var traceWorkerCounts = []int{0, 1, 2, 4, 7, 16}
 
 // goldenCases are the pinned reference runs: the paper platform under
 // uniform and under trace-driven (recorded burst) traffic, bounded so

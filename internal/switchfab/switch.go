@@ -71,12 +71,13 @@ func (s Stats) CongestionRate() float64 {
 }
 
 // Switch is one emulated NoC switch. Wire it with ConnectInput /
-// ConnectOutput, then register it (and its links) with the engine.
+// ConnectOutput, then register it (and its links) with the engine —
+// individually, or as part of an Arena (arena.go).
 type Switch struct {
 	cfg  Config
 	lfsr *rng.LFSR
 
-	inBufs    []*buffer.FIFO
+	inBufs    []buffer.FIFO // dense: one cache-linear block per switch
 	inLinks   []*link.Link
 	creditOut []*link.CreditLink // per input: returns credits upstream
 
@@ -102,25 +103,37 @@ type Switch struct {
 
 // New builds a switch from its configuration.
 func New(cfg Config) (*Switch, error) {
+	s := &Switch{}
+	if err := initSwitch(s, cfg); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// initSwitch initializes a switch in place. Arena construction needs
+// this form: elements live as values in the arena's backing slice, and
+// the reqFn closure below must capture the final resting address (a
+// copied Switch value would arbitrate against the original's state).
+func initSwitch(s *Switch, cfg Config) error {
 	if cfg.Name == "" {
-		return nil, fmt.Errorf("switchfab: empty name")
+		return fmt.Errorf("switchfab: empty name")
 	}
 	if cfg.NumIn < 1 || cfg.NumOut < 1 {
-		return nil, fmt.Errorf("switchfab %s: %d inputs, %d outputs", cfg.Name, cfg.NumIn, cfg.NumOut)
+		return fmt.Errorf("switchfab %s: %d inputs, %d outputs", cfg.Name, cfg.NumIn, cfg.NumOut)
 	}
 	if cfg.BufDepth < 1 {
-		return nil, fmt.Errorf("switchfab %s: buffer depth %d", cfg.Name, cfg.BufDepth)
+		return fmt.Errorf("switchfab %s: buffer depth %d", cfg.Name, cfg.BufDepth)
 	}
 	if cfg.Table == nil {
-		return nil, fmt.Errorf("switchfab %s: nil routing table", cfg.Name)
+		return fmt.Errorf("switchfab %s: nil routing table", cfg.Name)
 	}
 	if !routing.ValidPolicy(cfg.Select) {
-		return nil, fmt.Errorf("switchfab %s: bad selection policy %q", cfg.Name, cfg.Select)
+		return fmt.Errorf("switchfab %s: bad selection policy %q", cfg.Name, cfg.Select)
 	}
-	s := &Switch{
+	*s = Switch{
 		cfg:       cfg,
 		lfsr:      rng.New(cfg.Seed),
-		inBufs:    make([]*buffer.FIFO, cfg.NumIn),
+		inBufs:    make([]buffer.FIFO, cfg.NumIn),
 		inLinks:   make([]*link.Link, cfg.NumIn),
 		creditOut: make([]*link.CreditLink, cfg.NumIn),
 		outLinks:  make([]*link.Link, cfg.NumOut),
@@ -135,18 +148,18 @@ func New(cfg Config) (*Switch, error) {
 		return !s.granted[i] && s.inRoute[i] == s.reqOut && s.inBufs[i].Peek() != nil
 	}
 	for i := 0; i < cfg.NumIn; i++ {
-		s.inBufs[i] = buffer.MustNew(fmt.Sprintf("%s/in%d", cfg.Name, i), cfg.BufDepth)
+		buffer.MustInit(&s.inBufs[i], fmt.Sprintf("%s/in%d", cfg.Name, i), cfg.BufDepth)
 		s.inRoute[i] = -1
 	}
 	for o := 0; o < cfg.NumOut; o++ {
 		a, err := arb.New(cfg.Arb, cfg.NumIn)
 		if err != nil {
-			return nil, fmt.Errorf("switchfab %s: %w", cfg.Name, err)
+			return fmt.Errorf("switchfab %s: %w", cfg.Name, err)
 		}
 		s.arbiters[o] = a
 		s.lock[o] = -1
 	}
-	return s, nil
+	return nil
 }
 
 // ComponentName implements engine.Component.
@@ -259,8 +272,8 @@ func (s *Switch) Tick(cycle uint64) {
 	}
 
 	// Route computation for heads newly at the front of their buffers.
-	for i, q := range s.inBufs {
-		f := q.Peek()
+	for i := range s.inBufs {
+		f := s.inBufs[i].Peek()
 		if f == nil {
 			continue
 		}
@@ -325,7 +338,8 @@ func (s *Switch) Tick(cycle uint64) {
 	// blocked: it lost arbitration, found no downstream credit, or sits
 	// behind another packet's wormhole lock. Each stalled head counts
 	// exactly once per cycle.
-	for i, q := range s.inBufs {
+	for i := range s.inBufs {
+		q := &s.inBufs[i]
 		if !granted[i] && q.Peek() != nil && s.inRoute[i] >= 0 {
 			q.MarkBlocked()
 			s.stats.BlockedCycles++
@@ -335,8 +349,8 @@ func (s *Switch) Tick(cycle uint64) {
 
 // Commit implements engine.Component.
 func (s *Switch) Commit(cycle uint64) {
-	for _, q := range s.inBufs {
-		q.Commit(cycle)
+	for i := range s.inBufs {
+		s.inBufs[i].Commit(cycle)
 	}
 	s.stats.Cycles++
 }
@@ -349,13 +363,17 @@ func (s *Switch) Commit(cycle uint64) {
 // persist while quiet; they are frozen state, revisited when an input
 // arms the switch.
 func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
-	for _, q := range s.inBufs {
-		if !q.Empty() {
+	for i := range s.inBufs {
+		if !s.inBufs[i].Empty() {
 			return 0, false
 		}
 	}
+	// PendingFlit rather than Peek: the arena's park scan runs during
+	// the commit phase, before the wires commit, where a flit staged
+	// this cycle is visible only as pending state. After the wires
+	// commit (the engine-level scan position) the two are identical.
 	for _, in := range s.inLinks {
-		if in.Peek() != nil {
+		if in.PendingFlit() {
 			return 0, false
 		}
 	}
@@ -366,8 +384,8 @@ func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
 // committed empty buffers and counted one switch cycle.
 func (s *Switch) SkipIdle(from, n uint64) {
 	s.stats.Cycles += n
-	for _, q := range s.inBufs {
-		q.SkipIdle(n)
+	for i := range s.inBufs {
+		s.inBufs[i].SkipIdle(n)
 	}
 }
 
@@ -376,8 +394,8 @@ func (s *Switch) SkipIdle(from, n uint64) {
 // drained packet's tail never arrives, so the locks must be force-
 // released). Credits and statistics are untouched.
 func (s *Switch) Drain(release func(*flit.Flit)) {
-	for i, q := range s.inBufs {
-		q.Drain(release)
+	for i := range s.inBufs {
+		s.inBufs[i].Drain(release)
 		s.inRoute[i] = -1
 		s.granted[i] = false
 	}
@@ -390,8 +408,8 @@ func (s *Switch) Drain(release func(*flit.Flit)) {
 // it with the input buffers.
 func (s *Switch) SetProbe(p *probe.Probe) {
 	s.probe = p
-	for _, q := range s.inBufs {
-		q.SetProbe(p)
+	for i := range s.inBufs {
+		s.inBufs[i].SetProbe(p)
 	}
 }
 
@@ -404,8 +422,8 @@ func (s *Switch) Stats() Stats { return s.stats }
 // exact whether or not the switch is parked.
 func (s *Switch) BufferedFlits() int {
 	n := 0
-	for _, q := range s.inBufs {
-		n += q.Len()
+	for i := range s.inBufs {
+		n += s.inBufs[i].Len()
 	}
 	return n
 }
@@ -413,8 +431,8 @@ func (s *Switch) BufferedFlits() int {
 // BufferStats returns the per-input buffer statistics.
 func (s *Switch) BufferStats() []buffer.Stats {
 	out := make([]buffer.Stats, len(s.inBufs))
-	for i, q := range s.inBufs {
-		out[i] = q.Stats()
+	for i := range s.inBufs {
+		out[i] = s.inBufs[i].Stats()
 	}
 	return out
 }
@@ -423,7 +441,7 @@ func (s *Switch) BufferStats() []buffer.Stats {
 // disturbing in-flight traffic, so measurements can exclude warm-up.
 func (s *Switch) ResetStats() {
 	s.stats = Stats{}
-	for _, q := range s.inBufs {
-		q.ResetStats()
+	for i := range s.inBufs {
+		s.inBufs[i].ResetStats()
 	}
 }

@@ -76,6 +76,40 @@ type Topology struct {
 	numSwitches int
 	links       []LinkSpec
 	endpoints   []EndpointSpec
+
+	// Port-list and endpoint caches. Platform compilation and routing
+	// validation call SwitchInputs/SwitchOutputs/Endpoint inside loops
+	// over switches × sinks; recomputing them by scanning every link
+	// each call turns a 1k-switch build into minutes. The caches are
+	// built lazily on first read and invalidated by any mutation
+	// (AddLink, AddSource, AddSink).
+	inCache  [][]InConn
+	outCache [][]OutConn
+	epCache  map[flit.EndpointID]EndpointSpec
+}
+
+// invalidate drops the derived caches after a mutation.
+func (t *Topology) invalidate() {
+	t.inCache, t.outCache, t.epCache = nil, nil, nil
+}
+
+// buildPortCaches fills the per-switch canonical port lists in one pass
+// over the links and endpoints.
+func (t *Topology) buildPortCaches() {
+	t.inCache = make([][]InConn, t.numSwitches)
+	t.outCache = make([][]OutConn, t.numSwitches)
+	for i, l := range t.links {
+		t.inCache[l.To] = append(t.inCache[l.To], InConn{Link: i})
+		t.outCache[l.From] = append(t.outCache[l.From], OutConn{Link: i})
+	}
+	for _, e := range t.endpoints {
+		switch e.Role {
+		case Source:
+			t.inCache[e.Switch] = append(t.inCache[e.Switch], InConn{Link: -1, Endpoint: e.ID})
+		case Sink:
+			t.outCache[e.Switch] = append(t.outCache[e.Switch], OutConn{Link: -1, Endpoint: e.ID})
+		}
+	}
 }
 
 // New returns an empty topology over n switches.
@@ -124,6 +158,7 @@ func (t *Topology) AddLink(from, to NodeID) error {
 		}
 	}
 	t.links = append(t.links, LinkSpec{From: from, To: to})
+	t.invalidate()
 	return nil
 }
 
@@ -145,6 +180,7 @@ func (t *Topology) addEndpoint(id flit.EndpointID, sw NodeID, role Role) error {
 		}
 	}
 	t.endpoints = append(t.endpoints, EndpointSpec{ID: id, Switch: sw, Role: role})
+	t.invalidate()
 	return nil
 }
 
@@ -160,12 +196,14 @@ func (t *Topology) AddSink(id flit.EndpointID, sw NodeID) error {
 
 // Endpoint returns the attachment of the given endpoint.
 func (t *Topology) Endpoint(id flit.EndpointID) (EndpointSpec, bool) {
-	for _, e := range t.endpoints {
-		if e.ID == id {
-			return e, true
+	if t.epCache == nil {
+		t.epCache = make(map[flit.EndpointID]EndpointSpec, len(t.endpoints))
+		for _, e := range t.endpoints {
+			t.epCache[e.ID] = e
 		}
 	}
-	return EndpointSpec{}, false
+	e, ok := t.epCache[id]
+	return e, ok
 }
 
 // Sources returns the source endpoints in attachment order.
@@ -186,38 +224,24 @@ func (t *Topology) byRole(r Role) []EndpointSpec {
 
 // SwitchInputs returns the input ports of switch s in canonical order:
 // link-fed ports first (by link index), then local sources (by
-// attachment order). The slice index is the input port number.
+// attachment order). The slice index is the input port number. The
+// returned slice is cached; callers must not mutate it.
 func (t *Topology) SwitchInputs(s NodeID) []InConn {
-	var in []InConn
-	for i, l := range t.links {
-		if l.To == s {
-			in = append(in, InConn{Link: i})
-		}
+	if t.inCache == nil {
+		t.buildPortCaches()
 	}
-	for _, e := range t.endpoints {
-		if e.Role == Source && e.Switch == s {
-			in = append(in, InConn{Link: -1, Endpoint: e.ID})
-		}
-	}
-	return in
+	return t.inCache[s]
 }
 
 // SwitchOutputs returns the output ports of switch s in canonical
 // order: link-driven ports first, then local sinks. The slice index is
-// the output port number.
+// the output port number. The returned slice is cached; callers must
+// not mutate it.
 func (t *Topology) SwitchOutputs(s NodeID) []OutConn {
-	var out []OutConn
-	for i, l := range t.links {
-		if l.From == s {
-			out = append(out, OutConn{Link: i})
-		}
+	if t.outCache == nil {
+		t.buildPortCaches()
 	}
-	for _, e := range t.endpoints {
-		if e.Role == Sink && e.Switch == s {
-			out = append(out, OutConn{Link: -1, Endpoint: e.ID})
-		}
-	}
-	return out
+	return t.outCache[s]
 }
 
 // Adjacency returns, for each switch, the list of (link index, neighbor)

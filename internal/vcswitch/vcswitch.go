@@ -82,7 +82,7 @@ type Stats struct {
 type Switch struct {
 	cfg Config
 
-	inBufs  [][]*buffer.FIFO     // [input][vc]
+	inBufs  []buffer.FIFO        // dense, flat [input*NumVC+vc]
 	inLinks []*link.Link         // [input]
 	credOut [][]*link.CreditLink // [input][vc] credits returned upstream
 	outLink []*link.Link         // [output]
@@ -121,15 +121,14 @@ func New(cfg Config) (*Switch, error) {
 		return nil, fmt.Errorf("vcswitch %s: nil routing table", cfg.Name)
 	}
 	s := &Switch{cfg: cfg}
-	s.inBufs = make([][]*buffer.FIFO, cfg.NumIn)
+	s.inBufs = make([]buffer.FIFO, cfg.NumIn*cfg.NumVC)
 	s.credOut = make([][]*link.CreditLink, cfg.NumIn)
 	s.route = make([][]vcRef, cfg.NumIn)
 	s.inLinks = make([]*link.Link, cfg.NumIn)
 	for i := 0; i < cfg.NumIn; i++ {
-		s.inBufs[i] = make([]*buffer.FIFO, cfg.NumVC)
 		s.route[i] = make([]vcRef, cfg.NumVC)
 		for v := 0; v < cfg.NumVC; v++ {
-			s.inBufs[i][v] = buffer.MustNew(fmt.Sprintf("%s/in%d.vc%d", cfg.Name, i, v), cfg.BufDepth)
+			buffer.MustInit(s.buf(i, v), fmt.Sprintf("%s/in%d.vc%d", cfg.Name, i, v), cfg.BufDepth)
 			s.route[i][v] = freeRef
 		}
 	}
@@ -153,7 +152,7 @@ func New(cfg Config) (*Switch, error) {
 	s.granted = make([]bool, cfg.NumIn*cfg.NumVC)
 	s.reqFn = func(r int) bool {
 		i, v := r/s.cfg.NumVC, r%s.cfg.NumVC
-		if s.granted[r] || s.inBufs[i][v].Peek() == nil {
+		if s.granted[r] || s.buf(i, v).Peek() == nil {
 			return false
 		}
 		rt := s.route[i][v]
@@ -161,6 +160,11 @@ func New(cfg Config) (*Switch, error) {
 	}
 	return s, nil
 }
+
+// buf returns input i's FIFO for virtual channel v. The buffers live
+// flat in one value slice so the per-cycle sweeps walk contiguous
+// memory; the flat index matches the granted/arbiter requestor index.
+func (s *Switch) buf(i, v int) *buffer.FIFO { return &s.inBufs[i*s.cfg.NumVC+v] }
 
 // ComponentName implements engine.Component.
 func (s *Switch) ComponentName() string { return s.cfg.Name }
@@ -242,15 +246,15 @@ func (s *Switch) Tick(cycle uint64) {
 			if v >= s.cfg.NumVC {
 				panic(fmt.Sprintf("vcswitch %s: flit on VC %d of %d", s.cfg.Name, v, s.cfg.NumVC))
 			}
-			if err := s.inBufs[i][v].Push(f); err != nil {
+			if err := s.buf(i, v).Push(f); err != nil {
 				panic(fmt.Sprintf("vcswitch %s: %v", s.cfg.Name, err))
 			}
 		}
 	}
 	// Route computation + VC allocation for new heads.
-	for i := range s.inBufs {
-		for v, q := range s.inBufs[i] {
-			f := q.Peek()
+	for i := 0; i < s.cfg.NumIn; i++ {
+		for v := 0; v < s.cfg.NumVC; v++ {
+			f := s.buf(i, v).Peek()
 			if f == nil || s.route[i][v] != freeRef {
 				continue
 			}
@@ -289,7 +293,7 @@ func (s *Switch) Tick(cycle uint64) {
 		}
 		i, v := r/s.cfg.NumVC, r%s.cfg.NumVC
 		rt := s.route[i][v]
-		f := s.inBufs[i][v].Pop()
+		f := s.buf(i, v).Pop()
 		if f == nil {
 			panic(fmt.Sprintf("vcswitch %s: pop failed after grant", s.cfg.Name))
 		}
@@ -308,23 +312,21 @@ func (s *Switch) Tick(cycle uint64) {
 			s.route[i][v] = freeRef
 		}
 	}
-	// Blocked accounting: any buffered head that did not move.
-	for i := range s.inBufs {
-		for v, q := range s.inBufs[i] {
-			if q.Peek() != nil && !s.granted[i*s.cfg.NumVC+v] {
-				q.MarkBlocked()
-				s.stats.BlockedCycles++
-			}
+	// Blocked accounting: any buffered head that did not move. The flat
+	// buffer index is the requestor index, so granted lines up directly.
+	for r := range s.inBufs {
+		q := &s.inBufs[r]
+		if q.Peek() != nil && !s.granted[r] {
+			q.MarkBlocked()
+			s.stats.BlockedCycles++
 		}
 	}
 }
 
 // Commit implements engine.Component.
 func (s *Switch) Commit(cycle uint64) {
-	for i := range s.inBufs {
-		for _, q := range s.inBufs[i] {
-			q.Commit(cycle)
-		}
+	for r := range s.inBufs {
+		s.inBufs[r].Commit(cycle)
 	}
 }
 
@@ -333,11 +335,9 @@ func (s *Switch) Commit(cycle uint64) {
 // (lock/route) may persist; they are frozen until an input arms the
 // switch. Per-VC credits accumulate losslessly on their wires.
 func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
-	for i := range s.inBufs {
-		for _, q := range s.inBufs[i] {
-			if !q.Empty() {
-				return 0, false
-			}
+	for r := range s.inBufs {
+		if !s.inBufs[r].Empty() {
+			return 0, false
 		}
 	}
 	for _, in := range s.inLinks {
@@ -351,10 +351,8 @@ func (s *Switch) NextWake(cycle uint64) (uint64, bool) {
 // SkipIdle implements engine.Quiescable: a quiet cycle only advances
 // the VC buffers' occupancy statistics.
 func (s *Switch) SkipIdle(from, n uint64) {
-	for i := range s.inBufs {
-		for _, q := range s.inBufs[i] {
-			q.SkipIdle(n)
-		}
+	for r := range s.inBufs {
+		s.inBufs[r].SkipIdle(n)
 	}
 }
 
@@ -362,10 +360,8 @@ func (s *Switch) SkipIdle(from, n uint64) {
 // it with the per-VC input buffers.
 func (s *Switch) SetProbe(p *probe.Probe) {
 	s.probe = p
-	for i := range s.inBufs {
-		for _, q := range s.inBufs[i] {
-			q.SetProbe(p)
-		}
+	for r := range s.inBufs {
+		s.inBufs[r].SetProbe(p)
 	}
 }
 
