@@ -20,11 +20,13 @@ race-all:
 	go test -race ./...
 
 # Machine-readable benchmark suite: the emulator speed matrix (three
-# loads, gated and ungated, plus a parallel row) as bench.json — the
-# artifact CI uploads. `make bench-go` runs the full go-test benches.
+# loads, gated and ungated, plus a parallel row) and the snapshot-fork
+# amortization rows (warm Fork(8) vs eight cold rebuilds) as
+# bench.json — the artifact CI uploads. `make bench-go` runs the full
+# go-test benches.
 .PHONY: bench
 bench:
-	go run ./cmd/nocbench -exp none -workers 4 -json bench.json
+	go run ./cmd/nocbench -exp none -workers 4 -snapshot -json bench.json
 	@cat bench.json
 
 .PHONY: bench-go
@@ -36,14 +38,17 @@ vet:
 	go vet ./...
 	gofmt -l .
 
-# Short fuzz pass over the trace JSONL codec: encode -> decode ->
-# re-encode must be lossless (the golden-trace fixtures rest on
-# byte-stable re-encoding). The corpus grows under
-# internal/probe/testdata over time; `make fuzz` explores for a few
-# seconds beyond it.
+# Short fuzz pass over the serialization codecs: the trace JSONL codec
+# (encode -> decode -> re-encode must be lossless; the golden-trace
+# fixtures rest on byte-stable re-encoding) and the snapshot framing
+# codec (arbitrary section payloads must round-trip, and mutated
+# headers must be rejected, never crash). The corpora grow under each
+# package's testdata over time; `make fuzz` explores for a few seconds
+# beyond them.
 .PHONY: fuzz
 fuzz:
 	go test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime 5s ./internal/probe
+	go test -run FuzzSnapshotRoundTrip -fuzz FuzzSnapshotRoundTrip -fuzztime 5s ./internal/state
 
 # Coverage profile for CI: runs tier-1 tests with -coverprofile and
 # prints the per-function summary tail (total coverage) to the log.
@@ -63,9 +68,10 @@ regs-check:
 	@go run ./cmd/nocgen regs | diff -u REGISTERS.md - \
 		|| { echo "REGISTERS.md is stale: run 'make regs'"; exit 1; }
 
-# One-stop pre-commit gate: build, tests, vet, the trace-codec fuzz
-# smoke, the REGISTERS.md drift check, and a gofmt check that fails
-# (not just lists) when any file is unformatted.
+# One-stop pre-commit gate: build, tests, vet, the codec fuzz smokes
+# (trace JSONL + snapshot framing), the REGISTERS.md drift check, and
+# a gofmt check that fails (not just lists) when any file is
+# unformatted.
 .PHONY: check
 check: test vet fuzz regs-check
 	@unformatted=$$(gofmt -l .); \

@@ -31,6 +31,7 @@ func main() {
 		gate    = flag.Bool("gate", true, "quiescence-aware scheduling in the t2 speed rows (ablation: -gate=false; results are identical)")
 		jsonOut = flag.String("json", "", "write the benchmark suite (name, cycles/s, allocs/op) as JSON to this file")
 		doTrace = flag.Bool("trace", true, "include tracing-enabled overhead rows (emu/load=*/trace) in the -json bench suite")
+		doSnap  = flag.Bool("snapshot", false, "include snapshot-fork amortization rows (emu/fork=*) in the -json bench suite")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	)
@@ -62,7 +63,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *workers, *doTrace); err != nil {
+		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}
@@ -84,10 +85,17 @@ func main() {
 
 // writeBenchJSON runs the machine-readable benchmark suite and writes
 // it to path — the artifact `make bench` produces and CI uploads.
-func writeBenchJSON(path string, workers int, traced bool) error {
+func writeBenchJSON(path string, workers int, traced, snapshot bool) error {
 	rows, err := experiments.BenchSuite(0, workers, traced)
 	if err != nil {
 		return err
+	}
+	if snapshot {
+		forkRows, err := experiments.BenchFork(0, 8)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, forkRows...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

@@ -49,13 +49,23 @@ func main() {
 		doTrace    = flag.Bool("trace", false, "enable event tracing (also appends the trace-metrics report)")
 		traceOut   = flag.String("trace-out", "", "write the event trace to this file (JSONL, or VCD with a .vcd suffix; implies -trace)")
 		traceWin   = flag.Uint64("trace-window", 0, "trace metrics sampling window in cycles (0 = default)")
+		ckptEvery  = flag.Uint64("checkpoint-every", 0, "snapshot the platform every K cycles (0 = off)")
+		ckptOut    = flag.String("checkpoint-out", "", "directory for periodic checkpoint-<cycle>.nocsnap files (default .)")
+		restore    = flag.String("restore", "", "warm-start the run from a .nocsnap snapshot file")
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*configPath, *paper, *traffic, *packets, *load, *flits, *burst, *bufDepth, uint32(*seed))
+	cfg, run, err := buildConfig(*configPath, *paper, *traffic, *packets, *load, *flits, *burst, *bufDepth, uint32(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocemu:", err)
 		os.Exit(1)
+	}
+	// Flags override the config file's run-control keys.
+	if *ckptEvery != 0 {
+		run.CheckpointEvery = *ckptEvery
+	}
+	if *restore != "" {
+		run.Restore = *restore
 	}
 	if *recordDir != "" {
 		for i := range cfg.TRs {
@@ -82,8 +92,11 @@ func main() {
 	}
 
 	rep, err := flow.Run(cfg, control.Program{}, flow.Options{
-		MaxCycles:     *cycles,
-		SkipSynthesis: *noSynth,
+		MaxCycles:       *cycles,
+		SkipSynthesis:   *noSynth,
+		Restore:         run.Restore,
+		CheckpointEvery: run.CheckpointEvery,
+		CheckpointDir:   *ckptOut,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocemu:", err)
@@ -181,12 +194,12 @@ func writeRecordings(p *platform.Platform, dir string) error {
 	return nil
 }
 
-func buildConfig(path string, paper bool, traffic string, packets uint64, load float64, flits, burst, bufDepth int, seed uint32) (platform.Config, error) {
+func buildConfig(path string, paper bool, traffic string, packets uint64, load float64, flits, burst, bufDepth int, seed uint32) (platform.Config, jsonio.RunSpec, error) {
 	switch {
 	case path != "":
-		return jsonio.LoadFile(path)
+		return jsonio.LoadFileRun(path)
 	case paper:
-		return platform.PaperConfig(platform.PaperOptions{
+		cfg, err := platform.PaperConfig(platform.PaperOptions{
 			Traffic:         platform.PaperTraffic(traffic),
 			PacketsPerTG:    packets,
 			Load:            load,
@@ -195,7 +208,8 @@ func buildConfig(path string, paper bool, traffic string, packets uint64, load f
 			BufDepth:        bufDepth,
 			Seed:            seed,
 		})
+		return cfg, jsonio.RunSpec{}, err
 	default:
-		return platform.Config{}, fmt.Errorf("pass -config FILE or -paper (see -help)")
+		return platform.Config{}, jsonio.RunSpec{}, fmt.Errorf("pass -config FILE or -paper (see -help)")
 	}
 }

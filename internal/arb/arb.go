@@ -8,7 +8,11 @@
 // policies for ablation studies.
 package arb
 
-import "fmt"
+import (
+	"fmt"
+
+	"nocemu/internal/state"
+)
 
 // Requests reports, for requester index i in [0, n), whether i is
 // requesting a grant this cycle.
@@ -23,6 +27,10 @@ type Arbiter interface {
 	N() int
 	// Reset restores the arbiter's initial priority state.
 	Reset()
+	// SaveState serializes the priority state (DESIGN.md §13).
+	SaveState(w *state.Writer)
+	// LoadState restores the priority state.
+	LoadState(r *state.Reader) error
 }
 
 // Policy names an arbitration policy for configuration files.
@@ -76,6 +84,20 @@ func (a *roundRobin) Grant(req Requests) (int, bool) {
 	return 0, false
 }
 
+func (a *roundRobin) SaveState(w *state.Writer) { w.Int(a.next) }
+
+func (a *roundRobin) LoadState(r *state.Reader) error {
+	next := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if next < 0 || next >= a.n {
+		return fmt.Errorf("arb: round-robin pointer %d of %d requesters", next, a.n)
+	}
+	a.next = next
+	return nil
+}
+
 type fixed struct{ n int }
 
 func (a *fixed) N() int { return a.n }
@@ -90,6 +112,12 @@ func (a *fixed) Grant(req Requests) (int, bool) {
 	}
 	return 0, false
 }
+
+// SaveState writes nothing: fixed priority carries no state, and the
+// empty section keeps the framing walk uniform.
+func (a *fixed) SaveState(w *state.Writer) {}
+
+func (a *fixed) LoadState(r *state.Reader) error { return r.Err() }
 
 type lrg struct {
 	n     int
@@ -114,4 +142,28 @@ func (a *lrg) Grant(req Requests) (int, bool) {
 		}
 	}
 	return 0, false
+}
+
+func (a *lrg) SaveState(w *state.Writer) {
+	for _, i := range a.order {
+		w.Int(i)
+	}
+}
+
+func (a *lrg) LoadState(r *state.Reader) error {
+	order := make([]int, a.n)
+	seen := make([]bool, a.n)
+	for k := range order {
+		i := r.Int()
+		if r.Err() != nil {
+			return r.Err()
+		}
+		if i < 0 || i >= a.n || seen[i] {
+			return fmt.Errorf("arb: lrg order is not a permutation of %d requesters", a.n)
+		}
+		seen[i] = true
+		order[k] = i
+	}
+	copy(a.order, order)
+	return nil
 }

@@ -290,7 +290,11 @@ func (e *Engine) RunUntil(maxCycles uint64) (executed uint64, stopped bool) {
 // must re-initialize their components through the control plane (which
 // is the point of the paper's software-driven re-initialization);
 // otherwise the next run continues from the components' current state
-// at cycle zero.
+// at cycle zero. A full rewind — component state included — is a
+// restore of a cycle-zero snapshot through the Stateful contract
+// (state.go): the platform layer captures one at the end of Build and
+// exposes it as Platform.FullReset, which composes this Reset with a
+// LoadState walk over every component.
 func (e *Engine) Reset() {
 	if e.sched != nil {
 		e.schedEnter()

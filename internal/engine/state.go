@@ -1,0 +1,68 @@
+// Snapshot support for the kernel (DESIGN.md §13).
+//
+// The kernel's own section is deliberately tiny: the cycle counter is
+// the only kernel state a snapshot carries. Everything else the kernel
+// holds — the wake heap, the armed list, park watermarks, shard
+// assignments — is scheduling ephemera that schedEnter rebuilds at
+// every kernel entry and settleParked retires at every kernel exit.
+// Because none of it is serialized, a snapshot is configuration-free:
+// the same bytes restore into a sequential or parallel kernel, gated or
+// not, and the runs stay bit-identical.
+package engine
+
+import (
+	"nocemu/internal/state"
+)
+
+// Stateful is the state-serialization contract every stateful layer of
+// the platform implements. SaveState appends the component's logical
+// state to the section writer; LoadState restores it from a section
+// reader, validating shape against the built configuration and failing
+// loudly on drift. Both are called only between runs (after a commit
+// phase), never mid-cycle, so staged wire/buffer operations are a
+// sequencing bug, not state.
+type Stateful interface {
+	// SaveState serializes the component's logical state.
+	SaveState(w *state.Writer)
+	// LoadState restores it; errors abort the whole restore.
+	LoadState(r *state.Reader) error
+}
+
+// SaveState serializes the kernel: the completed-cycle counter.
+func (e *Engine) SaveState(w *state.Writer) {
+	w.U64(e.cycle)
+}
+
+// LoadState restores the cycle counter. It must run before component
+// sections load: gated arenas rebuild their park watermarks from the
+// engine's restored cycle.
+func (e *Engine) LoadState(r *state.Reader) error {
+	cycle := r.U64()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if e.sched != nil {
+		// Outstanding skip accounting references the old timeline; settle
+		// it before the counter moves (mirrors Reset).
+		e.schedEnter()
+		e.settleParked()
+		s := e.sched
+		s.heap = s.heap[:0]
+		s.armed = s.armed[:0]
+		for i := range s.parkedAt {
+			s.parkedAt[i] = 0
+			if s.quies[i] != nil {
+				s.nextTry[i] = 0
+			}
+		}
+	}
+	e.cycle = cycle
+	if e.sched != nil {
+		for _, st := range e.sched.settlers {
+			st.Rewind()
+		}
+	}
+	return nil
+}
+
+var _ Stateful = (*Engine)(nil)

@@ -138,3 +138,77 @@ func benchOne(name string, load float64, noGate bool, workers int, cycles uint64
 		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
 	}, nil
 }
+
+// BenchFork measures the warm-start amortization of snapshot forking
+// (DESIGN.md §13) for the JSON artifact: `warm` pays the warm-up once
+// on one platform, snapshots it, and runs n forked continuations;
+// `cold` builds and warms n independent platforms, reseeding each at
+// the divergence cycle with the same ForkSeed schedule, so both paths
+// emulate identical divergent futures. Burst traffic keeps the forks'
+// LFSRs in play so the reseed actually diverges. cycles/s counts only
+// the n divergent tails over the whole path's wall time — warm-up,
+// build and snapshot costs land in the denominator, which is exactly
+// the amortization being measured.
+func BenchFork(cycles uint64, n int) ([]BenchRow, error) {
+	if cycles == 0 {
+		cycles = 200_000
+	}
+	if n == 0 {
+		n = 8
+	}
+	cfg, err := platform.PaperConfig(platform.PaperOptions{Traffic: platform.PaperBurst})
+	if err != nil {
+		return nil, err
+	}
+	useful := uint64(n) * cycles
+
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	src, err := platform.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	src.RunCycles(cycles)
+	forks, err := src.Fork(n)
+	src.Close()
+	if err != nil {
+		return nil, err
+	}
+	for _, f := range forks {
+		f.RunCycles(cycles)
+		f.Close()
+	}
+	warmEl := time.Since(start)
+	runtime.ReadMemStats(&after)
+	warmRow := BenchRow{
+		Name:         fmt.Sprintf("emu/fork=%d/warm", n),
+		CyclesPerSec: float64(useful) / warmEl.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+	}
+
+	runtime.ReadMemStats(&before)
+	start = time.Now()
+	for i := 0; i < n; i++ {
+		p, err := platform.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		p.RunCycles(cycles)
+		if i > 0 {
+			for _, tg := range p.TGs() {
+				tg.Reseed(platform.ForkSeed(p.Config().Seed, uint16(tg.Injector().Endpoint()), i))
+			}
+		}
+		p.RunCycles(cycles)
+		p.Close()
+	}
+	coldEl := time.Since(start)
+	runtime.ReadMemStats(&after)
+	coldRow := BenchRow{
+		Name:         fmt.Sprintf("emu/fork=%d/cold", n),
+		CyclesPerSec: float64(useful) / coldEl.Seconds(),
+		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+	}
+	return []BenchRow{warmRow, coldRow}, nil
+}

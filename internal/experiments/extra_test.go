@@ -115,3 +115,21 @@ func TestBufferStudyTradeoff(t *testing.T) {
 		t.Errorf("table malformed:\n%s", out)
 	}
 }
+
+func TestBenchForkRows(t *testing.T) {
+	rows, err := BenchFork(2_000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	if rows[0].Name != "emu/fork=3/warm" || rows[1].Name != "emu/fork=3/cold" {
+		t.Errorf("row names %q, %q", rows[0].Name, rows[1].Name)
+	}
+	for _, r := range rows {
+		if r.CyclesPerSec <= 0 {
+			t.Errorf("%s: no speed measured", r.Name)
+		}
+	}
+}

@@ -13,6 +13,8 @@ package flow
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"time"
 
 	"nocemu/internal/control"
@@ -30,6 +32,20 @@ type Options struct {
 	MaxCycles uint64
 	// SkipSynthesis omits step 2 (useful in tight benchmark loops).
 	SkipSynthesis bool
+	// Restore warm-starts the platform from a .nocsnap snapshot file
+	// (DESIGN.md §13), loaded between software compilation and
+	// emulation. The snapshot must match the built platform's name and
+	// shape; the kernel configuration may differ.
+	Restore string
+	// CheckpointEvery > 0 chunks the emulation into K-cycle slices and
+	// snapshots the platform after each into CheckpointDir as
+	// checkpoint-<cycle>.nocsnap. Checkpointing drives the run itself,
+	// so it requires the default program (no custom instruction
+	// stream). Snapshots are taken between cycles and do not perturb
+	// the emulation.
+	CheckpointEvery uint64
+	// CheckpointDir receives periodic checkpoints (default ".").
+	CheckpointDir string
 }
 
 func (o *Options) applyDefaults() {
@@ -102,7 +118,8 @@ func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, er
 
 	// Steps 3+4: the program carries the initialization writes;
 	// compiling it validates them against the built platform.
-	if len(prog.Instrs) == 0 {
+	custom := len(prog.Instrs) != 0
+	if !custom {
 		prog = DefaultProgram(opt.MaxCycles)
 	}
 	compiled, err := control.Compile(prog, p.System())
@@ -110,9 +127,26 @@ func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, er
 		return fail(fmt.Errorf("flow: software compilation: %w", err))
 	}
 
+	// Warm start: load the snapshot after initialization is validated,
+	// immediately before the emulation step, so the restored state is
+	// what actually runs.
+	if opt.Restore != "" {
+		if err := restoreFrom(p, opt.Restore); err != nil {
+			return fail(fmt.Errorf("flow: restore: %w", err))
+		}
+	}
+
 	// Step 5: emulation.
 	start := time.Now()
-	res, err := p.Processor().Execute(compiled)
+	var res *control.Result
+	if opt.CheckpointEvery > 0 {
+		if custom {
+			return fail(fmt.Errorf("flow: checkpointing drives the run itself and requires the default program"))
+		}
+		res, err = runCheckpointed(p, prog.Name, opt)
+	} else {
+		res, err = p.Processor().Execute(compiled)
+	}
 	if err != nil {
 		return fail(fmt.Errorf("flow: emulation: %w", err))
 	}
@@ -130,4 +164,60 @@ func Run(cfg platform.Config, prog control.Program, opt Options) (*RunReport, er
 		rep.CyclesPerSecond = float64(res.CyclesRun) / wall.Seconds()
 	}
 	return rep, nil
+}
+
+// restoreFrom loads a snapshot file into the built platform.
+func restoreFrom(p *platform.Platform, path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return p.Restore(f)
+}
+
+// runCheckpointed is the emulation step under periodic checkpointing:
+// the default run (run-until-done, capped at MaxCycles) sliced into
+// CheckpointEvery-cycle chunks with a snapshot written after each —
+// including the final one, so the last checkpoint always holds the end
+// state. Snapshots happen between cycles; the emulation result is
+// bit-identical to an unchunked run.
+func runCheckpointed(p *platform.Platform, name string, opt Options) (*control.Result, error) {
+	dir := opt.CheckpointDir
+	if dir == "" {
+		dir = "."
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	res := &control.Result{Program: name}
+	remaining := opt.MaxCycles
+	for remaining > 0 {
+		chunk := opt.CheckpointEvery
+		if chunk > remaining {
+			chunk = remaining
+		}
+		n, stopped := p.Run(chunk)
+		res.CyclesRun += n
+		res.Stopped = stopped
+		remaining -= n
+		path := filepath.Join(dir, fmt.Sprintf("checkpoint-%d.nocsnap", p.Engine().Cycle()))
+		f, err := os.Create(path)
+		if err != nil {
+			return res, err
+		}
+		err = p.Snapshot(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return res, fmt.Errorf("checkpoint %s: %w", path, err)
+		}
+		// A stop condition or an abort (n < chunk without stop) ends the
+		// run exactly as RunUntil would.
+		if stopped || n < chunk {
+			break
+		}
+	}
+	return res, nil
 }

@@ -1,6 +1,9 @@
 package flow
 
 import (
+	"fmt"
+	"os"
+	"path/filepath"
 	"testing"
 
 	"nocemu/internal/control"
@@ -97,5 +100,75 @@ func TestDefaultProgramShape(t *testing.T) {
 	p := DefaultProgram(123)
 	if len(p.Instrs) != 1 || p.Instrs[0].Op != control.OpRunUntilDone || p.Instrs[0].Cycles != 123 {
 		t.Errorf("program = %+v", p)
+	}
+}
+
+// TestRunCheckpointAndRestore exercises the checkpoint/restore run
+// control end to end: a checkpointed run leaves checkpoint-<cycle>
+// snapshots behind and finishes with the same statistics as an
+// unchunked run, and a second flow invocation warm-started from a
+// mid-run checkpoint reproduces the uninterrupted end state.
+func TestRunCheckpointAndRestore(t *testing.T) {
+	ref, err := Run(paperCfg(t), control.Program{}, Options{SkipSynthesis: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ref.Platform.Close()
+
+	dir := t.TempDir()
+	rep, err := Run(paperCfg(t), control.Program{}, Options{
+		SkipSynthesis:   true,
+		CheckpointEvery: 500,
+		CheckpointDir:   dir,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rep.Platform.Close()
+	if !rep.Exec.Stopped {
+		t.Fatal("checkpointed run did not stop")
+	}
+	if rep.Totals != ref.Totals || rep.Exec.CyclesRun != ref.Exec.CyclesRun {
+		t.Errorf("checkpointed run diverged: %+v vs %+v", rep.Totals, ref.Totals)
+	}
+	end := rep.Platform.Engine().Cycle()
+	final := filepath.Join(dir, fmt.Sprintf("checkpoint-%d.nocsnap", end))
+	if _, err := os.Stat(final); err != nil {
+		t.Fatalf("final checkpoint missing: %v", err)
+	}
+	mid := filepath.Join(dir, "checkpoint-500.nocsnap")
+	if _, err := os.Stat(mid); err != nil {
+		t.Fatalf("mid-run checkpoint missing: %v", err)
+	}
+
+	warm, err := Run(paperCfg(t), control.Program{}, Options{
+		SkipSynthesis: true,
+		Restore:       mid,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer warm.Platform.Close()
+	if warm.Totals != ref.Totals {
+		t.Errorf("restored run diverged: %+v vs %+v", warm.Totals, ref.Totals)
+	}
+	if got := warm.Platform.Engine().Cycle(); got != end {
+		t.Errorf("restored run ended at cycle %d, want %d", got, end)
+	}
+	if warm.Exec.CyclesRun != ref.Exec.CyclesRun-500 {
+		t.Errorf("restored run executed %d cycles, want %d", warm.Exec.CyclesRun, ref.Exec.CyclesRun-500)
+	}
+
+	// Checkpointing composes only with the default program.
+	prog := control.Program{Name: "p", Instrs: []control.Instr{{Op: control.OpRun, Cycles: 10}}}
+	if _, err := Run(paperCfg(t), prog, Options{SkipSynthesis: true, CheckpointEvery: 10}); err == nil {
+		t.Error("checkpointing with a custom program accepted")
+	}
+
+	// A missing snapshot fails the flow loudly.
+	if _, err := Run(paperCfg(t), control.Program{}, Options{
+		SkipSynthesis: true, Restore: filepath.Join(dir, "nope.nocsnap"),
+	}); err == nil {
+		t.Error("missing restore file accepted")
 	}
 }

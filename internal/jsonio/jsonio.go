@@ -142,6 +142,33 @@ type File struct {
 	// probe.Config ("window", "ring_cap", "sched"). Omit to run with
 	// tracing off.
 	Trace *probe.Config `json:"trace,omitempty"`
+	// CheckpointEvery > 0 snapshots the platform every K cycles during
+	// the run (DESIGN.md §13). Run control, not platform state: it is
+	// surfaced through RunSpec, not the platform config.
+	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
+	// Restore warm-starts the run from a .nocsnap snapshot file (path
+	// relative to the config file, like trace_file).
+	Restore string `json:"restore,omitempty"`
+}
+
+// RunSpec carries the run-control keys that travel with a platform
+// configuration but do not describe the platform itself; cmd/nocemu
+// maps them onto flow.Options (flags override them).
+type RunSpec struct {
+	// CheckpointEvery is the checkpoint interval in cycles (0 = off).
+	CheckpointEvery uint64
+	// Restore is the snapshot path to warm-start from, already resolved
+	// against the config file's directory ("" = cold start).
+	Restore string
+}
+
+// runSpec extracts the run-control keys, anchoring the restore path.
+func (f *File) runSpec(baseDir string) RunSpec {
+	spec := RunSpec{CheckpointEvery: f.CheckpointEvery, Restore: f.Restore}
+	if spec.Restore != "" && !filepath.IsAbs(spec.Restore) {
+		spec.Restore = filepath.Join(baseDir, spec.Restore)
+	}
+	return spec
 }
 
 // buildTopology materializes the topology spec.
@@ -336,12 +363,31 @@ func Load(r io.Reader, baseDir string) (platform.Config, error) {
 
 // LoadFile parses a JSON configuration file.
 func LoadFile(path string) (platform.Config, error) {
-	f, err := os.Open(path)
+	cfg, _, err := LoadFileRun(path)
+	return cfg, err
+}
+
+// LoadFileRun parses a JSON configuration file, returning both the
+// platform configuration and the run-control keys (checkpoint_every,
+// restore).
+func LoadFileRun(path string) (platform.Config, RunSpec, error) {
+	r, err := os.Open(path)
 	if err != nil {
-		return platform.Config{}, err
+		return platform.Config{}, RunSpec{}, err
 	}
-	defer f.Close()
-	return Load(f, filepath.Dir(path))
+	defer r.Close()
+	baseDir := filepath.Dir(path)
+	var f File
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return platform.Config{}, RunSpec{}, fmt.Errorf("jsonio: %v", err)
+	}
+	cfg, err := f.ToConfig(baseDir)
+	if err != nil {
+		return platform.Config{}, RunSpec{}, err
+	}
+	return cfg, f.runSpec(baseDir), nil
 }
 
 // Example returns a commented-free sample configuration (the quickstart

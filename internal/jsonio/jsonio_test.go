@@ -189,3 +189,37 @@ func TestOverridesAndPolicies(t *testing.T) {
 		t.Errorf("policies rejected: %v", err)
 	}
 }
+
+func TestRunControlKeys(t *testing.T) {
+	dir := t.TempDir()
+	f := Example()
+	f.CheckpointEvery = 250
+	f.Restore = "warm.nocsnap"
+	data, err := json.Marshal(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(dir, "cfg.json")
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg, run, err := LoadFileRun(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Name != "example-ring" {
+		t.Errorf("name = %q", cfg.Name)
+	}
+	if run.CheckpointEvery != 250 {
+		t.Errorf("checkpoint_every = %d", run.CheckpointEvery)
+	}
+	// Relative restore paths anchor at the config file, like trace_file.
+	if want := filepath.Join(dir, "warm.nocsnap"); run.Restore != want {
+		t.Errorf("restore = %q, want %q", run.Restore, want)
+	}
+
+	// LoadFile ignores run control but still accepts the keys.
+	if _, err := LoadFile(path); err != nil {
+		t.Errorf("LoadFile rejected run-control keys: %v", err)
+	}
+}

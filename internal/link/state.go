@@ -1,0 +1,157 @@
+// Snapshot support for the wire layer (DESIGN.md §13).
+//
+// Wire sections hold only logical state: the committed flit on the
+// wire, a fault-held staged flit, the fault mode, and the statistic
+// counters. Gating ephemera (active lists, park watermarks) are NOT
+// serialized — snapshots are taken between runs, where the kernel has
+// settled all skip-accounting debt, so the gating view is derivable:
+// restore rebuilds the active lists from each wire's Idle predicate and
+// restarts the park watermarks at the restored cycle. That is what
+// makes one snapshot restorable into any kernel configuration
+// (sequential or parallel, gated or not).
+package link
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/state"
+)
+
+// SaveState serializes one flit wire. A staged flit is only legal
+// under a stuck fault (any other staged flit would mean the snapshot
+// was taken mid-cycle, which is a sequencing bug).
+func (l *Link) SaveState(w *state.Writer) {
+	if l.taken {
+		panic(fmt.Sprintf("link %s: snapshot with taken flag set (mid-cycle)", l.name))
+	}
+	if l.next != nil && l.fault != FaultStuck {
+		panic(fmt.Sprintf("link %s: snapshot with staged flit outside a stuck fault", l.name))
+	}
+	w.U8(uint8(l.fault))
+	flit.SaveFlit(w, l.cur)
+	flit.SaveFlit(w, l.next)
+	w.U64(l.busyCycles)
+	w.U64(l.totalCycles)
+	w.U64(l.flits)
+	w.U64(l.overruns)
+	w.U64(l.corrupted)
+	w.U64(l.heldCycles)
+}
+
+// LoadState restores one flit wire.
+func (l *Link) LoadState(r *state.Reader) error {
+	mode := FaultMode(r.U8())
+	if r.Err() == nil && mode > FaultCorrupt {
+		return fmt.Errorf("link %s: snapshot fault mode %d", l.name, mode)
+	}
+	cur, err := flit.LoadFlit(r)
+	if err != nil {
+		return err
+	}
+	next, err := flit.LoadFlit(r)
+	if err != nil {
+		return err
+	}
+	if next != nil && mode != FaultStuck {
+		return fmt.Errorf("link %s: snapshot stages a flit without a stuck fault", l.name)
+	}
+	l.fault = mode
+	l.cur = cur
+	l.next = next
+	l.taken = false
+	l.busyCycles = r.U64()
+	l.totalCycles = r.U64()
+	l.flits = r.U64()
+	l.overruns = r.U64()
+	l.corrupted = r.U64()
+	l.heldCycles = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes one credit wire. Between runs every staged
+// credit has committed (Send arms the wire, so it always commits on
+// schedule); only the accumulated uncollected credits and the
+// conservation counter are state.
+func (c *CreditLink) SaveState(w *state.Writer) {
+	if c.next != 0 {
+		panic(fmt.Sprintf("credit %s: snapshot with staged credits (mid-cycle)", c.name))
+	}
+	w.U32(c.cur)
+	w.U64(c.sent)
+}
+
+// LoadState restores one credit wire.
+func (c *CreditLink) LoadState(r *state.Reader) error {
+	c.cur = r.U32()
+	c.next = 0
+	c.sent = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes the wire arena: the wire counts (validated on
+// restore), then every flit wire and credit wire in index order. The
+// internal gating lists are derivable and not written (see the package
+// comment of this file).
+func (a *Arena) SaveState(w *state.Writer) {
+	w.Int(len(a.links))
+	w.Int(len(a.credits))
+	for i := range a.links {
+		a.links[i].SaveState(w)
+	}
+	for i := range a.credits {
+		a.credits[i].SaveState(w)
+	}
+}
+
+// LoadState restores every wire and, when internal gating is enabled,
+// rebuilds the active lists from the restored wire states: a non-idle
+// wire re-enters the active list, an idle one parks with its watermark
+// at the restored cycle (the snapshot boundary settled all debt, so no
+// skip accounting is outstanding).
+func (a *Arena) LoadState(r *state.Reader) error {
+	nl, nc := r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nl != len(a.links) || nc != len(a.credits) {
+		return fmt.Errorf("link: snapshot arena %s has %d+%d wires, built %d+%d",
+			a.name, nl, nc, len(a.links), len(a.credits))
+	}
+	for i := range a.links {
+		if err := a.links[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	for i := range a.credits {
+		if err := a.credits[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	if a.gated {
+		a.rebuildGating(a.cycle())
+	}
+	return r.Err()
+}
+
+// rebuildGating rederives the internal gating lists from wire state at
+// the given cycle.
+func (a *Arena) rebuildGating(cycle uint64) {
+	a.actL = a.actL[:0]
+	a.actC = a.actC[:0]
+	for i := range a.links {
+		idle := a.links[i].Idle()
+		a.lActive[i] = !idle
+		a.lPark[i] = cycle
+		if !idle {
+			a.actL = append(a.actL, i)
+		}
+	}
+	for i := range a.credits {
+		idle := a.credits[i].Idle()
+		a.cActive[i] = !idle
+		if !idle {
+			a.actC = append(a.actC, i)
+		}
+	}
+}

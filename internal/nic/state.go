@@ -1,0 +1,90 @@
+// Snapshot support for the network interfaces (DESIGN.md §13).
+//
+// The injector serializes its credit counter, the queued flit images in
+// queue order (the ring is normalized to head 0 on restore; the head
+// index is not observable), the packet sequence counter and the
+// statistics. The ejector serializes its reassembly FIFO, the
+// partial-assembly table and its counters. Wiring, queue capacity and
+// buffer depth are platform configuration, validated rather than
+// restored.
+package nic
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/state"
+)
+
+// SaveState serializes the injector.
+func (n *Injector) SaveState(w *state.Writer) {
+	w.Int(n.credits)
+	w.Int(len(n.ring))
+	w.Int(n.count)
+	for i := 0; i < n.count; i++ {
+		n.ring[(n.head+i)%len(n.ring)].SaveState(w)
+	}
+	w.U64(n.seq)
+	w.U64(n.packetsSent)
+	w.U64(n.flitsSent)
+	w.U64(n.stallCycles)
+	w.Int(n.peakQueue)
+}
+
+// LoadState restores the injector, materializing the queued flits as
+// fresh heap images (see the flit package's snapshot notes).
+func (n *Injector) LoadState(r *state.Reader) error {
+	credits := r.Int()
+	capacity := r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if credits < 0 {
+		return fmt.Errorf("nic: injector %d snapshot with %d credits", n.endpoint, credits)
+	}
+	if capacity != len(n.ring) {
+		return fmt.Errorf("nic: injector %d snapshot queue capacity %d, built %d", n.endpoint, capacity, len(n.ring))
+	}
+	if count < 0 || count > capacity {
+		return fmt.Errorf("nic: injector %d snapshot occupancy %d of %d", n.endpoint, count, capacity)
+	}
+	clear(n.ring)
+	n.credits = credits
+	n.head = 0
+	n.count = count
+	for i := 0; i < count; i++ {
+		f := &flit.Flit{}
+		if err := f.LoadState(r); err != nil {
+			return err
+		}
+		n.ring[i] = f
+	}
+	n.seq = r.U64()
+	n.packetsSent = r.U64()
+	n.flitsSent = r.U64()
+	n.stallCycles = r.U64()
+	n.peakQueue = r.Int()
+	return r.Err()
+}
+
+// SaveState serializes the ejector.
+func (e *Ejector) SaveState(w *state.Writer) {
+	e.buf.SaveState(w)
+	e.asm.SaveState(w)
+	w.U64(e.flitsReceived)
+	w.U64(e.corruptedFlits)
+}
+
+// LoadState restores the ejector.
+func (e *Ejector) LoadState(r *state.Reader) error {
+	if err := e.buf.LoadState(r); err != nil {
+		return err
+	}
+	if err := e.asm.LoadState(r); err != nil {
+		return err
+	}
+	e.flitsReceived = r.U64()
+	e.corruptedFlits = r.U64()
+	return r.Err()
+}

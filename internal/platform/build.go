@@ -7,6 +7,7 @@ import (
 	"nocemu/internal/bus"
 	"nocemu/internal/control"
 	"nocemu/internal/engine"
+	"nocemu/internal/fault"
 	"nocemu/internal/flit"
 	"nocemu/internal/link"
 	"nocemu/internal/nic"
@@ -58,6 +59,20 @@ type Platform struct {
 	// wirePairs remembers the registered wires for arm-hook rebinding
 	// (AttachWatchdog adds the watchdog to the injection-wire hooks).
 	wirePairs []wirePair
+	// snapLinks/snapCredits list every wire in creation order — the wire
+	// arena's internal order — so the snapshot's wires section is
+	// byte-identical with and without SeparateWires (snapshot.go).
+	snapLinks   []*link.Link
+	snapCredits []*link.CreditLink
+	// wd and faults remember post-build attachments so snapshots cover
+	// them and Fork can replicate them on rebuilt platforms.
+	wd         *Watchdog
+	wdPatience uint64
+	faults     []*fault.Controller
+	faultSpecs [][]fault.Spec
+	// initSnap is the cycle-zero snapshot captured when construction
+	// finishes, backing FullReset.
+	initSnap []byte
 	// wires is the dense wire arena (nil with SeparateWires); the arm
 	// hooks reach through it for per-wire gating.
 	wires *link.Arena
@@ -151,19 +166,25 @@ func Build(cfg Config) (*Platform, error) {
 		p.swArena = swArena
 	}
 	newLink := func(name string) *link.Link {
+		var l *link.Link
 		if wires == nil {
-			return link.NewLink(name)
+			l = link.NewLink(name)
+		} else {
+			l = wires.NewLink(name)
+			linkIdx[l] = wires.NumLinks() - 1
 		}
-		l := wires.NewLink(name)
-		linkIdx[l] = wires.NumLinks() - 1
+		p.snapLinks = append(p.snapLinks, l)
 		return l
 	}
 	newCredit := func(name string) *link.CreditLink {
+		var c *link.CreditLink
 		if wires == nil {
-			return link.NewCreditLink(name)
+			c = link.NewCreditLink(name)
+		} else {
+			c = wires.NewCredit(name)
+			credIdx[c] = wires.NumCredits() - 1
 		}
-		c := wires.NewCredit(name)
-		credIdx[c] = wires.NumCredits() - 1
+		p.snapCredits = append(p.snapCredits, c)
 		return c
 	}
 	var pairs []wirePair
@@ -468,6 +489,11 @@ func Build(cfg Config) (*Platform, error) {
 		if arm, ok := p.eng.Armer("probe"); ok {
 			p.collector.SetArm(arm)
 		}
+	}
+	// Capture the cycle-zero snapshot backing FullReset. Post-build
+	// attachments (AttachWatchdog, AddFaults) re-capture it.
+	if err := p.captureInit(); err != nil {
+		return nil, fmt.Errorf("platform %s: init snapshot: %w", cfg.Name, err)
 	}
 	return p, nil
 }

@@ -1,0 +1,551 @@
+// Property tests for deterministic snapshot/restore (DESIGN.md §13):
+// interrupting a run with Snapshot and continuing from Restore — in the
+// same process, in a differently configured kernel, or in eight forks
+// at once — must be invisible in every exported byte. The golden
+// .nocsnap fixture pins the codec itself; a diff there means the
+// serialization schema changed and the Version constant must move.
+//
+// External test package because monitor imports platform.
+package platform_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocemu/internal/fault"
+	"nocemu/internal/link"
+	"nocemu/internal/monitor"
+	"nocemu/internal/platform"
+	"nocemu/internal/probe"
+	"nocemu/internal/state"
+)
+
+// snapWorkerCounts matches the acceptance matrix: sequential plus a
+// sweep past the paper platform's shard count.
+var snapWorkerCounts = []int{0, 1, 4, 16}
+
+// runOutput is every exported byte of a finished run: the monitor JSON
+// (statistics, histograms, latency) and, when tracing is on, the
+// canonical JSONL event stream, plus the final cycle.
+type runOutput struct {
+	json  []byte
+	trace []byte
+	cycle uint64
+}
+
+func (o runOutput) equal(p runOutput) bool {
+	return bytes.Equal(o.json, p.json) && bytes.Equal(o.trace, p.trace) && o.cycle == p.cycle
+}
+
+func (o runOutput) diff(p runOutput) string {
+	if o.cycle != p.cycle {
+		return fmt.Sprintf("cycle %d vs %d", o.cycle, p.cycle)
+	}
+	if !bytes.Equal(o.json, p.json) {
+		return "monitor JSON: " + firstTraceDiff(o.json, p.json)
+	}
+	return "trace: " + firstTraceDiff(o.trace, p.trace)
+}
+
+// capture exports the platform's observable output.
+func capture(t *testing.T, p *platform.Platform) runOutput {
+	t.Helper()
+	var out runOutput
+	var buf bytes.Buffer
+	if err := monitor.WriteJSON(&buf, p); err != nil {
+		t.Fatal(err)
+	}
+	out.json = append([]byte(nil), buf.Bytes()...)
+	if p.Probe() != nil {
+		buf.Reset()
+		if err := p.Probe().WriteJSONL(&buf); err != nil {
+			t.Fatal(err)
+		}
+		out.trace = append([]byte(nil), buf.Bytes()...)
+	}
+	out.cycle = p.Engine().Cycle()
+	return out
+}
+
+// paperSnapConfig is the paper platform bounded so receptor stoppers
+// end the run, with tracing on so the comparison covers the event
+// stream too.
+func paperSnapConfig(t *testing.T, packets uint64) platform.Config {
+	t.Helper()
+	cfg, err := platform.PaperConfig(platform.PaperOptions{PacketsPerTG: packets})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Trace = &probe.Config{}
+	return cfg
+}
+
+// buildSnap builds cfg with the given kernel and optional fault
+// campaign (the campaign is construction shape: a snapshot taken with
+// faults restores only into a platform that also has them).
+func buildSnap(t *testing.T, cfg platform.Config, workers int, noGate bool, faults []fault.Spec) *platform.Platform {
+	t.Helper()
+	cfg.Workers = workers
+	cfg.NoGate = noGate
+	p, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatalf("workers=%d noGate=%v: %v", workers, noGate, err)
+	}
+	if faults != nil {
+		if _, err := p.AddFaults(faults); err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+	}
+	return p
+}
+
+// TestSnapshotRestoreContinueBitIdentical is the headline property: a
+// run interrupted at cycle C by Snapshot and continued from Restore —
+// in a fresh platform under any workers × gate configuration, faults on
+// or off — produces monitor JSON and trace bytes identical to the
+// uninterrupted run. The snapshotted platform itself must also continue
+// unperturbed (snapshot is a pure observer).
+func TestSnapshotRestoreContinueBitIdentical(t *testing.T) {
+	for _, withFaults := range []bool{false, true} {
+		t.Run(fmt.Sprintf("faults=%v", withFaults), func(t *testing.T) {
+			cfg := paperSnapConfig(t, 15)
+			var specs []fault.Spec
+			if withFaults {
+				probe, err := platform.Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				hotA, _, err := probe.PaperHotLinks()
+				probe.Close()
+				if err != nil {
+					t.Fatal(err)
+				}
+				specs = []fault.Spec{{Link: hotA, Mode: link.FaultStuck, From: 200, Until: 900}}
+			}
+
+			// Uninterrupted reference under the sequential gated kernel.
+			ref := buildSnap(t, cfg, 0, false, specs)
+			if _, stopped := ref.Run(1_000_000); !stopped {
+				t.Fatal("reference run did not complete")
+			}
+			want := capture(t, ref)
+			ref.Close()
+
+			// Interrupt a second instance mid-flight.
+			cut := want.cycle / 2
+			if cut == 0 {
+				t.Fatalf("reference stopped at cycle %d; nothing to interrupt", want.cycle)
+			}
+			src := buildSnap(t, cfg, 0, false, specs)
+			defer src.Close()
+			src.RunCycles(cut)
+			snap, err := src.SnapshotBytes()
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// The observed platform continues as if nothing happened.
+			if _, stopped := src.Run(1_000_000); !stopped {
+				t.Fatal("snapshotted run did not complete")
+			}
+			if got := capture(t, src); !got.equal(want) {
+				t.Errorf("snapshot perturbed the source run: %s", got.diff(want))
+			}
+
+			// Restore into every kernel configuration and run to the end.
+			for _, workers := range snapWorkerCounts {
+				for _, noGate := range []bool{false, true} {
+					p := buildSnap(t, cfg, workers, noGate, specs)
+					if err := p.RestoreBytes(snap); err != nil {
+						p.Close()
+						t.Fatalf("workers=%d noGate=%v: %v", workers, noGate, err)
+					}
+					if got := p.Engine().Cycle(); got != cut {
+						p.Close()
+						t.Fatalf("workers=%d noGate=%v: restored to cycle %d, want %d",
+							workers, noGate, got, cut)
+					}
+					if _, stopped := p.Run(1_000_000); !stopped {
+						p.Close()
+						t.Fatalf("workers=%d noGate=%v: restored run did not complete", workers, noGate)
+					}
+					got := capture(t, p)
+					p.Close()
+					if !got.equal(want) {
+						t.Errorf("workers=%d noGate=%v diverged after restore: %s",
+							workers, noGate, got.diff(want))
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotKernelPortability checks configuration independence in
+// both directions and at both strengths. Byte level: the two
+// construction modes (dense arenas vs SeparateWires) of the same kernel
+// serialize byte-identically, and re-snapshotting an untouched platform
+// is idempotent (ring normalization is canonical). Semantic level: a
+// snapshot taken under ANY kernel — sequential or parallel, gated or
+// not — restores into the sequential gated kernel and finishes
+// byte-identically with the uninterrupted reference. (Byte equality
+// across kernels is deliberately NOT claimed: the gating ablation defers
+// credit collection while a device is parked, so the split of in-flight
+// credits between the credit wire and the injector is kernel-dependent —
+// equivalent state, different bytes.)
+func TestSnapshotKernelPortability(t *testing.T) {
+	cfg := paperSnapConfig(t, 15)
+
+	ref := buildSnap(t, cfg, 0, false, nil)
+	if _, stopped := ref.Run(1_000_000); !stopped {
+		t.Fatal("reference run did not complete")
+	}
+	want := capture(t, ref)
+	ref.Close()
+	cut := want.cycle / 2
+	if cut == 0 {
+		t.Fatalf("reference stopped at cycle %d", want.cycle)
+	}
+
+	type variant struct {
+		workers       int
+		noGate        bool
+		separateWires bool
+	}
+	variants := []variant{
+		{0, false, false},
+		{0, true, false},
+		{4, false, false},
+		{16, true, false},
+		{0, false, true},
+		{4, false, true},
+	}
+	snaps := make(map[variant][]byte)
+	for _, v := range variants {
+		c := cfg
+		c.SeparateWires = v.separateWires
+		p := buildSnap(t, c, v.workers, v.noGate, nil)
+		p.RunCycles(cut)
+		snap, err := p.SnapshotBytes()
+		if err != nil {
+			p.Close()
+			t.Fatalf("%+v: %v", v, err)
+		}
+		again, err := p.SnapshotBytes()
+		p.Close()
+		if err != nil {
+			t.Fatalf("%+v: %v", v, err)
+		}
+		if !bytes.Equal(snap, again) {
+			t.Errorf("%+v: re-snapshot differs", v)
+		}
+		snaps[v] = snap
+
+		// Semantic portability: every variant's snapshot continues to the
+		// reference output in the sequential gated arena kernel.
+		q := buildSnap(t, cfg, 0, false, nil)
+		if err := q.RestoreBytes(snap); err != nil {
+			q.Close()
+			t.Fatalf("%+v: restore into sequential gated: %v", v, err)
+		}
+		if _, stopped := q.Run(1_000_000); !stopped {
+			q.Close()
+			t.Fatalf("%+v: restored run did not complete", v)
+		}
+		got := capture(t, q)
+		q.Close()
+		if !got.equal(want) {
+			t.Errorf("%+v snapshot diverged after restore: %s", v, got.diff(want))
+		}
+	}
+
+	// Byte parity between construction modes of the same kernel.
+	for _, pair := range [][2]variant{
+		{{0, false, false}, {0, false, true}},
+		{{4, false, false}, {4, false, true}},
+	} {
+		if !bytes.Equal(snaps[pair[0]], snaps[pair[1]]) {
+			t.Errorf("arena %+v and SeparateWires %+v snapshots differ", pair[0], pair[1])
+		}
+	}
+}
+
+// TestSnapshotRestoreMesh256 is the scale leg of the acceptance matrix:
+// the same interrupt/restore property on a 16×16 mesh (256 switches,
+// 512 endpoints) under fixed-cycle runs.
+func TestSnapshotRestoreMesh256(t *testing.T) {
+	mk := func() platform.Config {
+		cfg, err := platform.MeshConfig(platform.MeshOptions{N: 16, Seed: 11})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cfg
+	}
+	const total, cut = 2_000, 900
+
+	ref, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.RunCycles(total)
+	want := capture(t, ref)
+	ref.Close()
+
+	src, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.RunCycles(cut)
+	snap, err := src.SnapshotBytes()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range snapWorkerCounts {
+		for _, noGate := range []bool{false, true} {
+			p := buildSnap(t, mk(), workers, noGate, nil)
+			if err := p.RestoreBytes(snap); err != nil {
+				p.Close()
+				t.Fatalf("workers=%d noGate=%v: %v", workers, noGate, err)
+			}
+			p.RunCycles(total - cut)
+			got := capture(t, p)
+			p.Close()
+			if !got.equal(want) {
+				t.Errorf("workers=%d noGate=%v diverged after restore: %s",
+					workers, noGate, got.diff(want))
+			}
+		}
+	}
+}
+
+// TestForkMatchesColdRuns checks Fork's warm-start semantics: fork 0 is
+// an exact continuation, and every fork i > 0 matches a cold run that
+// replays the warm-up and reseeds its TGs with ForkSeed at the same
+// cycle. The forks must also diverge from each other — otherwise the
+// sweep explores nothing.
+func TestForkMatchesColdRuns(t *testing.T) {
+	// Burst traffic: the on/off transitions draw from the LFSR every
+	// packet, so reseeding at the fork point visibly changes the future
+	// (paper uniform traffic is phase-random only — after warm-up its
+	// gap, length and destination are all fixed and a reseed is moot).
+	cfg, err := platform.PaperConfig(platform.PaperOptions{Traffic: platform.PaperBurst})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const warm, tail = 1_500, 1_500
+	const nForks = 8
+
+	src, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer src.Close()
+	src.RunCycles(warm)
+	seed := src.Config().Seed
+
+	forks, err := src.Fork(nForks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		for _, f := range forks {
+			f.Close()
+		}
+	}()
+
+	outs := make([]runOutput, nForks)
+	for i, f := range forks {
+		f.RunCycles(tail)
+		outs[i] = capture(t, f)
+	}
+
+	for i := 0; i < nForks; i++ {
+		cold, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cold.RunCycles(warm)
+		if i > 0 {
+			for _, tg := range cold.TGs() {
+				tg.Reseed(platform.ForkSeed(seed, uint16(tg.Injector().Endpoint()), i))
+			}
+		}
+		cold.RunCycles(tail)
+		want := capture(t, cold)
+		cold.Close()
+		if !outs[i].equal(want) {
+			t.Errorf("fork %d diverged from its cold-run reference: %s", i, outs[i].diff(want))
+		}
+	}
+
+	// Distinct forks really explore distinct futures.
+	for i := 1; i < nForks; i++ {
+		if bytes.Equal(outs[i].json, outs[0].json) {
+			t.Errorf("fork %d identical to fork 0; reseeding had no effect", i)
+		}
+	}
+}
+
+// TestFullResetEqualsFreshBuild checks the restore-from-cycle-0 reset:
+// after a complete run, FullReset rewinds the platform — watchdog and
+// fault campaign included — to a state indistinguishable from a freshly
+// built one, so a second run reproduces the first byte for byte.
+func TestFullResetEqualsFreshBuild(t *testing.T) {
+	cfg := paperSnapConfig(t, 12)
+	run := func(p *platform.Platform) runOutput {
+		t.Helper()
+		if _, stopped := p.Run(1_000_000); !stopped {
+			t.Fatal("run did not complete")
+		}
+		return capture(t, p)
+	}
+	build := func() *platform.Platform {
+		p, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := p.AttachWatchdog(2_000); err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		if _, err := p.AddFaults([]fault.Spec{
+			{Link: 0, Mode: link.FaultStuck, From: 100, Until: 300},
+		}); err != nil {
+			p.Close()
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	fresh := build()
+	want := run(fresh)
+	fresh.Close()
+
+	p := build()
+	defer p.Close()
+	first := run(p)
+	if !first.equal(want) {
+		t.Fatalf("identical builds diverged before any reset: %s", first.diff(want))
+	}
+	if err := p.FullReset(); err != nil {
+		t.Fatal(err)
+	}
+	if got := p.Engine().Cycle(); got != 0 {
+		t.Fatalf("cycle %d after FullReset", got)
+	}
+	second := run(p)
+	if !second.equal(want) {
+		t.Errorf("post-reset run diverged from fresh build: %s", second.diff(want))
+	}
+}
+
+// TestRestoreRejectsDrift checks that every framing or shape mismatch
+// fails loudly instead of silently restoring garbage.
+func TestRestoreRejectsDrift(t *testing.T) {
+	cfg := paperSnapConfig(t, 10)
+	src := buildSnap(t, cfg, 0, false, nil)
+	defer src.Close()
+	src.RunCycles(300)
+	snap, err := src.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fresh := func() *platform.Platform { return buildSnap(t, cfg, 0, false, nil) }
+	cases := []struct {
+		name string
+		blob []byte
+		into func() *platform.Platform
+	}{
+		{"truncated", snap[:len(snap)-3], fresh},
+		{"bad magic", append([]byte("XSNP"), snap[4:]...), fresh},
+		{"future version", func() []byte {
+			b := append([]byte(nil), snap...)
+			b[4] = byte(state.Version) + 1
+			return b
+		}(), fresh},
+		{"trailing garbage", append(append([]byte(nil), snap...), 0xFF), fresh},
+		{"wrong platform", snap, func() *platform.Platform {
+			mcfg, err := platform.MeshConfig(platform.MeshOptions{N: 4})
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := platform.Build(mcfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return p
+		}},
+		{"shape mismatch", snap, func() *platform.Platform {
+			// Same platform, extra sections: watchdog + fault campaign.
+			p := buildSnap(t, cfg, 0, false, []fault.Spec{
+				{Link: 0, Mode: link.FaultStuck, From: 10, Until: 20},
+			})
+			if _, err := p.AttachWatchdog(1_000); err != nil {
+				p.Close()
+				t.Fatal(err)
+			}
+			return p
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			p := tc.into()
+			defer p.Close()
+			if err := p.RestoreBytes(tc.blob); err == nil {
+				t.Errorf("%s accepted", tc.name)
+			}
+		})
+	}
+}
+
+// TestGoldenSnapshotFixture pins the snapshot codec: the paper platform
+// interrupted at a fixed cycle must serialize to the committed .nocsnap
+// byte for byte. A diff means the serialization schema drifted —
+// regenerate deliberately (and bump state.Version if the layout
+// changed) with
+//
+//	go test ./internal/platform -run TestGoldenSnapshotFixture -update
+func TestGoldenSnapshotFixture(t *testing.T) {
+	cfg := paperSnapConfig(t, 5)
+	p := buildSnap(t, cfg, 0, false, nil)
+	defer p.Close()
+	p.RunCycles(600)
+	snap, err := p.SnapshotBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	path := filepath.Join("testdata", "paper_cycle600.nocsnap")
+	if *updateGolden {
+		if err := os.WriteFile(path, snap, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(snap, want) {
+		t.Fatalf("snapshot codec drifted from %s: got %d bytes, fixture %d", path, len(snap), len(want))
+	}
+
+	// The committed fixture must remain loadable and runnable.
+	q := buildSnap(t, cfg, 0, false, nil)
+	defer q.Close()
+	if err := q.RestoreBytes(want); err != nil {
+		t.Fatalf("fixture does not restore: %v", err)
+	}
+	if got := q.Engine().Cycle(); got != 600 {
+		t.Fatalf("fixture restored to cycle %d, want 600", got)
+	}
+	if _, stopped := q.Run(1_000_000); !stopped {
+		t.Fatal("restored fixture run did not complete")
+	}
+}

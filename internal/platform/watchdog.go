@@ -28,6 +28,9 @@ func (p *Platform) AttachWatchdog(patience uint64) (*Watchdog, error) {
 	if patience == 0 {
 		return nil, fmt.Errorf("platform %s: watchdog with zero patience", p.cfg.Name)
 	}
+	if p.wd != nil {
+		return nil, fmt.Errorf("platform %s: watchdog already attached", p.cfg.Name)
+	}
 	w := &Watchdog{name: "watchdog", p: p, patience: patience}
 	if err := p.eng.Register(w); err != nil {
 		return nil, err
@@ -42,6 +45,12 @@ func (p *Platform) AttachWatchdog(patience uint64) (*Watchdog, error) {
 				p.bindArmHook(wp, w.name)
 			}
 		}
+	}
+	p.wd, p.wdPatience = w, patience
+	// The watchdog adds a snapshot section; refresh the cycle-zero
+	// snapshot backing FullReset (attachment happens before the run).
+	if err := p.captureInit(); err != nil {
+		return nil, fmt.Errorf("platform %s: init snapshot: %w", p.cfg.Name, err)
 	}
 	return w, nil
 }
@@ -123,6 +132,13 @@ func (p *Platform) AddFaults(specs []fault.Spec) (*fault.Controller, error) {
 	ctrl.SetProbe(p.collector.NewProbe(ctrl.ComponentName()))
 	if err := p.eng.Register(ctrl); err != nil {
 		return nil, err
+	}
+	p.faults = append(p.faults, ctrl)
+	p.faultSpecs = append(p.faultSpecs, append([]fault.Spec(nil), specs...))
+	// The controller adds a snapshot section; refresh the cycle-zero
+	// snapshot backing FullReset (campaigns are added before the run).
+	if err := p.captureInit(); err != nil {
+		return nil, fmt.Errorf("platform %s: init snapshot: %w", p.cfg.Name, err)
 	}
 	return ctrl, nil
 }

@@ -1,0 +1,219 @@
+// Snapshot support for the traffic receptors (DESIGN.md §13).
+//
+// The TR section holds its counters, the analysis state of whichever
+// flavor was built (histograms and inter-arrival tracking for the
+// stochastic receptor; Welford accumulators, the head-inject and
+// latency-floor tables, and the congestion counter for the trace-driven
+// one), the recorded arrival trace when trace recording is on, and the
+// network interface. Maps are written sorted by key so the encoding is
+// deterministic. The receptor flavor is construction state: restoring a
+// snapshot of the other flavor fails loudly.
+package receptor
+
+import (
+	"fmt"
+	"sort"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/state"
+	"nocemu/internal/stats"
+	"nocemu/internal/trace"
+)
+
+// SaveState serializes the receptor.
+func (t *TR) SaveState(w *state.Writer) {
+	w.String(string(t.cfg.Mode))
+	w.Bool(t.recorded != nil)
+	t.ej.SaveState(w)
+	w.U64(t.cfg.ExpectPackets)
+	w.U64(t.packets)
+	w.U64(t.flits)
+	w.U64(t.firstCycle)
+	w.U64(t.lastCycle)
+	w.Bool(t.sawFirst)
+	switch t.cfg.Mode {
+	case Stochastic:
+		t.sizeHist.SaveState(w)
+		t.gapHist.SaveState(w)
+		w.U64(t.lastPkt)
+		w.Bool(t.sawPkt)
+	case TraceDriven:
+		t.latHist.SaveState(w)
+		t.netLat.SaveState(w)
+		t.totLat.SaveState(w)
+		savePacketCycleMap(w, t.headInject)
+		saveEndpointCycleMap(w, t.minLat)
+		saveWelfordMap(w, t.perSource)
+		w.U64(t.congestion)
+	}
+	if t.recorded != nil {
+		w.Int(len(t.recorded.Records))
+		for _, rec := range t.recorded.Records {
+			w.U64(rec.Cycle)
+			w.U16(uint16(rec.Dst))
+			w.U16(rec.Len)
+		}
+	}
+}
+
+// LoadState restores the receptor.
+func (t *TR) LoadState(r *state.Reader) error {
+	mode := r.String()
+	hasTrace := r.Bool()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if Mode(mode) != t.cfg.Mode {
+		return fmt.Errorf("receptor %s: snapshot mode %q, built %q", t.cfg.Name, mode, t.cfg.Mode)
+	}
+	if hasTrace != (t.recorded != nil) {
+		return fmt.Errorf("receptor %s: snapshot trace recording %v, built %v", t.cfg.Name, hasTrace, t.recorded != nil)
+	}
+	if err := t.ej.LoadState(r); err != nil {
+		return fmt.Errorf("receptor %s: ejector: %w", t.cfg.Name, err)
+	}
+	t.cfg.ExpectPackets = r.U64()
+	t.packets = r.U64()
+	t.flits = r.U64()
+	t.firstCycle = r.U64()
+	t.lastCycle = r.U64()
+	t.sawFirst = r.Bool()
+	switch t.cfg.Mode {
+	case Stochastic:
+		if err := t.sizeHist.LoadState(r); err != nil {
+			return fmt.Errorf("receptor %s: size histogram: %w", t.cfg.Name, err)
+		}
+		if err := t.gapHist.LoadState(r); err != nil {
+			return fmt.Errorf("receptor %s: gap histogram: %w", t.cfg.Name, err)
+		}
+		t.lastPkt = r.U64()
+		t.sawPkt = r.Bool()
+	case TraceDriven:
+		if err := t.latHist.LoadState(r); err != nil {
+			return fmt.Errorf("receptor %s: latency histogram: %w", t.cfg.Name, err)
+		}
+		if err := t.netLat.LoadState(r); err != nil {
+			return err
+		}
+		if err := t.totLat.LoadState(r); err != nil {
+			return err
+		}
+		var err error
+		if t.headInject, err = loadPacketCycleMap(r); err != nil {
+			return err
+		}
+		if t.minLat, err = loadEndpointCycleMap(r); err != nil {
+			return err
+		}
+		if t.perSource, err = loadWelfordMap(r); err != nil {
+			return err
+		}
+		t.congestion = r.U64()
+	}
+	if t.recorded != nil {
+		n := r.Int()
+		if err := r.Err(); err != nil {
+			return err
+		}
+		if n < 0 {
+			return fmt.Errorf("receptor %s: snapshot with %d trace records", t.cfg.Name, n)
+		}
+		t.recorded.Records = t.recorded.Records[:0]
+		for i := 0; i < n; i++ {
+			rec := trace.Record{Cycle: r.U64(), Dst: flit.EndpointID(r.U16()), Len: r.U16()}
+			t.recorded.Records = append(t.recorded.Records, rec)
+		}
+	}
+	return r.Err()
+}
+
+func savePacketCycleMap(w *state.Writer, m map[flit.PacketID]uint64) {
+	ids := make([]flit.PacketID, 0, len(m))
+	for id := range m {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	w.Int(len(ids))
+	for _, id := range ids {
+		w.U64(uint64(id))
+		w.U64(m[id])
+	}
+}
+
+func loadPacketCycleMap(r *state.Reader) (map[flit.PacketID]uint64, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("receptor: map with %d entries", n)
+	}
+	m := make(map[flit.PacketID]uint64, n)
+	for i := 0; i < n; i++ {
+		id := flit.PacketID(r.U64())
+		m[id] = r.U64()
+	}
+	return m, r.Err()
+}
+
+func saveEndpointCycleMap(w *state.Writer, m map[flit.EndpointID]uint64) {
+	eps := make([]flit.EndpointID, 0, len(m))
+	for ep := range m {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	w.Int(len(eps))
+	for _, ep := range eps {
+		w.U16(uint16(ep))
+		w.U64(m[ep])
+	}
+}
+
+func loadEndpointCycleMap(r *state.Reader) (map[flit.EndpointID]uint64, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("receptor: map with %d entries", n)
+	}
+	m := make(map[flit.EndpointID]uint64, n)
+	for i := 0; i < n; i++ {
+		ep := flit.EndpointID(r.U16())
+		m[ep] = r.U64()
+	}
+	return m, r.Err()
+}
+
+func saveWelfordMap(w *state.Writer, m map[flit.EndpointID]*stats.Welford) {
+	eps := make([]flit.EndpointID, 0, len(m))
+	for ep := range m {
+		eps = append(eps, ep)
+	}
+	sort.Slice(eps, func(i, j int) bool { return eps[i] < eps[j] })
+	w.Int(len(eps))
+	for _, ep := range eps {
+		w.U16(uint16(ep))
+		m[ep].SaveState(w)
+	}
+}
+
+func loadWelfordMap(r *state.Reader) (map[flit.EndpointID]*stats.Welford, error) {
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	if n < 0 {
+		return nil, fmt.Errorf("receptor: map with %d entries", n)
+	}
+	m := make(map[flit.EndpointID]*stats.Welford, n)
+	for i := 0; i < n; i++ {
+		ep := flit.EndpointID(r.U16())
+		wf := &stats.Welford{}
+		if err := wf.LoadState(r); err != nil {
+			return nil, err
+		}
+		m[ep] = wf
+	}
+	return m, r.Err()
+}

@@ -1,0 +1,27 @@
+package rng
+
+import (
+	"fmt"
+
+	"nocemu/internal/state"
+)
+
+// SaveState serializes the register contents (DESIGN.md §13).
+func (l *LFSR) SaveState(w *state.Writer) {
+	w.U32(l.state)
+}
+
+// LoadState restores the register contents. A zero state is rejected:
+// it never occurs in a valid stream (the seed guard remaps it) and
+// would lock the register up.
+func (l *LFSR) LoadState(r *state.Reader) error {
+	s := r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if s == 0 {
+		return fmt.Errorf("rng: snapshot holds locked-up LFSR state 0")
+	}
+	l.state = s
+	return nil
+}

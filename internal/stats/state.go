@@ -1,0 +1,69 @@
+package stats
+
+import (
+	"fmt"
+
+	"nocemu/internal/state"
+)
+
+// SaveState serializes the histogram: shape first (bin width, bin
+// count — restore validates both against the built configuration),
+// then the sample state.
+func (h *Histogram) SaveState(w *state.Writer) {
+	w.U64(h.binWidth)
+	w.Int(len(h.bins))
+	for _, b := range h.bins {
+		w.U64(b)
+	}
+	w.U64(h.overflow)
+	w.U64(h.count)
+	w.U64(h.sum)
+	w.U64(h.min)
+	w.U64(h.max)
+}
+
+// LoadState restores the histogram. The saved shape must match the
+// receiver's (histogram shape is platform configuration, not run
+// state); a mismatch means the snapshot was taken on a differently
+// configured platform.
+func (h *Histogram) LoadState(r *state.Reader) error {
+	bw := r.U64()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if bw != h.binWidth || n != len(h.bins) {
+		return fmt.Errorf("stats: snapshot histogram %d bins of width %d, built %d of width %d",
+			n, bw, len(h.bins), h.binWidth)
+	}
+	for i := range h.bins {
+		h.bins[i] = r.U64()
+	}
+	h.overflow = r.U64()
+	h.count = r.U64()
+	h.sum = r.U64()
+	h.min = r.U64()
+	h.max = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes the running-moments accumulator. Floats are
+// written as IEEE-754 bit patterns, so restore reproduces the exact
+// values (bit-identical downstream means and variances).
+func (w *Welford) SaveState(sw *state.Writer) {
+	sw.U64(w.n)
+	sw.F64(w.mean)
+	sw.F64(w.m2)
+	sw.F64(w.min)
+	sw.F64(w.max)
+}
+
+// LoadState restores the accumulator.
+func (w *Welford) LoadState(r *state.Reader) error {
+	w.n = r.U64()
+	w.mean = r.F64()
+	w.m2 = r.F64()
+	w.min = r.F64()
+	w.max = r.F64()
+	return r.Err()
+}

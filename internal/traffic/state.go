@@ -1,0 +1,175 @@
+// Snapshot support for the traffic-generator layer (DESIGN.md §13).
+//
+// Generators serialize two kinds of state: progress (countdowns, Markov
+// state, trace position, destination rotation) and the parameter
+// registers that software can rewrite at run time through WriteParam
+// (packet-length bounds, gaps, probabilities). Construction-only
+// configuration — destination sets, random phase, the trace itself — is
+// not written. LoadState enforces the same invariants WriteParam does,
+// so a corrupted snapshot cannot smuggle in a parameterization the
+// register interface would have rejected.
+package traffic
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/state"
+)
+
+// SaveState serializes the destination-rotation cursor.
+func (d *dstChooser) SaveState(w *state.Writer) { w.Int(d.i) }
+
+// LoadState restores the destination-rotation cursor.
+func (d *dstChooser) LoadState(r *state.Reader) error {
+	i := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if i < 0 || i >= len(d.cfg.Dsts) {
+		return fmt.Errorf("traffic: destination cursor %d of %d", i, len(d.cfg.Dsts))
+	}
+	d.i = i
+	return nil
+}
+
+// SaveState implements Generator.
+func (u *Uniform) SaveState(w *state.Writer) {
+	w.U16(u.cfg.LenMin)
+	w.U16(u.cfg.LenMax)
+	w.U32(u.cfg.GapMin)
+	w.U32(u.cfg.GapMax)
+	w.U64(u.wait)
+	w.Bool(u.started)
+	u.dst.SaveState(w)
+}
+
+// LoadState implements Generator.
+func (u *Uniform) LoadState(r *state.Reader) error {
+	lenMin, lenMax := r.U16(), r.U16()
+	gapMin, gapMax := r.U32(), r.U32()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if err := checkLenRange(lenMin, lenMax); err != nil {
+		return err
+	}
+	if gapMax < gapMin {
+		return fmt.Errorf("traffic: snapshot gap range [%d,%d]", gapMin, gapMax)
+	}
+	u.cfg.LenMin, u.cfg.LenMax = lenMin, lenMax
+	u.cfg.GapMin, u.cfg.GapMax = gapMin, gapMax
+	u.wait = r.U64()
+	u.started = r.Bool()
+	return u.dst.LoadState(r)
+}
+
+// SaveState implements Generator.
+func (b *Burst) SaveState(w *state.Writer) {
+	w.U16(b.cfg.POffOn)
+	w.U16(b.cfg.POnOff)
+	w.U16(b.cfg.LenMin)
+	w.U16(b.cfg.LenMax)
+	w.Bool(b.on)
+	w.U64(b.busy)
+	b.dst.SaveState(w)
+}
+
+// LoadState implements Generator.
+func (b *Burst) LoadState(r *state.Reader) error {
+	pOffOn, pOnOff := r.U16(), r.U16()
+	lenMin, lenMax := r.U16(), r.U16()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if pOffOn == 0 || pOnOff == 0 {
+		return fmt.Errorf("traffic: snapshot burst probabilities %d/%d", pOffOn, pOnOff)
+	}
+	if err := checkLenRange(lenMin, lenMax); err != nil {
+		return err
+	}
+	b.cfg.POffOn, b.cfg.POnOff = pOffOn, pOnOff
+	b.cfg.LenMin, b.cfg.LenMax = lenMin, lenMax
+	b.on = r.Bool()
+	b.busy = r.U64()
+	return b.dst.LoadState(r)
+}
+
+// SaveState implements Generator.
+func (p *Poisson) SaveState(w *state.Writer) {
+	w.U16(p.cfg.Lambda)
+	w.U16(p.cfg.LenMin)
+	w.U16(p.cfg.LenMax)
+	p.dst.SaveState(w)
+}
+
+// LoadState implements Generator.
+func (p *Poisson) LoadState(r *state.Reader) error {
+	lambda := r.U16()
+	lenMin, lenMax := r.U16(), r.U16()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if lambda == 0 {
+		return fmt.Errorf("traffic: snapshot poisson lambda is zero")
+	}
+	if err := checkLenRange(lenMin, lenMax); err != nil {
+		return err
+	}
+	p.cfg.Lambda = lambda
+	p.cfg.LenMin, p.cfg.LenMax = lenMin, lenMax
+	return p.dst.LoadState(r)
+}
+
+// SaveState implements Generator.
+func (g *TraceGen) SaveState(w *state.Writer) { w.Int(g.idx) }
+
+// LoadState implements Generator. The trace itself is configuration;
+// only the replay position is state.
+func (g *TraceGen) LoadState(r *state.Reader) error {
+	idx := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if idx < 0 || idx > len(g.tr.Records) {
+		return fmt.Errorf("traffic: snapshot trace position %d of %d records", idx, len(g.tr.Records))
+	}
+	g.idx = idx
+	return nil
+}
+
+// SaveState serializes the whole TG device: the random registers, the
+// generator sub-block, the backpressured demand, the enable and budget
+// registers, the counters, and the network interface.
+func (t *TG) SaveState(w *state.Writer) {
+	t.lfsr.SaveState(w)
+	t.gen.SaveState(w)
+	w.Bool(t.hasPending)
+	w.U16(uint16(t.pending.Dst))
+	w.U16(t.pending.Len)
+	w.U32(t.pending.Payload)
+	w.Bool(t.enabled)
+	w.U64(t.cfg.Limit)
+	w.U64(t.offered)
+	w.U64(t.backCycles)
+	t.inj.SaveState(w)
+}
+
+// LoadState restores the TG device.
+func (t *TG) LoadState(r *state.Reader) error {
+	if err := t.lfsr.LoadState(r); err != nil {
+		return fmt.Errorf("traffic: TG %s: %w", t.cfg.Name, err)
+	}
+	if err := t.gen.LoadState(r); err != nil {
+		return fmt.Errorf("traffic: TG %s: %w", t.cfg.Name, err)
+	}
+	t.hasPending = r.Bool()
+	t.pending.Dst = flit.EndpointID(r.U16())
+	t.pending.Len = r.U16()
+	t.pending.Payload = r.U32()
+	t.enabled = r.Bool()
+	t.cfg.Limit = r.U64()
+	t.offered = r.U64()
+	t.backCycles = r.U64()
+	return t.inj.LoadState(r)
+}

@@ -19,6 +19,7 @@ import (
 
 	"nocemu/internal/flit"
 	"nocemu/internal/rng"
+	"nocemu/internal/state"
 	"nocemu/internal/trace"
 )
 
@@ -53,6 +54,11 @@ type Generator interface {
 	// SkipSteps advances internal countdowns exactly as n no-op Step
 	// calls would have; n must not exceed the last Sleep result.
 	SkipSteps(n uint64)
+	// SaveState serializes the model's progress and runtime-writable
+	// parameters (DESIGN.md §13).
+	SaveState(w *state.Writer)
+	// LoadState restores them, enforcing WriteParam's invariants.
+	LoadState(r *state.Reader) error
 }
 
 // DstPolicy selects how destinations are drawn.

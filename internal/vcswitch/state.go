@@ -1,0 +1,198 @@
+// Snapshot support for the virtual-channel network (DESIGN.md §13).
+//
+// The VC switch serializes its per-VC input FIFOs, credit counters,
+// wormhole locks and route grants, the arbiter priority state, and the
+// counters. Lock and route references are validated as a matched pair
+// on restore: a lock entry (out, vc) -> (in, inVC) must be mirrored by
+// route (in, inVC) -> (out, vc), which is the invariant VC allocation
+// maintains. The minimal Source/Sink endpoints serialize their plan
+// position, serialization ring, credit balances and arrival evidence.
+package vcswitch
+
+import (
+	"fmt"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/state"
+)
+
+// SaveState serializes the VC switch.
+func (s *Switch) SaveState(w *state.Writer) {
+	w.Int(s.cfg.NumIn)
+	w.Int(s.cfg.NumOut)
+	w.Int(s.cfg.NumVC)
+	for r := range s.inBufs {
+		s.inBufs[r].SaveState(w)
+	}
+	for i := range s.route {
+		for v := range s.route[i] {
+			w.Int(s.route[i][v].in)
+			w.Int(s.route[i][v].vc)
+		}
+	}
+	for o := 0; o < s.cfg.NumOut; o++ {
+		for v := 0; v < s.cfg.NumVC; v++ {
+			w.Int(s.credits[o][v])
+			w.Int(s.lock[o][v].in)
+			w.Int(s.lock[o][v].vc)
+		}
+		s.arbs[o].SaveState(w)
+	}
+	w.U64(s.stats.FlitsRouted)
+	w.U64(s.stats.PacketsRouted)
+	w.U64(s.stats.BlockedCycles)
+}
+
+// LoadState restores the VC switch.
+func (s *Switch) LoadState(r *state.Reader) error {
+	nIn, nOut, nVC := r.Int(), r.Int(), r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if nIn != s.cfg.NumIn || nOut != s.cfg.NumOut || nVC != s.cfg.NumVC {
+		return fmt.Errorf("vcswitch %s: snapshot is %dx%dx%dvc, built %dx%dx%dvc",
+			s.cfg.Name, nIn, nOut, nVC, s.cfg.NumIn, s.cfg.NumOut, s.cfg.NumVC)
+	}
+	for i := range s.inBufs {
+		if err := s.inBufs[i].LoadState(r); err != nil {
+			return err
+		}
+	}
+	for i := range s.route {
+		for v := range s.route[i] {
+			rt := vcRef{in: r.Int(), vc: r.Int()}
+			if r.Err() == nil && rt != freeRef &&
+				(rt.in < 0 || rt.in >= s.cfg.NumOut || rt.vc < 0 || rt.vc >= s.cfg.NumVC) {
+				return fmt.Errorf("vcswitch %s: snapshot routes in%d.vc%d to out%d.vc%d", s.cfg.Name, i, v, rt.in, rt.vc)
+			}
+			s.route[i][v] = rt
+		}
+	}
+	for o := 0; o < s.cfg.NumOut; o++ {
+		for v := 0; v < s.cfg.NumVC; v++ {
+			s.credits[o][v] = r.Int()
+			lk := vcRef{in: r.Int(), vc: r.Int()}
+			if r.Err() == nil && lk != freeRef &&
+				(lk.in < 0 || lk.in >= s.cfg.NumIn || lk.vc < 0 || lk.vc >= s.cfg.NumVC) {
+				return fmt.Errorf("vcswitch %s: snapshot locks out%d.vc%d to in%d.vc%d", s.cfg.Name, o, v, lk.in, lk.vc)
+			}
+			s.lock[o][v] = lk
+		}
+		if err := s.arbs[o].LoadState(r); err != nil {
+			return fmt.Errorf("vcswitch %s: output %d arbiter: %w", s.cfg.Name, o, err)
+		}
+	}
+	if err := r.Err(); err != nil {
+		return err
+	}
+	// Locks and route grants must mirror each other.
+	for o := 0; o < s.cfg.NumOut; o++ {
+		for v := 0; v < s.cfg.NumVC; v++ {
+			lk := s.lock[o][v]
+			if lk == freeRef {
+				continue
+			}
+			if s.route[lk.in][lk.vc] != (vcRef{in: o, vc: v}) {
+				return fmt.Errorf("vcswitch %s: snapshot lock out%d.vc%d owned by in%d.vc%d without matching route",
+					s.cfg.Name, o, v, lk.in, lk.vc)
+			}
+		}
+	}
+	for r2 := range s.granted {
+		s.granted[r2] = false
+	}
+	s.stats.FlitsRouted = r.U64()
+	s.stats.PacketsRouted = r.U64()
+	s.stats.BlockedCycles = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes the plan-driven source.
+func (s *Source) SaveState(w *state.Writer) {
+	w.Int(s.credits)
+	w.Int(len(s.plan))
+	w.Int(s.planIdx)
+	w.Int(len(s.ring))
+	w.Int(s.count)
+	for i := 0; i < s.count; i++ {
+		s.ring[(s.head+i)%len(s.ring)].SaveState(w)
+	}
+	w.U64(s.seq)
+	w.U64(s.flitsSent)
+	w.U64(s.packetsSent)
+}
+
+// LoadState restores the plan-driven source (the plan itself is
+// configuration; only the replay position is state).
+func (s *Source) LoadState(r *state.Reader) error {
+	credits := r.Int()
+	planLen := r.Int()
+	planIdx := r.Int()
+	capacity := r.Int()
+	count := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if credits < 0 {
+		return fmt.Errorf("vcswitch: source %s snapshot with %d credits", s.name, credits)
+	}
+	if planLen != len(s.plan) {
+		return fmt.Errorf("vcswitch: source %s snapshot plans %d packets, built %d", s.name, planLen, len(s.plan))
+	}
+	if planIdx < 0 || planIdx > planLen {
+		return fmt.Errorf("vcswitch: source %s snapshot plan position %d of %d", s.name, planIdx, planLen)
+	}
+	if capacity != len(s.ring) {
+		return fmt.Errorf("vcswitch: source %s snapshot ring capacity %d, built %d", s.name, capacity, len(s.ring))
+	}
+	if count < 0 || count > capacity {
+		return fmt.Errorf("vcswitch: source %s snapshot occupancy %d of %d", s.name, count, capacity)
+	}
+	clear(s.ring)
+	s.credits = credits
+	s.planIdx = planIdx
+	s.head = 0
+	s.count = count
+	for i := 0; i < count; i++ {
+		f := &flit.Flit{}
+		if err := f.LoadState(r); err != nil {
+			return err
+		}
+		s.ring[i] = f
+	}
+	s.seq = r.U64()
+	s.flitsSent = r.U64()
+	s.packetsSent = r.U64()
+	return r.Err()
+}
+
+// SaveState serializes the sink.
+func (k *Sink) SaveState(w *state.Writer) {
+	w.U64(k.expect)
+	w.U64(k.packets)
+	w.U64(k.flits)
+	w.Int(len(k.Order))
+	for _, id := range k.Order {
+		w.U64(uint64(id))
+	}
+	k.asm.SaveState(w)
+}
+
+// LoadState restores the sink.
+func (k *Sink) LoadState(r *state.Reader) error {
+	k.expect = r.U64()
+	k.packets = r.U64()
+	k.flits = r.U64()
+	n := r.Int()
+	if err := r.Err(); err != nil {
+		return err
+	}
+	if n < 0 {
+		return fmt.Errorf("vcswitch: sink %s snapshot with %d arrivals", k.name, n)
+	}
+	k.Order = k.Order[:0]
+	for i := 0; i < n; i++ {
+		k.Order = append(k.Order, flit.PacketID(r.U64()))
+	}
+	return k.asm.LoadState(r)
+}
