@@ -68,12 +68,24 @@ regs-check:
 	@go run ./cmd/nocgen regs | diff -u REGISTERS.md - \
 		|| { echo "REGISTERS.md is stale: run 'make regs'"; exit 1; }
 
+# Topology/workload catalog: regenerate TOPOLOGIES.md from the live
+# generator and workload registries, and fail when the committed file
+# has drifted from them.
+.PHONY: topos
+topos:
+	go run ./cmd/nocgen topos > TOPOLOGIES.md
+
+.PHONY: topos-check
+topos-check:
+	@go run ./cmd/nocgen topos | diff -u TOPOLOGIES.md - \
+		|| { echo "TOPOLOGIES.md is stale: run 'make topos'"; exit 1; }
+
 # One-stop pre-commit gate: build, tests, vet, the codec fuzz smokes
-# (trace JSONL + snapshot framing), the REGISTERS.md drift check, and
-# a gofmt check that fails (not just lists) when any file is
-# unformatted.
+# (trace JSONL + snapshot framing), the REGISTERS.md and TOPOLOGIES.md
+# drift checks, and a gofmt check that fails (not just lists) when any
+# file is unformatted.
 .PHONY: check
-check: test vet fuzz regs-check
+check: test vet fuzz regs-check topos-check
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt needed:"; echo "$$unformatted"; exit 1; \

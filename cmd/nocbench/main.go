@@ -32,6 +32,7 @@ func main() {
 		jsonOut = flag.String("json", "", "write the benchmark suite (name, cycles/s, allocs/op) as JSON to this file")
 		doTrace = flag.Bool("trace", true, "include tracing-enabled overhead rows (emu/load=*/trace) in the -json bench suite")
 		doSnap  = flag.Bool("snapshot", false, "include snapshot-fork amortization rows (emu/fork=*) in the -json bench suite")
+		doZoo   = flag.Bool("zoo", true, "include 1k-node topology/workload zoo rows (emu/topo=*, emu/wl=*) in the -json bench suite")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	)
@@ -63,7 +64,7 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap); err != nil {
+		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap, *doZoo); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}
@@ -85,10 +86,17 @@ func main() {
 
 // writeBenchJSON runs the machine-readable benchmark suite and writes
 // it to path — the artifact `make bench` produces and CI uploads.
-func writeBenchJSON(path string, workers int, traced, snapshot bool) error {
+func writeBenchJSON(path string, workers int, traced, snapshot, zoo bool) error {
 	rows, err := experiments.BenchSuite(0, workers, traced)
 	if err != nil {
 		return err
+	}
+	if zoo {
+		zooRows, err := experiments.BenchZoo(0)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, zooRows...)
 	}
 	if snapshot {
 		forkRows, err := experiments.BenchFork(0, 8)

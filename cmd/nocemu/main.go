@@ -9,6 +9,10 @@
 //
 //	nocemu -config platform.json -cycles 1000000
 //
+// or a synthetic platform from the topology/workload zoo:
+//
+//	nocemu -topo fattree:k=16 -wl hotspot -inj 0.2 -cycles 100000
+//
 // Output selection: -json for machine-readable results, -hist to append
 // ASCII histograms, -no-synthesis to skip the area estimate.
 package main
@@ -25,6 +29,7 @@ import (
 	"nocemu/internal/monitor"
 	"nocemu/internal/platform"
 	"nocemu/internal/probe"
+	"nocemu/internal/topology"
 	"nocemu/internal/trace"
 )
 
@@ -32,6 +37,9 @@ func main() {
 	var (
 		configPath = flag.String("config", "", "JSON platform configuration file")
 		paper      = flag.Bool("paper", false, "run the paper's 6-switch reference platform")
+		topoSpec   = flag.String("topo", "", "build a synthetic platform over this topology spec, e.g. mesh:w=8,h=8 or fattree:k=16 (see `nocgen topos` for the catalog)")
+		workload   = flag.String("wl", "uniform", "workload recipe for -topo platforms: uniform, hotspot, incast, flows")
+		inj        = flag.Float64("inj", 0.1, "offered load per terminal in flits/cycle (-topo platforms)")
 		traffic    = flag.String("traffic", "uniform", "paper traffic flavor: uniform, burst, poisson, trace")
 		packets    = flag.Uint64("packets", 1000, "packets per traffic generator (0 = unlimited)")
 		load       = flag.Float64("load", 0.45, "offered load per TG in flits/cycle (paper platform)")
@@ -55,7 +63,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, run, err := buildConfig(*configPath, *paper, *traffic, *packets, *load, *flits, *burst, *bufDepth, uint32(*seed))
+	cfg, run, err := buildConfig(*configPath, *paper, *topoSpec, *workload, *inj, *traffic, *packets, *load, *flits, *burst, *bufDepth, uint32(*seed))
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "nocemu:", err)
 		os.Exit(1)
@@ -92,8 +100,11 @@ func main() {
 	}
 
 	rep, err := flow.Run(cfg, control.Program{}, flow.Options{
-		MaxCycles:       *cycles,
-		SkipSynthesis:   *noSynth,
+		MaxCycles: *cycles,
+		// Zoo platforms (-topo, or a JSON workload object) don't target
+		// the paper's FPGA; the area estimate would reject any large
+		// instance, so those paths skip it.
+		SkipSynthesis:   *noSynth || run.SkipSynthesis,
 		Restore:         run.Restore,
 		CheckpointEvery: run.CheckpointEvery,
 		CheckpointDir:   *ckptOut,
@@ -194,10 +205,23 @@ func writeRecordings(p *platform.Platform, dir string) error {
 	return nil
 }
 
-func buildConfig(path string, paper bool, traffic string, packets uint64, load float64, flits, burst, bufDepth int, seed uint32) (platform.Config, jsonio.RunSpec, error) {
+func buildConfig(path string, paper bool, topoSpec, workload string, inj float64, traffic string, packets uint64, load float64, flits, burst, bufDepth int, seed uint32) (platform.Config, jsonio.RunSpec, error) {
 	switch {
 	case path != "":
 		return jsonio.LoadFileRun(path)
+	case topoSpec != "":
+		spec, err := topology.ParseSpec(topoSpec)
+		if err != nil {
+			return platform.Config{}, jsonio.RunSpec{}, err
+		}
+		cfg, err := platform.NetConfig(platform.NetOptions{
+			Topo:         spec,
+			Workload:     workload,
+			Injection:    inj,
+			PacketsPerTG: packets,
+			Seed:         seed,
+		})
+		return cfg, jsonio.RunSpec{SkipSynthesis: true}, err
 	case paper:
 		cfg, err := platform.PaperConfig(platform.PaperOptions{
 			Traffic:         platform.PaperTraffic(traffic),
@@ -210,6 +234,6 @@ func buildConfig(path string, paper bool, traffic string, packets uint64, load f
 		})
 		return cfg, jsonio.RunSpec{}, err
 	default:
-		return platform.Config{}, jsonio.RunSpec{}, fmt.Errorf("pass -config FILE or -paper (see -help)")
+		return platform.Config{}, jsonio.RunSpec{}, fmt.Errorf("pass -config FILE, -topo SPEC or -paper (see -help)")
 	}
 }

@@ -11,7 +11,7 @@ import (
 )
 
 func TestBuildConfigPaper(t *testing.T) {
-	cfg, _, err := buildConfig("", true, "burst", 100, 0.45, 9, 8, 8, 1)
+	cfg, _, err := buildConfig("", true, "", "", 0, "burst", 100, 0.45, 9, 8, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -33,7 +33,7 @@ func TestBuildConfigFromFile(t *testing.T) {
 	if err := os.WriteFile(path, data, 0o644); err != nil {
 		t.Fatal(err)
 	}
-	cfg, _, err := buildConfig(path, false, "", 0, 0, 0, 0, 0, 0)
+	cfg, _, err := buildConfig(path, false, "", "", 0, "", 0, 0, 0, 0, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,19 +43,38 @@ func TestBuildConfigFromFile(t *testing.T) {
 }
 
 func TestBuildConfigNeitherFlag(t *testing.T) {
-	if _, _, err := buildConfig("", false, "", 0, 0, 0, 0, 0, 0); err == nil {
+	if _, _, err := buildConfig("", false, "", "", 0, "", 0, 0, 0, 0, 0, 0); err == nil {
 		t.Error("missing mode accepted")
 	}
 }
 
+func TestBuildConfigTopoSpec(t *testing.T) {
+	cfg, _, err := buildConfig("", false, "fattree:k=4", "hotspot", 0.2, "", 6, 0, 0, 0, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cfg.TGs) != 16 {
+		t.Errorf("fattree k=4: %d TGs, want 16", len(cfg.TGs))
+	}
+	if _, err := platform.Build(cfg); err != nil {
+		t.Errorf("-topo config unbuildable: %v", err)
+	}
+	if _, _, err := buildConfig("", false, "fattree:k", "", 0, "", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("malformed -topo spec accepted")
+	}
+	if _, _, err := buildConfig("", false, "fattree:k=4", "tsunami", 0, "", 0, 0, 0, 0, 0, 0); err == nil {
+		t.Error("unknown -wl workload accepted")
+	}
+}
+
 func TestBuildConfigBadTraffic(t *testing.T) {
-	if _, _, err := buildConfig("", true, "psychic", 1, 0.45, 9, 8, 8, 1); err == nil {
+	if _, _, err := buildConfig("", true, "", "", 0, "psychic", 1, 0.45, 9, 8, 8, 1); err == nil {
 		t.Error("unknown paper traffic accepted")
 	}
 }
 
 func TestWriteRecordings(t *testing.T) {
-	cfg, _, err := buildConfig("", true, "uniform", 20, 0.45, 4, 8, 8, 1)
+	cfg, _, err := buildConfig("", true, "", "", 0, "uniform", 20, 0.45, 4, 8, 8, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

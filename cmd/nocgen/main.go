@@ -7,6 +7,7 @@
 //	nocgen -kind cbr -dst 100 -packets 1000 -len 4 -period 10 -o cbr.ntrc -binary
 //	nocgen -example-config > platform.json
 //	nocgen regs > REGISTERS.md
+//	nocgen topos > TOPOLOGIES.md
 package main
 
 import (
@@ -19,14 +20,23 @@ import (
 	"nocemu/internal/flit"
 	"nocemu/internal/jsonio"
 	"nocemu/internal/regdoc"
+	"nocemu/internal/topodoc"
 	"nocemu/internal/trace"
 )
 
 func main() {
 	// `nocgen regs` renders REGISTERS.md from the declarative register
-	// schema — the docs-from-schema path `make check` verifies.
-	if len(os.Args) > 1 && os.Args[1] == "regs" {
-		doc, err := regdoc.Render()
+	// schema and `nocgen topos` renders TOPOLOGIES.md from the topology
+	// and workload registries — the docs-from-schema paths `make check`
+	// verifies.
+	if len(os.Args) > 1 && (os.Args[1] == "regs" || os.Args[1] == "topos") {
+		var doc string
+		var err error
+		if os.Args[1] == "regs" {
+			doc, err = regdoc.Render()
+		} else {
+			doc, err = topodoc.Render()
+		}
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "nocgen:", err)
 			os.Exit(1)

@@ -64,7 +64,7 @@ func main() {
 	for _, lambda := range []uint16{1638, 3277, 6554, 9830} { // 10..60% load
 		row := fmt.Sprintf("%-12.2f", 4*float64(lambda)/65536)
 		for _, scheme := range []nocemu.Config{
-			{Name: "xy", Routing: "xy", MeshWidth: 3},
+			{Name: "xy", Routing: "xy"},
 			{Name: "adaptive", Routing: "shortest", Select: nocemu.SelectAdaptive},
 		} {
 			p, err := buildMesh(lambda, scheme)

@@ -7,6 +7,7 @@ import (
 
 	"nocemu/internal/platform"
 	"nocemu/internal/probe"
+	"nocemu/internal/topology"
 )
 
 // BenchRow is one benchmark measurement in the machine-readable format
@@ -108,6 +109,63 @@ func benchMesh(nodes int, inj float64, cycles uint64) (BenchRow, error) {
 		CyclesPerSec: float64(meshCycles) / el.Seconds(),
 		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
 	}, nil
+}
+
+// BenchZoo measures the topology/workload zoo at the 1k-node scale for
+// the JSON artifact: the three data-centre topologies (flattened
+// butterfly 32×32, fat-tree k=16, dragonfly p=4 a=8 h=4 — 1024, 1024
+// and 1056 terminals respectively) under uniform traffic, plus the
+// hotspot and incast workloads on the 1024-node mesh. Cycles per row
+// shrink with the terminal count as in the mesh grid so every row
+// costs comparable wall time.
+func BenchZoo(cycles uint64) ([]BenchRow, error) {
+	if cycles == 0 {
+		cycles = 200_000
+	}
+	type zooCase struct {
+		name string
+		opts platform.NetOptions
+	}
+	cases := []zooCase{
+		{"emu/topo=butterfly/n=1024", platform.NetOptions{
+			Topo: topology.Spec{Kind: "butterfly", Param: map[string]int{"w": 32, "h": 32}}}},
+		{"emu/topo=fattree/n=1024", platform.NetOptions{
+			Topo: topology.Spec{Kind: "fattree", Param: map[string]int{"k": 16}}}},
+		{"emu/topo=dragonfly/n=1056", platform.NetOptions{
+			Topo: topology.Spec{Kind: "dragonfly", Param: map[string]int{"p": 4, "a": 8, "h": 4}}}},
+		{"emu/wl=hotspot/n=1024", platform.NetOptions{
+			Topo:     topology.Spec{Kind: "mesh", Param: map[string]int{"w": 32, "h": 32}},
+			Workload: "hotspot"}},
+		{"emu/wl=incast/n=1024", platform.NetOptions{
+			Topo:     topology.Spec{Kind: "mesh", Param: map[string]int{"w": 32, "h": 32}},
+			Workload: "incast"}},
+	}
+	var rows []BenchRow
+	for _, c := range cases {
+		cfg, err := platform.NetConfig(c.opts)
+		if err != nil {
+			return nil, err
+		}
+		p, err := platform.Build(cfg)
+		if err != nil {
+			return nil, err
+		}
+		zooCycles := cycles / 32 // same wall-time scaling as the 1024-node mesh row
+		p.RunCycles(zooCycles / 10)
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		p.RunCycles(zooCycles)
+		el := time.Since(start)
+		runtime.ReadMemStats(&after)
+		p.Close()
+		rows = append(rows, BenchRow{
+			Name:         c.name,
+			CyclesPerSec: float64(zooCycles) / el.Seconds(),
+			AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+		})
+	}
+	return rows, nil
 }
 
 func benchOne(name string, load float64, noGate bool, workers int, cycles uint64, traced bool) (BenchRow, error) {

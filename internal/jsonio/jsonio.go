@@ -27,13 +27,19 @@ type EndpointAt struct {
 	Switch int    `json:"switch"`
 }
 
-// TopologySpec describes the switch graph.
+// TopologySpec describes the switch graph. Kind is either "custom"
+// (explicit num_switches + links) or any generator registered in the
+// topology registry (line, ring, mesh, torus, star, tree, full,
+// paper-six, butterfly, fattree, dragonfly, ...); registry kinds take
+// their sizes from Params, with the legacy shorthand fields (n, w, h,
+// leaves, depth, fanout) folded in for older configs.
 type TopologySpec struct {
-	// Kind: line, ring, mesh, torus, star, tree, full, paper-six,
-	// custom.
 	Kind string `json:"kind"`
+	// Params carries generator parameters by name ("w", "h", "k", ...);
+	// omitted parameters use the generator's documented defaults.
+	Params map[string]int `json:"params,omitempty"`
 	// N sizes line/ring/full; Leaves sizes star; W/H size mesh/torus;
-	// Depth/Fanout size tree.
+	// Depth/Fanout size tree (legacy shorthand for Params entries).
 	N      int `json:"n,omitempty"`
 	W      int `json:"w,omitempty"`
 	H      int `json:"h,omitempty"`
@@ -48,6 +54,43 @@ type TopologySpec struct {
 	// carries its own).
 	Sources []EndpointAt `json:"sources,omitempty"`
 	Sinks   []EndpointAt `json:"sinks,omitempty"`
+}
+
+// Spec lowers the JSON shape into a declarative topology.Spec, folding
+// the legacy shorthand fields into the parameter map (explicit Params
+// entries win). Only meaningful for registry kinds, not "custom".
+func (spec TopologySpec) Spec() topology.Spec {
+	s := topology.Spec{Kind: spec.Kind}
+	if len(spec.Params) > 0 {
+		s.Param = make(map[string]int, len(spec.Params))
+		for k, v := range spec.Params {
+			s.Param[k] = v
+		}
+	}
+	fold := func(name string, val int) {
+		if val == 0 {
+			return
+		}
+		if _, explicit := spec.Params[name]; explicit {
+			return
+		}
+		s = s.With(name, val)
+	}
+	// Legacy fields only ever sized these kinds; folding them per kind
+	// keeps old configs with stray irrelevant fields loading as before.
+	switch spec.Kind {
+	case "line", "ring", "full":
+		fold("n", spec.N)
+	case "mesh", "torus", "butterfly":
+		fold("w", spec.W)
+		fold("h", spec.H)
+	case "star":
+		fold("leaves", spec.Leaves)
+	case "tree":
+		fold("depth", spec.Depth)
+		fold("fanout", spec.Fanout)
+	}
+	return s
 }
 
 // UniformSpec mirrors traffic.UniformConfig.
@@ -74,18 +117,45 @@ type PoissonSpec struct {
 	LenMax uint16 `json:"len_max"`
 }
 
+// FlowSpec mirrors traffic.FlowConfig (flow arrivals with bounded-
+// Pareto sizes).
+type FlowSpec struct {
+	ArrivalQ16 uint16 `json:"arrival_q16"`
+	SizeMin    uint32 `json:"size_min"`
+	SizeMax    uint32 `json:"size_max"`
+	LenMin     uint16 `json:"len_min"`
+	LenMax     uint16 `json:"len_max"`
+}
+
+// IncastSpec mirrors traffic.IncastConfig (synchronized many-to-one
+// waves).
+type IncastSpec struct {
+	Epoch          uint64 `json:"epoch"`
+	PacketsPerWave uint32 `json:"packets_per_wave"`
+	LenMin         uint16 `json:"len_min"`
+	LenMax         uint16 `json:"len_max"`
+	Offset         uint64 `json:"offset,omitempty"`
+}
+
 // TGSpec configures one traffic generator.
 type TGSpec struct {
 	Endpoint uint16 `json:"endpoint"`
-	// Model: uniform, burst, poisson, trace.
+	// Model: uniform, burst, poisson, flow, incast, trace.
 	Model string `json:"model"`
-	// DstPolicy: fixed, uniform, round-robin; Dsts lists targets.
+	// DstPolicy: fixed, uniform, round-robin, hotspot; Dsts lists
+	// targets. Hot and HotQ16 configure the hotspot policy: each draw
+	// hits a Hot entry with probability HotQ16/65536, else falls back
+	// to a uniform draw over Dsts.
 	DstPolicy string   `json:"dst_policy"`
 	Dsts      []uint16 `json:"dsts"`
+	Hot       []uint16 `json:"hot,omitempty"`
+	HotQ16    uint16   `json:"hot_q16,omitempty"`
 
 	Uniform *UniformSpec `json:"uniform,omitempty"`
 	Burst   *BurstSpec   `json:"burst,omitempty"`
 	Poisson *PoissonSpec `json:"poisson,omitempty"`
+	Flow    *FlowSpec    `json:"flow,omitempty"`
+	Incast  *IncastSpec  `json:"incast,omitempty"`
 	// TraceFile is a path (relative to the config file) to a text or
 	// binary trace for the trace model.
 	TraceFile string `json:"trace_file,omitempty"`
@@ -121,17 +191,23 @@ type OverrideSpec struct {
 
 // File is the top-level JSON configuration.
 type File struct {
-	Name           string         `json:"name"`
-	Topology       TopologySpec   `json:"topology"`
-	SwitchBufDepth int            `json:"switch_buf_depth,omitempty"`
-	Arb            string         `json:"arb,omitempty"`
-	Select         string         `json:"select,omitempty"`
-	Routing        string         `json:"routing,omitempty"`
-	MeshWidth      int            `json:"mesh_width,omitempty"`
-	Overrides      []OverrideSpec `json:"overrides,omitempty"`
-	TGs            []TGSpec       `json:"tgs"`
-	TRs            []TRSpec       `json:"trs"`
-	Seed           uint32         `json:"seed,omitempty"`
+	Name           string       `json:"name"`
+	Topology       TopologySpec `json:"topology"`
+	SwitchBufDepth int          `json:"switch_buf_depth,omitempty"`
+	Arb            string       `json:"arb,omitempty"`
+	Select         string       `json:"select,omitempty"`
+	Routing        string       `json:"routing,omitempty"`
+	// AllowDeadlock skips the channel-dependency-graph deadlock check
+	// (for deliberately cyclic routing experiments).
+	AllowDeadlock bool           `json:"allow_deadlock,omitempty"`
+	Overrides     []OverrideSpec `json:"overrides,omitempty"`
+	// Workload generates one TG and one TR per topology terminal from a
+	// registered workload recipe instead of listing them explicitly;
+	// mutually exclusive with tgs/trs.
+	Workload *WorkloadSpec `json:"workload,omitempty"`
+	TGs      []TGSpec      `json:"tgs,omitempty"`
+	TRs      []TRSpec      `json:"trs,omitempty"`
+	Seed     uint32        `json:"seed,omitempty"`
 	// Workers selects the simulation kernel (0 = sequential, N >= 1 =
 	// parallel kernel with N workers; results are bit-identical).
 	Workers int `json:"workers,omitempty"`
@@ -151,6 +227,23 @@ type File struct {
 	Restore string `json:"restore,omitempty"`
 }
 
+// WorkloadSpec selects a registered workload recipe ("uniform",
+// "hotspot", "incast", "flows") and its knobs; the platform layer
+// derives one generator/receptor pair per topology terminal from it.
+type WorkloadSpec struct {
+	Kind string `json:"kind"`
+	// Injection is the offered load per terminal in flits/cycle
+	// (default 0.1).
+	Injection float64 `json:"injection,omitempty"`
+	// PacketLen is the packet size in flits (default 4).
+	PacketLen uint16 `json:"packet_len,omitempty"`
+	// PacketsPerTG bounds each generator (0 = unlimited).
+	PacketsPerTG uint64 `json:"packets_per_tg,omitempty"`
+	// Seed controls the workload's structural choices (e.g. the hotspot
+	// victim); per-TG streams derive from the platform seed.
+	Seed uint32 `json:"seed,omitempty"`
+}
+
 // RunSpec carries the run-control keys that travel with a platform
 // configuration but do not describe the platform itself; cmd/nocemu
 // maps them onto flow.Options (flags override them).
@@ -160,36 +253,32 @@ type RunSpec struct {
 	// Restore is the snapshot path to warm-start from, already resolved
 	// against the config file's directory ("" = cold start).
 	Restore string
+	// SkipSynthesis marks platforms that don't target the paper's FPGA
+	// (workload-generated zoo platforms): the flow skips the area
+	// estimate, which would reject any large instance.
+	SkipSynthesis bool
 }
 
 // runSpec extracts the run-control keys, anchoring the restore path.
 func (f *File) runSpec(baseDir string) RunSpec {
-	spec := RunSpec{CheckpointEvery: f.CheckpointEvery, Restore: f.Restore}
+	spec := RunSpec{
+		CheckpointEvery: f.CheckpointEvery,
+		Restore:         f.Restore,
+		SkipSynthesis:   f.Workload != nil,
+	}
 	if spec.Restore != "" && !filepath.IsAbs(spec.Restore) {
 		spec.Restore = filepath.Join(baseDir, spec.Restore)
 	}
 	return spec
 }
 
-// buildTopology materializes the topology spec.
+// buildTopology materializes the topology spec: "custom" wires the
+// explicit link list, everything else resolves through the generator
+// registry.
 func buildTopology(spec TopologySpec) (*topology.Topology, error) {
 	var topo *topology.Topology
 	var err error
 	switch spec.Kind {
-	case "line":
-		topo, err = topology.Line(spec.N)
-	case "ring":
-		topo, err = topology.Ring(spec.N)
-	case "mesh":
-		topo, err = topology.Mesh(spec.W, spec.H)
-	case "torus":
-		topo, err = topology.Torus(spec.W, spec.H)
-	case "star":
-		topo, err = topology.Star(spec.Leaves)
-	case "tree":
-		topo, err = topology.Tree(spec.Depth, spec.Fanout)
-	case "full":
-		topo, err = topology.FullyConnected(spec.N)
 	case "paper-six":
 		return topology.PaperSix()
 	case "custom":
@@ -203,7 +292,7 @@ func buildTopology(spec TopologySpec) (*topology.Topology, error) {
 			}
 		}
 	default:
-		return nil, fmt.Errorf("jsonio: unknown topology kind %q", spec.Kind)
+		topo, err = topology.FromSpec(spec.Spec())
 	}
 	if err != nil {
 		return nil, err
@@ -244,6 +333,9 @@ func loadTrace(path string) (*trace.Trace, error) {
 // ToConfig converts the JSON file into a platform configuration.
 // baseDir anchors relative trace paths.
 func (f *File) ToConfig(baseDir string) (platform.Config, error) {
+	if f.Workload != nil {
+		return f.workloadConfig()
+	}
 	topo, err := buildTopology(f.Topology)
 	if err != nil {
 		return platform.Config{}, err
@@ -255,7 +347,7 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 		Arb:            arb.Policy(f.Arb),
 		Select:         routing.Policy(f.Select),
 		Routing:        platform.RoutingScheme(f.Routing),
-		MeshWidth:      f.MeshWidth,
+		AllowDeadlock:  f.AllowDeadlock,
 		Seed:           f.Seed,
 		Workers:        f.Workers,
 		NoGate:         f.NoGate,
@@ -273,9 +365,12 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 			Limit:      tg.Limit,
 			QueueFlits: tg.QueueFlits,
 		}
-		dst := traffic.DstConfig{Policy: traffic.DstPolicy(tg.DstPolicy)}
+		dst := traffic.DstConfig{Policy: traffic.DstPolicy(tg.DstPolicy), HotQ16: tg.HotQ16}
 		for _, d := range tg.Dsts {
 			dst.Dsts = append(dst.Dsts, flit.EndpointID(d))
+		}
+		for _, d := range tg.Hot {
+			dst.Hot = append(dst.Hot, flit.EndpointID(d))
 		}
 		switch tg.Model {
 		case "uniform":
@@ -305,6 +400,27 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 			spec.Poisson = &traffic.PoissonConfig{
 				Lambda: tg.Poisson.Lambda,
 				LenMin: tg.Poisson.LenMin, LenMax: tg.Poisson.LenMax, Dst: dst,
+			}
+		case "flow":
+			if tg.Flow == nil {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: flow model without config", tg.Endpoint)
+			}
+			spec.Model = platform.ModelFlow
+			spec.Flow = &traffic.FlowConfig{
+				ArrivalQ16: tg.Flow.ArrivalQ16,
+				SizeMin:    tg.Flow.SizeMin, SizeMax: tg.Flow.SizeMax,
+				LenMin: tg.Flow.LenMin, LenMax: tg.Flow.LenMax, Dst: dst,
+			}
+		case "incast":
+			if tg.Incast == nil {
+				return platform.Config{}, fmt.Errorf("jsonio: TG %d: incast model without config", tg.Endpoint)
+			}
+			spec.Model = platform.ModelIncast
+			spec.Incast = &traffic.IncastConfig{
+				Epoch:          tg.Incast.Epoch,
+				PacketsPerWave: tg.Incast.PacketsPerWave,
+				LenMin:         tg.Incast.LenMin, LenMax: tg.Incast.LenMax,
+				Offset: tg.Incast.Offset, Dst: dst,
 			}
 		case "trace":
 			if tg.TraceFile == "" {
@@ -344,6 +460,50 @@ func (f *File) ToConfig(baseDir string) (platform.Config, error) {
 			SizeBins:      tr.SizeBins, SizeBinWidth: tr.SizeBinWidth,
 			GapBins: tr.GapBins, GapBinWidth: tr.GapBinWidth,
 			LatBins: tr.LatBins, LatBinWidth: tr.LatBinWidth,
+		})
+	}
+	return cfg, nil
+}
+
+// workloadConfig builds the platform configuration for a file using
+// the workload recipe path: the topology spec resolves through the
+// generator registry and the workload derives one TG/TR per terminal.
+func (f *File) workloadConfig() (platform.Config, error) {
+	if len(f.TGs) > 0 || len(f.TRs) > 0 {
+		return platform.Config{}, fmt.Errorf("jsonio: workload and explicit tgs/trs are mutually exclusive")
+	}
+	if f.Topology.Kind == "custom" {
+		return platform.Config{}, fmt.Errorf("jsonio: workload requires a registry topology kind, not %q", f.Topology.Kind)
+	}
+	if len(f.Topology.Sources) > 0 || len(f.Topology.Sinks) > 0 {
+		return platform.Config{}, fmt.Errorf("jsonio: workload places its own endpoints; drop topology sources/sinks")
+	}
+	cfg, err := platform.NetConfig(platform.NetOptions{
+		Topo:         f.Topology.Spec(),
+		Workload:     f.Workload.Kind,
+		Injection:    f.Workload.Injection,
+		PacketLen:    f.Workload.PacketLen,
+		PacketsPerTG: f.Workload.PacketsPerTG,
+		Seed:         f.Seed,
+		WorkloadSeed: f.Workload.Seed,
+		Workers:      f.Workers,
+		NoGate:       f.NoGate,
+	})
+	if err != nil {
+		return platform.Config{}, err
+	}
+	if f.Name != "" {
+		cfg.Name = f.Name
+	}
+	cfg.SwitchBufDepth = f.SwitchBufDepth
+	cfg.Arb = arb.Policy(f.Arb)
+	cfg.Select = routing.Policy(f.Select)
+	cfg.Routing = platform.RoutingScheme(f.Routing)
+	cfg.AllowDeadlock = f.AllowDeadlock
+	cfg.Trace = f.Trace
+	for _, ov := range f.Overrides {
+		cfg.Overrides = append(cfg.Overrides, platform.RouteOverride{
+			Switch: topology.NodeID(ov.Switch), Dst: flit.EndpointID(ov.Dst), Ports: ov.Ports,
 		})
 	}
 	return cfg, nil

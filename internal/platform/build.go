@@ -111,27 +111,11 @@ func Build(cfg Config) (*Platform, error) {
 	}
 	topo := cfg.Topology
 
-	// Routing table generation plus overrides, then validation.
-	var table *routing.Table
-	var err error
-	switch cfg.Routing {
-	case RoutingShortest:
-		table, err = routing.BuildShortestPath(topo)
-	case RoutingXY:
-		table, err = routing.BuildXY(topo, cfg.MeshWidth)
-	default:
-		return nil, fmt.Errorf("platform %s: unknown routing scheme %q", cfg.Name, cfg.Routing)
-	}
+	// Routing table generation plus overrides, then validation and the
+	// deadlock check.
+	table, err := RouteTable(cfg)
 	if err != nil {
-		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
-	}
-	for _, ov := range cfg.Overrides {
-		if err := table.Set(ov.Switch, ov.Dst, ov.Ports); err != nil {
-			return nil, fmt.Errorf("platform %s: override: %w", cfg.Name, err)
-		}
-	}
-	if err := routing.Validate(topo, table); err != nil {
-		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+		return nil, err
 	}
 
 	p := &Platform{
@@ -599,6 +583,16 @@ func BuildGenerator(spec TGSpec) (traffic.Generator, error) {
 			return nil, fmt.Errorf("trace model without trace")
 		}
 		return traffic.NewTraceGen(spec.Trace)
+	case ModelFlow:
+		if spec.Flow == nil {
+			return nil, fmt.Errorf("flow model without config")
+		}
+		return traffic.NewFlowGen(*spec.Flow)
+	case ModelIncast:
+		if spec.Incast == nil {
+			return nil, fmt.Errorf("incast model without config")
+		}
+		return traffic.NewIncastGen(*spec.Incast)
 	default:
 		return nil, fmt.Errorf("unknown TG model %q", spec.Model)
 	}

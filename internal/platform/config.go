@@ -28,6 +28,8 @@ const (
 	ModelBurst   TGModel = "burst"
 	ModelPoisson TGModel = "poisson"
 	ModelTrace   TGModel = "trace"
+	ModelFlow    TGModel = "flow"
+	ModelIncast  TGModel = "incast"
 )
 
 // TGSpec configures the traffic generator for one source endpoint.
@@ -41,6 +43,8 @@ type TGSpec struct {
 	Burst   *traffic.BurstConfig
 	Poisson *traffic.PoissonConfig
 	Trace   *trace.Trace
+	Flow    *traffic.FlowConfig
+	Incast  *traffic.IncastConfig
 	// Seed seeds this TG's random registers (0 uses a derived seed).
 	Seed uint32
 	// Limit bounds the packets generated (0 = unlimited/trace length).
@@ -80,13 +84,16 @@ type RouteOverride struct {
 	Ports  []int
 }
 
-// RoutingScheme selects how the routing table is generated.
+// RoutingScheme selects how the routing table is generated. The empty
+// scheme means automatic: the topology's own Router annotation when its
+// generator attached one, all-minimal-paths shortest routing otherwise.
 type RoutingScheme string
 
 // Routing scheme names.
 const (
 	RoutingShortest RoutingScheme = "shortest"
 	RoutingXY       RoutingScheme = "xy"
+	RoutingUpDown   RoutingScheme = "updown"
 )
 
 // Config describes a complete emulation platform.
@@ -102,12 +109,17 @@ type Config struct {
 	Arb arb.Policy
 	// Select is the route-candidate selection policy (default first).
 	Select routing.Policy
-	// Routing picks the table generator (default shortest).
+	// Routing picks the table generator. The default (empty) follows
+	// the topology: its generator's Router annotation, or shortest-path
+	// routing when there is none.
 	Routing RoutingScheme
-	// MeshWidth is required for the xy scheme.
-	MeshWidth int
 	// Overrides pin specific routes after table generation.
 	Overrides []RouteOverride
+	// AllowDeadlock skips the channel-dependency-graph deadlock check.
+	// Build rejects route tables whose dependency graph is cyclic
+	// (wormhole deadlock possible); deliberate deadlock studies — e.g.
+	// the watchdog tests — opt out here.
+	AllowDeadlock bool
 	// TGs and TRs configure the traffic devices, one per endpoint.
 	TGs []TGSpec
 	TRs []TRSpec
@@ -154,9 +166,6 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Select == "" {
 		c.Select = routing.First
-	}
-	if c.Routing == "" {
-		c.Routing = RoutingShortest
 	}
 	if c.Seed == 0 {
 		c.Seed = 0x0C0FFEE
@@ -220,6 +229,12 @@ func (c *Config) validate() error {
 			n++
 		}
 		if spec.Trace != nil {
+			n++
+		}
+		if spec.Flow != nil {
+			n++
+		}
+		if spec.Incast != nil {
 			n++
 		}
 		if n != 1 {

@@ -139,6 +139,7 @@ func deadlockConfig(t *testing.T) Config {
 		Name:           "deadlock",
 		Topology:       topo,
 		SwitchBufDepth: 2,
+		AllowDeadlock:  true, // the point of this platform is to wedge
 		TGs:            []TGSpec{mkTG(0), mkTG(1), mkTG(2)},
 		TRs: []TRSpec{
 			{Endpoint: 100, Mode: receptor.Stochastic, ExpectPackets: 50},

@@ -4,9 +4,7 @@ import (
 	"fmt"
 
 	"nocemu/internal/flit"
-	"nocemu/internal/receptor"
 	"nocemu/internal/topology"
-	"nocemu/internal/traffic"
 )
 
 // MeshOptions parameterizes a synthetic N×N mesh (or torus) platform
@@ -63,8 +61,9 @@ func MeshSink(n int, i int) flit.EndpointID {
 // uniform-random traffic: every node hosts one generator injecting
 // fixed-length packets at the configured rate, each packet addressed
 // uniformly at random to any other node's sink, routed XY (deadlock-
-// free). The result is a ready-to-Build Config; large N is the scale
-// workload ROADMAP item 4 calls for.
+// free). It is a thin wrapper over NetConfig pinning the mesh/torus
+// spec and the "uniform" workload; large N is the scale workload
+// ROADMAP item 4 calls for.
 func MeshConfig(o MeshOptions) (Config, error) {
 	o.applyDefaults()
 	if o.N < 1 {
@@ -73,68 +72,27 @@ func MeshConfig(o MeshOptions) (Config, error) {
 	if o.Injection <= 0 || o.Injection > 1 {
 		return Config{}, fmt.Errorf("platform: mesh injection %g out of (0,1]", o.Injection)
 	}
-	var topo *topology.Topology
-	var err error
+	kind := "mesh"
 	if o.Torus {
-		topo, err = topology.Torus(o.N, o.N)
-	} else {
-		topo, err = topology.Mesh(o.N, o.N)
+		kind = "torus"
 	}
-	if err != nil {
-		return Config{}, err
-	}
-	n := o.N * o.N
-	if MeshSink(o.N, n-1) > ^flit.EndpointID(0)-1 {
-		return Config{}, fmt.Errorf("platform: mesh %d exceeds endpoint space", o.N)
-	}
-	sinks := make([]flit.EndpointID, n)
-	for i := 0; i < n; i++ {
-		sinks[i] = MeshSink(o.N, i)
-	}
-	for i := 0; i < n; i++ {
-		if err := topo.AddSource(flit.EndpointID(i), topology.NodeID(i)); err != nil {
-			return Config{}, err
-		}
-		if err := topo.AddSink(sinks[i], topology.NodeID(i)); err != nil {
-			return Config{}, err
-		}
-	}
-	// Gap sized for the injection rate: a packet occupies PacketLen
-	// injection cycles, so the mean gap g must satisfy
-	// L/(L+g) = rate; gaps are drawn uniformly from [0, 2g].
-	l := float64(o.PacketLen)
-	gapMax := uint32(2 * l * (1 - o.Injection) / o.Injection)
-	name := topo.Name()
-	cfg := Config{
-		Name:          name,
-		Topology:      topo,
-		Routing:       RoutingXY,
-		MeshWidth:     o.N,
+	cfg, err := NetConfig(NetOptions{
+		Topo:          topology.Spec{Kind: kind, Param: map[string]int{"w": o.N, "h": o.N}},
+		Workload:      "uniform",
+		Injection:     o.Injection,
+		PacketLen:     o.PacketLen,
+		PacketsPerTG:  o.PacketsPerTG,
 		Seed:          o.Seed,
 		Workers:       o.Workers,
 		NoGate:        o.NoGate,
 		SeparateWires: o.SeparateWires,
+	})
+	if err != nil {
+		return Config{}, err
 	}
-	for i := 0; i < n; i++ {
-		// Uniform-random destinations over every other node's sink.
-		dsts := make([]flit.EndpointID, 0, n-1)
-		for j := 0; j < n; j++ {
-			if j != i {
-				dsts = append(dsts, sinks[j])
-			}
-		}
-		cfg.TGs = append(cfg.TGs, TGSpec{
-			Endpoint: flit.EndpointID(i),
-			Model:    ModelUniform,
-			Limit:    o.PacketsPerTG,
-			Uniform: &traffic.UniformConfig{
-				LenMin: o.PacketLen, LenMax: o.PacketLen,
-				GapMin: 0, GapMax: gapMax,
-				Dst:         traffic.DstConfig{Policy: traffic.DstUniform, Dsts: dsts},
-				RandomPhase: true,
-			},
-		})
-		cfg.TRs = append(cfg.TRs, TRSpec{Endpoint: sinks[i], Mode: receptor.Stochastic})
-	}
+	// The explicit scheme resolves to the same XY tables as the mesh
+	// generator's automatic Router annotation; keeping it pins the
+	// historical configuration surface.
+	cfg.Routing = RoutingXY
 	return cfg, nil
 }

@@ -342,7 +342,7 @@ func TestMeshPlatformWithXYRouting(t *testing.T) {
 		}
 	}
 	p, err := Build(Config{
-		Name: "mesh", Topology: topo, Routing: RoutingXY, MeshWidth: 3,
+		Name: "mesh", Topology: topo, Routing: RoutingXY,
 		TGs: []TGSpec{mkTG(0, 100), mkTG(1, 101)},
 		TRs: []TRSpec{
 			{Endpoint: 100, Mode: receptor.TraceDriven, ExpectPackets: 100},

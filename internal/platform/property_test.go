@@ -169,7 +169,7 @@ func TestXYMeshDeadlockFreeUnderLoad(t *testing.T) {
 	}
 	cfg := Config{
 		Name: "xy-stress", Topology: topo,
-		Routing: RoutingXY, MeshWidth: 4,
+		Routing:        RoutingXY,
 		SwitchBufDepth: 2, // tight buffers: deadlock would show
 	}
 	// Eight flows between opposite corners and edges, all crossing the

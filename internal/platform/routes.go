@@ -1,0 +1,54 @@
+package platform
+
+import (
+	"fmt"
+
+	"nocemu/internal/routing"
+	"nocemu/internal/topology"
+)
+
+// RouteTable resolves a configuration's routing scheme into a built,
+// override-applied, validated and deadlock-checked table. Build and
+// the alternative backends (internal/rtl) share it so every backend
+// interprets Config.Routing identically.
+func RouteTable(cfg Config) (*routing.Table, error) {
+	topo := cfg.Topology
+	var table *routing.Table
+	var err error
+	switch cfg.Routing {
+	case "":
+		// Automatic: the topology's generator-attached Router, or
+		// all-minimal-paths shortest routing when there is none.
+		table, err = routing.BuildTable(topo)
+	case RoutingShortest:
+		table, err = routing.BuildShortestPath(topo)
+	case RoutingXY:
+		r := topo.Router()
+		if r == nil || r.Name() != string(RoutingXY) {
+			return nil, fmt.Errorf("platform %s: routing scheme %q needs a mesh/torus topology (topology %s has no XY router)",
+				cfg.Name, cfg.Routing, topo.Name())
+		}
+		table, err = routing.BuildFromRouter(topo, r)
+	case RoutingUpDown:
+		table, err = routing.BuildFromRouter(topo, &topology.UpDownRouter{})
+	default:
+		return nil, fmt.Errorf("platform %s: unknown routing scheme %q", cfg.Name, cfg.Routing)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+	}
+	for _, ov := range cfg.Overrides {
+		if err := table.Set(ov.Switch, ov.Dst, ov.Ports); err != nil {
+			return nil, fmt.Errorf("platform %s: override: %w", cfg.Name, err)
+		}
+	}
+	if err := routing.Validate(topo, table); err != nil {
+		return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
+	}
+	if !cfg.AllowDeadlock {
+		if err := routing.CheckDeadlockFree(topo, table); err != nil {
+			return nil, fmt.Errorf("platform %s: %w (set AllowDeadlock to build anyway)", cfg.Name, err)
+		}
+	}
+	return table, nil
+}

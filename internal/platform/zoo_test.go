@@ -1,0 +1,218 @@
+// Tests for the topology/workload zoo (DESIGN.md §14): the generator
+// registry builds data-centre topologies that route, drain, snapshot
+// and trace exactly like the paper platform. The butterfly golden
+// trace pins the new generators' cycle-accurate behavior the same way
+// trace_test.go pins the reference platform's; regenerate deliberately
+// with
+//
+//	go test ./internal/platform -run TestGoldenButterflyTrace -update
+//
+// External test package because monitor imports platform.
+package platform_test
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"nocemu/internal/platform"
+	"nocemu/internal/probe"
+	"nocemu/internal/topology"
+)
+
+// zooConfig builds a NetConfig platform from a -topo style spec
+// string, bounded so the run drains.
+func zooConfig(t *testing.T, spec, workload string, packets uint64) platform.Config {
+	t.Helper()
+	s, err := topology.ParseSpec(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := platform.NetConfig(platform.NetOptions{
+		Topo:         s,
+		Workload:     workload,
+		Injection:    0.2,
+		PacketsPerTG: packets,
+		Seed:         7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cfg
+}
+
+// TestGoldenButterflyTrace pins the flattened butterfly's exported
+// JSONL event trace byte-for-byte, across the sequential and parallel
+// kernels, gated and ungated — the ISSUE's workers {0,4} × gate
+// matrix. A diff means the generator's wiring order, the DOR route
+// tables, or the workload derivation changed.
+func TestGoldenButterflyTrace(t *testing.T) {
+	cfg := zooConfig(t, "butterfly:w=3,h=3", "uniform", 4)
+	path := filepath.Join("testdata", "trace_butterfly.jsonl")
+	// Zoo receptors carry no packet expectations, so the run is a
+	// fixed cycle window rather than a stopper-terminated one; the
+	// window is long enough for every bounded generator to drain.
+	runZooTraced := func(workers int, noGate bool) []byte {
+		cfg := cfg
+		cfg.Trace = &probe.Config{}
+		cfg.Workers = workers
+		cfg.NoGate = noGate
+		p, err := platform.Build(cfg)
+		if err != nil {
+			t.Fatalf("workers=%d noGate=%v: %v", workers, noGate, err)
+		}
+		defer p.Close()
+		p.RunCycles(4_000)
+		if !p.Drained() {
+			t.Fatalf("workers=%d noGate=%v: platform did not drain", workers, noGate)
+		}
+		var buf bytes.Buffer
+		if err := p.Probe().WriteJSONL(&buf); err != nil {
+			t.Fatalf("workers=%d noGate=%v: export: %v", workers, noGate, err)
+		}
+		return buf.Bytes()
+	}
+	reference := runZooTraced(0, false)
+	if *updateGolden {
+		if err := os.WriteFile(path, reference, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to generate)", err)
+	}
+	if !bytes.Equal(reference, want) {
+		t.Fatalf("sequential gated trace diverged from %s:\n%s",
+			path, firstTraceDiff(want, reference))
+	}
+	for _, workers := range []int{0, 4} {
+		for _, noGate := range []bool{false, true} {
+			got := runZooTraced(workers, noGate)
+			if !bytes.Equal(got, want) {
+				t.Errorf("workers=%d noGate=%v trace diverged:\n%s",
+					workers, noGate, firstTraceDiff(want, got))
+			}
+		}
+	}
+}
+
+// TestZooScaleBuilds: the three data-centre generators build and run
+// at the 1k-terminal scale through the same -topo spec strings the CLI
+// accepts, and traffic actually moves.
+func TestZooScaleBuilds(t *testing.T) {
+	if testing.Short() {
+		t.Skip("1k-node builds in -short mode")
+	}
+	cases := []struct {
+		spec      string
+		terminals int
+		workload  string
+	}{
+		{"butterfly:w=32,h=32", 1024, "uniform"},
+		{"fattree:k=16", 1024, "hotspot"},
+		{"dragonfly:p=4,a=8,h=4", 1056, "flows"},
+	}
+	for _, c := range cases {
+		t.Run(c.spec, func(t *testing.T) {
+			cfg := zooConfig(t, c.spec, c.workload, 0)
+			if got := len(cfg.TGs); got != c.terminals {
+				t.Fatalf("terminals = %d, want %d", got, c.terminals)
+			}
+			p, err := platform.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer p.Close()
+			p.RunCycles(300)
+			if tot := p.Totals(); tot.FlitsReceived == 0 {
+				t.Errorf("no flits delivered after 300 cycles (sent %d)", tot.FlitsSent)
+			}
+		})
+	}
+}
+
+// TestZooDeterministicRebuild: two builds from equal zoo options are
+// bit-identical — the registry path inherits the platform's
+// reproducibility guarantee.
+func TestZooDeterministicRebuild(t *testing.T) {
+	mk := func() platform.Config { return zooConfig(t, "dragonfly:p=2,a=4,h=2", "incast", 6) }
+	a, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.RunCycles(2_000)
+	wantOut := capture(t, a)
+	a.Close()
+	b, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.RunCycles(2_000)
+	gotOut := capture(t, b)
+	b.Close()
+	if !gotOut.equal(wantOut) {
+		t.Errorf("rebuild diverged: %s", gotOut.diff(wantOut))
+	}
+}
+
+// TestSnapshotRestoreZooFlows: snapshot/restore-and-continue on a
+// zoo platform under the flow-arrival workload — the .nocsnap contract
+// (restore is invisible in every exported byte) extends to the new
+// topologies and the new generator state (flow remainder, busy
+// countdown, wave schedule).
+func TestSnapshotRestoreZooFlows(t *testing.T) {
+	mk := func() platform.Config { return zooConfig(t, "fattree:k=4", "flows", 0) }
+	const total, cut = 3_000, 1_300
+
+	ref, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref.RunCycles(total)
+	want := capture(t, ref)
+	ref.Close()
+
+	src, err := platform.Build(mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	src.RunCycles(cut)
+	snap, err := src.SnapshotBytes()
+	src.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{0, 4} {
+		p := buildSnap(t, mk(), workers, false, nil)
+		if err := p.RestoreBytes(snap); err != nil {
+			p.Close()
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		p.RunCycles(total - cut)
+		got := capture(t, p)
+		p.Close()
+		if !got.equal(want) {
+			t.Errorf("workers=%d diverged after restore: %s", workers, got.diff(want))
+		}
+	}
+}
+
+// TestMinimalTorusRejected: the documented deadlock-prone combination
+// — minimal (wrap-using) torus routing without dateline VCs — must be
+// rejected at build time by the CDG checker, and must build when the
+// config explicitly opts out of the check.
+func TestMinimalTorusRejected(t *testing.T) {
+	cfg := zooConfig(t, "torus:w=4,h=4,minimal=1", "uniform", 10)
+	if _, err := platform.Build(cfg); err == nil {
+		t.Fatal("deadlock-prone minimal torus routing accepted")
+	}
+	cfg.AllowDeadlock = true
+	p, err := platform.Build(cfg)
+	if err != nil {
+		t.Fatalf("AllowDeadlock build: %v", err)
+	}
+	p.Close()
+}

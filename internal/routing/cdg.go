@@ -1,0 +1,144 @@
+package routing
+
+import (
+	"fmt"
+	"strings"
+
+	"nocemu/internal/topology"
+)
+
+// CheckDeadlockFree verifies the classic Dally/Seitz condition on a
+// built route table: wormhole routing is deadlock-free iff the channel
+// dependency graph (CDG) — links as nodes, an edge L1->L2 whenever
+// some packet holding L1 can request L2 next — is acyclic. The CDG is
+// built from the table itself, restricted to feasible states: for each
+// sink, only (switch, arrival-link) states actually reachable from a
+// source's injection point contribute dependencies, so path-diverse
+// tables are not penalized for turns no packet can make. Injection
+// ports add no dependencies (nothing routes into an injection wire).
+//
+// On a cycle the error names the links around it, which is the
+// platform's documented rejection for e.g. minimal torus routing
+// without dateline virtual channels.
+func CheckDeadlockFree(topo *topology.Topology, t *Table) error {
+	links := topo.Links()
+	nLinks := len(links)
+	if nLinks == 0 {
+		return nil
+	}
+	// dep[l1] = set of links some packet can request while holding l1.
+	dep := make([][]int, nLinks)
+	depSeen := make(map[[2]int]bool)
+
+	// Feasible-state BFS per sink. State = (switch, inLink); inLink -1
+	// means the packet is at its injection switch.
+	n := topo.NumSwitches()
+	for _, sink := range topo.Sinks() {
+		// stateSeen[(sw+1)*(nLinks+1) + (inLink+1)] marks visited states.
+		stateSeen := make([]bool, (n+1)*(nLinks+1))
+		stateKey := func(sw topology.NodeID, inLink int) int {
+			return int(sw)*(nLinks+1) + inLink + 1
+		}
+		type state struct {
+			sw     topology.NodeID
+			inLink int
+		}
+		var queue []state
+		for _, src := range topo.Sources() {
+			k := stateKey(src.Switch, -1)
+			if !stateSeen[k] {
+				stateSeen[k] = true
+				queue = append(queue, state{src.Switch, -1})
+			}
+		}
+		for len(queue) > 0 {
+			st := queue[0]
+			queue = queue[1:]
+			ports, ok := t.perSwitch[st.sw][sink.ID]
+			if !ok {
+				continue // routing gap; Validate reports it separately
+			}
+			outs := topo.SwitchOutputs(st.sw)
+			for _, p := range ports {
+				if p < 0 || p >= len(outs) {
+					continue
+				}
+				oc := outs[p]
+				if oc.Link < 0 {
+					continue // ejection: the packet leaves the network
+				}
+				if st.inLink >= 0 && !depSeen[[2]int{st.inLink, oc.Link}] {
+					depSeen[[2]int{st.inLink, oc.Link}] = true
+					dep[st.inLink] = append(dep[st.inLink], oc.Link)
+				}
+				next := links[oc.Link].To
+				k := stateKey(next, oc.Link)
+				if !stateSeen[k] {
+					stateSeen[k] = true
+					queue = append(queue, state{next, oc.Link})
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the dependency graph (iterative DFS with
+	// white/grey/black coloring; the grey stack reconstructs the cycle).
+	const (
+		white = 0
+		grey  = 1
+		black = 2
+	)
+	color := make([]uint8, nLinks)
+	parent := make([]int, nLinks)
+	for l := 0; l < nLinks; l++ {
+		if color[l] != white {
+			continue
+		}
+		type frame struct {
+			link int
+			next int
+		}
+		stack := []frame{{link: l}}
+		color[l] = grey
+		parent[l] = -1
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next >= len(dep[f.link]) {
+				color[f.link] = black
+				stack = stack[:len(stack)-1]
+				continue
+			}
+			to := dep[f.link][f.next]
+			f.next++
+			switch color[to] {
+			case white:
+				color[to] = grey
+				parent[to] = f.link
+				stack = append(stack, frame{link: to})
+			case grey:
+				return cdgCycleError(links, parent, f.link, to)
+			}
+		}
+	}
+	return nil
+}
+
+// cdgCycleError renders the dependency cycle closed by the edge
+// from->to, walking parents back from `from` to `to`.
+func cdgCycleError(links []topology.LinkSpec, parent []int, from, to int) error {
+	cycle := []int{from}
+	for cur := from; cur != to; {
+		cur = parent[cur]
+		cycle = append(cycle, cur)
+	}
+	// parents run backward; reverse into forward dependency order.
+	for i, j := 0, len(cycle)-1; i < j; i, j = i+1, j-1 {
+		cycle[i], cycle[j] = cycle[j], cycle[i]
+	}
+	var b strings.Builder
+	for _, l := range cycle {
+		fmt.Fprintf(&b, "link %d (s%d->s%d) -> ", l, links[l].From, links[l].To)
+	}
+	fmt.Fprintf(&b, "link %d", cycle[0])
+	return fmt.Errorf("routing: channel-dependency cycle (wormhole deadlock possible): %s", b.String())
+}

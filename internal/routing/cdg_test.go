@@ -1,0 +1,125 @@
+package routing
+
+import (
+	"strings"
+	"testing"
+
+	"nocemu/internal/flit"
+	"nocemu/internal/topology"
+)
+
+// sinkPerSwitch attaches one source and one sink per terminal, as
+// platform.NetConfig does: the checker walks only states reachable
+// from source switches, so sources define where traffic can enter.
+func sinkPerSwitch(t *testing.T, tp *topology.Topology) {
+	t.Helper()
+	n := len(tp.Terminals())
+	for i, sw := range tp.Terminals() {
+		if err := tp.AddSource(flit.EndpointID(i), sw); err != nil {
+			t.Fatal(err)
+		}
+		if err := tp.AddSink(flit.EndpointID(n+i), sw); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// buildChecked routes the topology with its annotated router and runs
+// the CDG checker, returning the checker's verdict.
+func buildChecked(t *testing.T, tp *topology.Topology) error {
+	t.Helper()
+	sinkPerSwitch(t, tp)
+	tb, err := BuildTable(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tp, tb); err != nil {
+		t.Fatalf("validate: %v", err)
+	}
+	return CheckDeadlockFree(tp, tb)
+}
+
+// TestCDGMeshXYAcyclic: the textbook proof — XY dimension-ordered
+// routing on a mesh admits no channel-dependency cycle.
+func TestCDGMeshXYAcyclic(t *testing.T) {
+	tp, err := topology.Mesh(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildChecked(t, tp); err != nil {
+		t.Errorf("mesh XY flagged cyclic: %v", err)
+	}
+}
+
+// TestCDGFatTreeUpDownAcyclic: up*/down* routing on the fat-tree keeps
+// ascending and descending channels disjoint, so the CDG is acyclic
+// even with full multipath spreading over the upward ports.
+func TestCDGFatTreeUpDownAcyclic(t *testing.T) {
+	tp, err := topology.FromSpec(topology.Spec{Kind: "fattree", Param: map[string]int{"k": 4}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildChecked(t, tp); err != nil {
+		t.Errorf("fat-tree up/down flagged cyclic: %v", err)
+	}
+}
+
+// TestCDGDragonflyUpDownAcyclic: the dragonfly defaults to generic
+// up*/down* over a BFS ranking precisely because minimal routing
+// deadlocks without VCs; the default must pass the checker.
+func TestCDGDragonflyUpDownAcyclic(t *testing.T) {
+	tp, err := topology.FromSpec(topology.Spec{Kind: "dragonfly", Param: map[string]int{"p": 2, "a": 4, "h": 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildChecked(t, tp); err != nil {
+		t.Errorf("dragonfly up/down flagged cyclic: %v", err)
+	}
+}
+
+// TestCDGMinimalTorusRejected: wrap-using minimal torus routing
+// without dateline VCs is the canonical wormhole deadlock; the checker
+// must reject it and name the cycle's links.
+func TestCDGMinimalTorusRejected(t *testing.T) {
+	tp, err := topology.FromSpec(topology.Spec{Kind: "torus", Param: map[string]int{"w": 4, "h": 4, "minimal": 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = buildChecked(t, tp)
+	if err == nil {
+		t.Fatal("minimal torus routing passed the CDG check")
+	}
+	if !strings.Contains(err.Error(), "channel-dependency cycle") {
+		t.Errorf("unexpected error text: %v", err)
+	}
+}
+
+// TestCDGDefaultTorusAcyclic: the torus default stays wrap-ignoring XY
+// (the wraps carry no routed traffic), which keeps existing torus
+// scenarios deadlock-free and byte-identical.
+func TestCDGDefaultTorusAcyclic(t *testing.T) {
+	tp, err := topology.Torus(4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := buildChecked(t, tp); err != nil {
+		t.Errorf("default torus XY flagged cyclic: %v", err)
+	}
+}
+
+// TestCDGCatchesRingCycle: unidirectional-ring shortest-path routing
+// is the smallest cyclic CDG; the checker must find it.
+func TestCDGCatchesRingCycle(t *testing.T) {
+	tp, err := topology.New("uniring", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tp.AddLink(topology.NodeID(i), topology.NodeID((i+1)%3)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := buildChecked(t, tp); err == nil {
+		t.Fatal("unidirectional ring passed the CDG check")
+	}
+}

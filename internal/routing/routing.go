@@ -176,18 +176,27 @@ func bfsDistances(radj [][]topology.NodeID, target topology.NodeID, n int) []int
 	return dist
 }
 
-// BuildXY fills a table with dimension-ordered (X then Y) routing for a
-// w-wide mesh or torus built by topology.Mesh/Torus (switch y*w+x).
-// XY routing is deadlock-free on meshes and is the classic baseline the
-// emulator compares multipath routing against.
-func BuildXY(topo *topology.Topology, w int) (*Table, error) {
-	if w < 1 {
-		return nil, fmt.Errorf("routing: width %d", w)
+// BuildTable fills a table using the topology's own routing recipe:
+// the Router annotation its generator attached, or all-minimal-paths
+// shortest-path routing when there is none. This is the default
+// platform build path — a generator that registers a Router gets its
+// scheme everywhere (JSON, flags, benches) without further wiring.
+func BuildTable(topo *topology.Topology) (*Table, error) {
+	if r := topo.Router(); r != nil {
+		return BuildFromRouter(topo, r)
 	}
+	return BuildShortestPath(topo)
+}
+
+// BuildFromRouter lowers a topology.Router into per-switch route
+// tables: for every (switch, sink) pair the router's next-hop switches
+// are resolved to output ports (the first port reaching each hop, in
+// the router's candidate order); at the sink's own switch the single
+// candidate is the sink's local port. Switches where the router
+// returns no hops get no entry — Validate catches the gap if a packet
+// would actually route through it.
+func BuildFromRouter(topo *topology.Topology, r topology.Router) (*Table, error) {
 	n := topo.NumSwitches()
-	if n%w != 0 {
-		return nil, fmt.Errorf("routing: %d switches not a multiple of width %d", n, w)
-	}
 	t := NewTable(n)
 	links := topo.Links()
 	portTo := func(sw, next topology.NodeID) (int, bool) {
@@ -199,7 +208,6 @@ func BuildXY(topo *topology.Topology, w int) (*Table, error) {
 		return 0, false
 	}
 	for _, sink := range topo.Sinks() {
-		dx, dy := topology.MeshXY(sink.Switch, w)
 		for sw := topology.NodeID(0); int(sw) < n; sw++ {
 			if sw == sink.Switch {
 				port := -1
@@ -217,23 +225,19 @@ func BuildXY(topo *topology.Topology, w int) (*Table, error) {
 				}
 				continue
 			}
-			x, y := topology.MeshXY(sw, w)
-			var next topology.NodeID
-			switch {
-			case x < dx:
-				next = topology.NodeID(y*w + x + 1)
-			case x > dx:
-				next = topology.NodeID(y*w + x - 1)
-			case y < dy:
-				next = topology.NodeID((y+1)*w + x)
-			default:
-				next = topology.NodeID((y-1)*w + x)
+			hops := r.NextHops(topo, sw, sink.Switch)
+			if len(hops) == 0 {
+				continue
 			}
-			port, ok := portTo(sw, next)
-			if !ok {
-				return nil, fmt.Errorf("routing: no port from switch %d to %d (XY)", sw, next)
+			ports := make([]int, 0, len(hops))
+			for _, next := range hops {
+				port, ok := portTo(sw, next)
+				if !ok {
+					return nil, fmt.Errorf("routing: %s router wants hop %d->%d but no link exists", r.Name(), sw, next)
+				}
+				ports = append(ports, port)
 			}
-			if err := t.Set(sw, sink.ID, []int{port}); err != nil {
+			if err := t.Set(sw, sink.ID, ports); err != nil {
 				return nil, err
 			}
 		}

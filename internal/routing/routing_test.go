@@ -170,7 +170,8 @@ func TestBuildXYMesh(t *testing.T) {
 	if err := tp.AddSink(100, 8); err != nil { // corner (2,2)
 		t.Fatal(err)
 	}
-	tb, err := BuildXY(tp, 3)
+	// The mesh generator annotates its XY router; BuildTable picks it up.
+	tb, err := BuildTable(tp)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -197,13 +198,45 @@ func TestBuildXYMesh(t *testing.T) {
 	}
 }
 
-func TestBuildXYErrors(t *testing.T) {
-	tp, _ := topology.Mesh(3, 2)
-	if _, err := BuildXY(tp, 0); err == nil {
-		t.Error("width 0 accepted")
+func TestBuildFromRouterErrors(t *testing.T) {
+	// An XY router with the wrong width asks for hops that do not exist
+	// on this mesh; BuildFromRouter must report the missing link.
+	tp, err := topology.Mesh(3, 2)
+	if err != nil {
+		t.Fatal(err)
 	}
-	if _, err := BuildXY(tp, 4); err == nil {
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 5); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := BuildFromRouter(tp, topology.XYRouter{W: 4}); err == nil {
 		t.Error("mismatched width accepted")
+	}
+}
+
+func TestBuildTableWithoutRouterFallsBack(t *testing.T) {
+	// A bare graph with no Router annotation routes shortest-path.
+	tp, err := topology.New("plain", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddBiLink(0, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSource(0, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tp.AddSink(100, 1); err != nil {
+		t.Fatal(err)
+	}
+	tb, err := BuildTable(tp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(tp, tb); err != nil {
+		t.Errorf("validate: %v", err)
 	}
 }
 

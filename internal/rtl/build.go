@@ -35,24 +35,8 @@ func Build(cfg platform.Config) (*Platform, error) {
 	}
 	topo := cfg.Topology
 
-	var table *routing.Table
-	switch cfg.Routing {
-	case platform.RoutingShortest:
-		table, err = routing.BuildShortestPath(topo)
-	case platform.RoutingXY:
-		table, err = routing.BuildXY(topo, cfg.MeshWidth)
-	default:
-		return nil, fmt.Errorf("rtl: unknown routing scheme %q", cfg.Routing)
-	}
+	table, err := platform.RouteTable(cfg)
 	if err != nil {
-		return nil, err
-	}
-	for _, ov := range cfg.Overrides {
-		if err := table.Set(ov.Switch, ov.Dst, ov.Ports); err != nil {
-			return nil, err
-		}
-	}
-	if err := routing.Validate(topo, table); err != nil {
 		return nil, err
 	}
 

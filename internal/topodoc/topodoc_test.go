@@ -1,0 +1,46 @@
+package topodoc
+
+import (
+	"os"
+	"strings"
+	"testing"
+)
+
+// TestRenderMatchesCommittedDoc is the in-tree version of the `make
+// check` drift gate: the committed TOPOLOGIES.md must be exactly what
+// the live registries render.
+func TestRenderMatchesCommittedDoc(t *testing.T) {
+	got, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := os.ReadFile("../../TOPOLOGIES.md")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Error("TOPOLOGIES.md is stale: run 'make topos' (or `go run ./cmd/nocgen topos > TOPOLOGIES.md`)")
+	}
+}
+
+// TestRenderCoversEveryRegisteredKind: each registered generator and
+// workload must appear in the catalog, and the structural columns must
+// come out measured, not blank.
+func TestRenderCoversEveryRegisteredKind(t *testing.T) {
+	got, err := Render()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"### line", "### ring", "### mesh", "### torus", "### star",
+		"### tree", "### full", "### paper-six",
+		"### butterfly", "### fattree", "### dragonfly",
+		"| uniform |", "| hotspot |", "| incast |", "| flows |",
+		"fattree-updown", "flatfly-dor",
+		"yes (CDG acyclic)",
+	} {
+		if !strings.Contains(got, want) {
+			t.Errorf("catalog is missing %q", want)
+		}
+	}
+}

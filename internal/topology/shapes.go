@@ -6,9 +6,113 @@ import (
 	"nocemu/internal/flit"
 )
 
+// The classic shapes register as generators so that JSON configs, the
+// -topo flag and the TOPOLOGIES.md catalog see them through the same
+// registry as the large-scale zoo topologies (zoo.go). The exported
+// constructors below lower into the registry; the Build closures own
+// the link/endpoint construction order, which is part of the platform
+// byte-identity contract (ports are numbered by insertion order).
+func init() {
+	Register(Generator{
+		Kind:    "line",
+		Summary: "bidirectional chain 0 <-> 1 <-> ... <-> n-1",
+		Params: []ParamDoc{
+			{Name: "n", Default: 4, Doc: "number of switches"},
+		},
+		RoutingDoc: "shortest path",
+		Notes:      "deadlock-free: the channel graph is a tree",
+		Example:    Spec{Kind: "line", Param: map[string]int{"n": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildLine(p.Get("n")) },
+	})
+	Register(Generator{
+		Kind:    "ring",
+		Summary: "bidirectional ring (n >= 3)",
+		Params: []ParamDoc{
+			{Name: "n", Default: 4, Doc: "number of switches"},
+		},
+		RoutingDoc: "shortest path",
+		Notes:      "deadlock-free for single-sink traffic patterns; cyclic flows need care",
+		Example:    Spec{Kind: "ring", Param: map[string]int{"n": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildRing(p.Get("n")) },
+	})
+	Register(Generator{
+		Kind:    "mesh",
+		Summary: "w x h 2-D mesh, switch (x,y) = y*w+x",
+		Params: []ParamDoc{
+			{Name: "w", Default: 4, Doc: "mesh width"},
+			{Name: "h", Default: 4, Doc: "mesh height"},
+		},
+		RoutingDoc: "XY dimension-ordered",
+		Notes:      "deadlock-free: XY forbids the turns that close dependency cycles",
+		Example:    Spec{Kind: "mesh", Param: map[string]int{"w": 4, "h": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildMesh(p.Get("w"), p.Get("h")) },
+	})
+	Register(Generator{
+		Kind:    "torus",
+		Summary: "w x h 2-D torus (wrap-around mesh, both dims >= 3)",
+		Params: []ParamDoc{
+			{Name: "w", Default: 4, Doc: "torus width"},
+			{Name: "h", Default: 4, Doc: "torus height"},
+			{Name: "minimal", Default: 0, Doc: "1 = wrap-aware minimal DOR (deadlock-prone without dateline VCs)"},
+		},
+		RoutingDoc: "XY dimension-ordered (mesh interior; wrap links unused) — minimal=1 switches to wrap-aware DOR",
+		Notes:      "default XY routing is deadlock-free; minimal=1 closes ring dependency cycles and is rejected by the deadlock checker",
+		Example:    Spec{Kind: "torus", Param: map[string]int{"w": 4, "h": 4}},
+		Build: func(p Params) (*Topology, error) {
+			return buildTorus(p.Get("w"), p.Get("h"), p.Get("minimal") != 0)
+		},
+	})
+	Register(Generator{
+		Kind:    "star",
+		Summary: "hub switch 0 with bidirectional spokes to leaves 1..n",
+		Params: []ParamDoc{
+			{Name: "leaves", Default: 4, Doc: "number of leaf switches"},
+		},
+		RoutingDoc: "shortest path",
+		Notes:      "deadlock-free: the channel graph is a tree",
+		Example:    Spec{Kind: "star", Param: map[string]int{"leaves": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildStar(p.Get("leaves")) },
+	})
+	Register(Generator{
+		Kind:    "tree",
+		Summary: "complete fanout-ary tree, breadth-first numbering from the root",
+		Params: []ParamDoc{
+			{Name: "depth", Default: 2, Doc: "levels below the root (>= 1)"},
+			{Name: "fanout", Default: 2, Doc: "children per switch (>= 2)"},
+		},
+		RoutingDoc: "shortest path (unique tree paths)",
+		Notes:      "deadlock-free: the channel graph is a tree",
+		Example:    Spec{Kind: "tree", Param: map[string]int{"depth": 2, "fanout": 2}},
+		Build:      func(p Params) (*Topology, error) { return buildTree(p.Get("depth"), p.Get("fanout")) },
+	})
+	Register(Generator{
+		Kind:    "full",
+		Summary: "fully connected graph, a link between every switch pair",
+		Params: []ParamDoc{
+			{Name: "n", Default: 4, Doc: "number of switches (>= 2)"},
+		},
+		RoutingDoc: "shortest path (single hop)",
+		Notes:      "deadlock-free: every route is one direct link",
+		Example:    Spec{Kind: "full", Param: map[string]int{"n": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildFullyConnected(p.Get("n")) },
+	})
+	Register(Generator{
+		Kind:       "paper-six",
+		Summary:    "the paper's 6-switch platform: 4 TGs, 4 TRs, dual paths via S2/S3",
+		RoutingDoc: "shortest path (experiments override per-destination ports)",
+		Notes:      "endpoints are part of the shape (TG0-3 at S0/S1, TR100-103 at S4/S5)",
+		Example:    Spec{Kind: "paper-six"},
+		Build:      func(p Params) (*Topology, error) { return buildPaperSix() },
+	})
+}
+
 // Line returns an n-switch chain with bidirectional links
 // 0 <-> 1 <-> ... <-> n-1. Endpoints are attached by the caller.
 func Line(n int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "line", Param: map[string]int{"n": n}})
+}
+
+func buildLine(n int) (*Topology, error) {
 	t, err := New(fmt.Sprintf("line-%d", n), n)
 	if err != nil {
 		return nil, err
@@ -23,6 +127,10 @@ func Line(n int) (*Topology, error) {
 
 // Ring returns an n-switch bidirectional ring (n >= 3).
 func Ring(n int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "ring", Param: map[string]int{"n": n}})
+}
+
+func buildRing(n int) (*Topology, error) {
 	if n < 3 {
 		return nil, fmt.Errorf("topology: ring needs >= 3 switches, got %d", n)
 	}
@@ -41,6 +149,10 @@ func Ring(n int) (*Topology, error) {
 // Mesh returns a w x h 2-D mesh with bidirectional links. Switch (x, y)
 // has identifier y*w + x.
 func Mesh(w, h int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "mesh", Param: map[string]int{"w": w, "h": h}})
+}
+
+func buildMesh(w, h int) (*Topology, error) {
 	if w < 1 || h < 1 {
 		return nil, fmt.Errorf("topology: mesh %dx%d", w, h)
 	}
@@ -63,16 +175,21 @@ func Mesh(w, h int) (*Topology, error) {
 			}
 		}
 	}
+	t.SetRouter(XYRouter{W: w})
 	return t, nil
 }
 
 // Torus returns a w x h 2-D torus (wrap-around mesh); w and h must be
 // at least 3 so wrap links do not duplicate mesh links.
 func Torus(w, h int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "torus", Param: map[string]int{"w": w, "h": h}})
+}
+
+func buildTorus(w, h int, minimal bool) (*Topology, error) {
 	if w < 3 || h < 3 {
 		return nil, fmt.Errorf("topology: torus %dx%d needs both dims >= 3", w, h)
 	}
-	t, err := Mesh(w, h)
+	t, err := buildMesh(w, h)
 	if err != nil {
 		return nil, err
 	}
@@ -88,12 +205,19 @@ func Torus(w, h int) (*Topology, error) {
 			return nil, err
 		}
 	}
+	if minimal {
+		t.SetRouter(TorusMinimalRouter{W: w, H: h})
+	}
 	return t, nil
 }
 
 // Star returns a hub-and-spoke topology: switch 0 is the hub joined by
 // bidirectional links to leaves 1..n.
 func Star(leaves int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "star", Param: map[string]int{"leaves": leaves}})
+}
+
+func buildStar(leaves int) (*Topology, error) {
 	if leaves < 1 {
 		return nil, fmt.Errorf("topology: star with %d leaves", leaves)
 	}
@@ -130,6 +254,10 @@ func MeshXY(s NodeID, w int) (x, y int) {
 // S4 shares link S2->S4 and TG2/TG3 traffic to S5 shares link S3->S5,
 // so with each TG at 45% of link bandwidth those two links carry 90%.
 func PaperSix() (*Topology, error) {
+	return FromSpec(Spec{Kind: "paper-six"})
+}
+
+func buildPaperSix() (*Topology, error) {
 	t, err := New("paper-six", 6)
 	if err != nil {
 		return nil, err
@@ -183,6 +311,10 @@ func HotLinks(t *Topology) (s2s4, s3s5 int, err error) {
 // between every pair — the upper bound on switch degree, useful as a
 // routing/arbitration stress shape.
 func FullyConnected(n int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "full", Param: map[string]int{"n": n}})
+}
+
+func buildFullyConnected(n int) (*Topology, error) {
 	if n < 2 {
 		return nil, fmt.Errorf("topology: fully connected needs >= 2 switches, got %d", n)
 	}
@@ -206,6 +338,10 @@ func FullyConnected(n int) (*Topology, error) {
 // occupy the last level. Aggregation traffic (leaves to root) is the
 // classic use.
 func Tree(depth, fanout int) (*Topology, error) {
+	return FromSpec(Spec{Kind: "tree", Param: map[string]int{"depth": depth, "fanout": fanout}})
+}
+
+func buildTree(depth, fanout int) (*Topology, error) {
 	if depth < 1 || fanout < 2 {
 		return nil, fmt.Errorf("topology: tree depth %d fanout %d", depth, fanout)
 	}

@@ -1,0 +1,88 @@
+package topology
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Spec names a topology declaratively: a registered generator kind plus
+// its integer parameters. Specs are the single construction currency of
+// the framework — JSON configurations, the -topo CLI flag and the
+// programmatic shape constructors all lower into one before a switch
+// graph is materialized (FromSpec).
+type Spec struct {
+	// Kind names a registered generator (Lookup).
+	Kind string
+	// Param overrides generator parameters by name; omitted parameters
+	// take the generator's documented default.
+	Param map[string]int
+}
+
+// With returns a copy of the spec with one parameter set.
+func (s Spec) With(name string, v int) Spec {
+	p := make(map[string]int, len(s.Param)+1)
+	for k, val := range s.Param {
+		p[k] = val
+	}
+	p[name] = v
+	return Spec{Kind: s.Kind, Param: p}
+}
+
+// String renders the spec in the -topo flag syntax
+// ("mesh:h=4,w=4"; parameters sorted by name).
+func (s Spec) String() string {
+	if len(s.Param) == 0 {
+		return s.Kind
+	}
+	names := make([]string, 0, len(s.Param))
+	for k := range s.Param {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	b.WriteString(s.Kind)
+	for i, k := range names {
+		if i == 0 {
+			b.WriteByte(':')
+		} else {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%s=%d", k, s.Param[k])
+	}
+	return b.String()
+}
+
+// ParseSpec parses the -topo flag syntax: "kind" or
+// "kind:name=value,name=value" with integer values
+// (e.g. "fattree:k=16", "torus:w=8,h=8,minimal=1").
+func ParseSpec(text string) (Spec, error) {
+	text = strings.TrimSpace(text)
+	kind, rest, hasParams := strings.Cut(text, ":")
+	kind = strings.TrimSpace(kind)
+	if kind == "" {
+		return Spec{}, fmt.Errorf("topology: empty spec")
+	}
+	spec := Spec{Kind: kind}
+	if !hasParams {
+		return spec, nil
+	}
+	spec.Param = map[string]int{}
+	for _, item := range strings.Split(rest, ",") {
+		name, val, ok := strings.Cut(item, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return Spec{}, fmt.Errorf("topology: spec %q: want name=value, got %q", text, item)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(val))
+		if err != nil {
+			return Spec{}, fmt.Errorf("topology: spec %q: parameter %s: %v", text, name, err)
+		}
+		if _, dup := spec.Param[name]; dup {
+			return Spec{}, fmt.Errorf("topology: spec %q: duplicate parameter %s", text, name)
+		}
+		spec.Param[name] = n
+	}
+	return spec, nil
+}

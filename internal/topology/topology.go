@@ -77,6 +77,13 @@ type Topology struct {
 	links       []LinkSpec
 	endpoints   []EndpointSpec
 
+	// router is the routing recipe the topology's generator attached
+	// (nil = generic shortest-path routing).
+	router Router
+	// terminals lists where endpoints should attach, one entry per
+	// terminal slot (nil = one slot per switch).
+	terminals []NodeID
+
 	// Port-list and endpoint caches. Platform compilation and routing
 	// validation call SwitchInputs/SwitchOutputs/Endpoint inside loops
 	// over switches × sinks; recomputing them by scanning every link
@@ -86,6 +93,33 @@ type Topology struct {
 	inCache  [][]InConn
 	outCache [][]OutConn
 	epCache  map[flit.EndpointID]EndpointSpec
+}
+
+// SetRouter attaches the topology's routing recipe. Generators call it
+// once links are final; routing.BuildTable consumes it (nil keeps the
+// generic shortest-path fallback).
+func (t *Topology) SetRouter(r Router) { t.router = r }
+
+// Router returns the attached routing recipe, or nil.
+func (t *Topology) Router() Router { return t.router }
+
+// SetTerminals records where endpoint pairs should attach, one entry
+// per terminal slot; a switch may appear multiple times (a fat-tree
+// edge switch hosts several endpoints).
+func (t *Topology) SetTerminals(ts []NodeID) { t.terminals = ts }
+
+// Terminals returns the endpoint attachment slots: the generator's
+// list, or (by default) every switch once in identifier order. Callers
+// must not mutate the result.
+func (t *Topology) Terminals() []NodeID {
+	if t.terminals != nil {
+		return t.terminals
+	}
+	ts := make([]NodeID, t.numSwitches)
+	for i := range ts {
+		ts[i] = NodeID(i)
+	}
+	return ts
 }
 
 // invalidate drops the derived caches after a mutation.

@@ -1,0 +1,187 @@
+package topology
+
+import "fmt"
+
+// The large-scale "zoo" topologies: high-radix shapes from the
+// data-centre and HPC literature that stress the emulator at 1k+
+// endpoints. Like the classic shapes they register generators; unlike
+// them they also publish a Terminals list (fat-tree hosts live only on
+// edge switches, dragonfly routers host several endpoints each) and a
+// Router annotation, since generic shortest-path routing either
+// deadlocks or wastes the path diversity these shapes exist for.
+func init() {
+	Register(Generator{
+		Kind:    "butterfly",
+		Summary: "flattened butterfly: w x h router grid, fully connected per row and per column",
+		Params: []ParamDoc{
+			{Name: "w", Default: 4, Doc: "router-grid width (>= 2)"},
+			{Name: "h", Default: 4, Doc: "router-grid height (>= 2)"},
+		},
+		RoutingDoc: "dimension-ordered, one direct hop per dimension",
+		Notes:      "deadlock-free: x-then-y over direct links admits no dependency cycle; 32x32 = 1024 terminals",
+		Example:    Spec{Kind: "butterfly", Param: map[string]int{"w": 4, "h": 4}},
+		Build: func(p Params) (*Topology, error) {
+			return buildFlatButterfly(p.Get("w"), p.Get("h"))
+		},
+	})
+	Register(Generator{
+		Kind:    "fattree",
+		Summary: "k-ary fat-tree (three-layer folded Clos): k pods, k^3/4 hosts",
+		Params: []ParamDoc{
+			{Name: "k", Default: 4, Doc: "switch arity (even, >= 2); k/2 hosts per edge switch"},
+		},
+		RoutingDoc: "up*/down* multipath: spread over all upward ports, unique downward path",
+		Notes:      "deadlock-free: ascending and descending channels are disjoint; k=16 = 1024 hosts",
+		Example:    Spec{Kind: "fattree", Param: map[string]int{"k": 4}},
+		Build:      func(p Params) (*Topology, error) { return buildFatTree(p.Get("k")) },
+	})
+	Register(Generator{
+		Kind:    "dragonfly",
+		Summary: "dragonfly: a fully connected routers per group, h global links per router, g = a*h+1 groups",
+		Params: []ParamDoc{
+			{Name: "p", Default: 2, Doc: "terminals per router"},
+			{Name: "a", Default: 4, Doc: "routers per group (>= 2)"},
+			{Name: "h", Default: 2, Doc: "global links per router"},
+		},
+		RoutingDoc: "generic up*/down* over a BFS ranking (minimal local-global-local routing deadlocks without VCs)",
+		Notes:      "deadlock-free via up*/down*; p=4,a=8,h=4 = 33 groups, 264 routers, 1056 terminals",
+		Example:    Spec{Kind: "dragonfly", Param: map[string]int{"p": 2, "a": 4, "h": 2}},
+		Build: func(p Params) (*Topology, error) {
+			return buildDragonfly(p.Get("p"), p.Get("a"), p.Get("h"))
+		},
+	})
+}
+
+// buildFlatButterfly builds the flattened butterfly (generalized
+// hypercube): routers on a w x h grid, each fully connected to every
+// router sharing its row and every router sharing its column.
+func buildFlatButterfly(w, h int) (*Topology, error) {
+	if w < 2 || h < 2 {
+		return nil, fmt.Errorf("topology: butterfly %dx%d needs both dims >= 2", w, h)
+	}
+	t, err := New(fmt.Sprintf("butterfly-%dx%d", w, h), w*h)
+	if err != nil {
+		return nil, err
+	}
+	id := func(x, y int) NodeID { return NodeID(y*w + x) }
+	for y := 0; y < h; y++ {
+		for i := 0; i < w; i++ {
+			for j := i + 1; j < w; j++ {
+				if err := t.AddBiLink(id(i, y), id(j, y)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for x := 0; x < w; x++ {
+		for i := 0; i < h; i++ {
+			for j := i + 1; j < h; j++ {
+				if err := t.AddBiLink(id(x, i), id(x, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	t.SetRouter(FlatFlyRouter{W: w, H: h})
+	return t, nil
+}
+
+// buildFatTree builds the k-ary fat-tree with FatTreeRouter's switch
+// numbering: edge(p,i) = p*half+i, agg(p,j) = k²/2 + p*half+j,
+// core(x,y) = k² + x*half+y, where core column x attaches to
+// aggregation switch x of every pod. Hosts attach only to edge
+// switches, k/2 per switch (k³/4 total).
+func buildFatTree(k int) (*Topology, error) {
+	if k < 2 || k%2 != 0 {
+		return nil, fmt.Errorf("topology: fattree k=%d needs an even k >= 2", k)
+	}
+	half := k / 2
+	edgeN := k * half // also the number of aggregation switches
+	total := 2*edgeN + half*half
+	t, err := New(fmt.Sprintf("fattree-%d", k), total)
+	if err != nil {
+		return nil, err
+	}
+	edge := func(p, i int) NodeID { return NodeID(p*half + i) }
+	agg := func(p, j int) NodeID { return NodeID(edgeN + p*half + j) }
+	core := func(x, y int) NodeID { return NodeID(2*edgeN + x*half + y) }
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for j := 0; j < half; j++ {
+				if err := t.AddBiLink(edge(p, i), agg(p, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for p := 0; p < k; p++ {
+		for j := 0; j < half; j++ {
+			for y := 0; y < half; y++ {
+				if err := t.AddBiLink(agg(p, j), core(j, y)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	terms := make([]NodeID, 0, edgeN*half)
+	for p := 0; p < k; p++ {
+		for i := 0; i < half; i++ {
+			for c := 0; c < half; c++ {
+				terms = append(terms, edge(p, i))
+			}
+		}
+	}
+	t.SetTerminals(terms)
+	t.SetRouter(FatTreeRouter{K: k})
+	return t, nil
+}
+
+// buildDragonfly builds the canonical dragonfly: groups of a fully
+// connected routers, h global links per router, and the balanced group
+// count g = a*h+1 so exactly one global link joins every group pair.
+// Group G's q-th global port (on router q/h) reaches group
+// (G+q+1) mod g; the return port in that group is g-q-2, which the
+// same rule maps back to G.
+func buildDragonfly(p, a, h int) (*Topology, error) {
+	if p < 1 || a < 2 || h < 1 {
+		return nil, fmt.Errorf("topology: dragonfly p=%d a=%d h=%d needs p >= 1, a >= 2, h >= 1", p, a, h)
+	}
+	g := a*h + 1
+	t, err := New(fmt.Sprintf("dragonfly-%dx%dx%d", p, a, h), g*a)
+	if err != nil {
+		return nil, err
+	}
+	router := func(grp, r int) NodeID { return NodeID(grp*a + r) }
+	for grp := 0; grp < g; grp++ {
+		for i := 0; i < a; i++ {
+			for j := i + 1; j < a; j++ {
+				if err := t.AddBiLink(router(grp, i), router(grp, j)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	for grp := 0; grp < g; grp++ {
+		for q := 0; q < a*h; q++ {
+			tgt := (grp + q + 1) % g
+			if tgt < grp {
+				continue // the lower-numbered group adds the pair
+			}
+			back := g - q - 2
+			if err := t.AddBiLink(router(grp, q/h), router(tgt, back/h)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	terms := make([]NodeID, 0, g*a*p)
+	for grp := 0; grp < g; grp++ {
+		for r := 0; r < a; r++ {
+			for c := 0; c < p; c++ {
+				terms = append(terms, router(grp, r))
+			}
+		}
+	}
+	t.SetTerminals(terms)
+	t.SetRouter(&UpDownRouter{})
+	return t, nil
+}

@@ -71,12 +71,20 @@ const (
 	DstUniform DstPolicy = "uniform"
 	// DstRoundRobin cycles through Dsts.
 	DstRoundRobin DstPolicy = "round-robin"
+	// DstHotspot draws from Hot with probability HotQ16, uniformly from
+	// Dsts otherwise — the classic hotspot pattern where a fraction of
+	// all traffic converges on a few victims.
+	DstHotspot DstPolicy = "hotspot"
 )
 
 // DstConfig parameterizes destination selection.
 type DstConfig struct {
 	Policy DstPolicy
 	Dsts   []flit.EndpointID
+	// Hot and HotQ16 apply to DstHotspot: each draw goes to a uniform
+	// member of Hot with probability HotQ16 (Q16 fixed point).
+	Hot    []flit.EndpointID
+	HotQ16 uint16
 }
 
 type dstChooser struct {
@@ -90,6 +98,13 @@ func newDstChooser(cfg DstConfig) (*dstChooser, error) {
 	}
 	switch cfg.Policy {
 	case DstFixed, DstUniform, DstRoundRobin:
+	case DstHotspot:
+		if len(cfg.Hot) == 0 {
+			return nil, fmt.Errorf("traffic: hotspot policy with no hot destinations")
+		}
+		if cfg.HotQ16 == 0 {
+			return nil, fmt.Errorf("traffic: hotspot policy with zero hot probability")
+		}
 	default:
 		return nil, fmt.Errorf("traffic: unknown destination policy %q", cfg.Policy)
 	}
@@ -104,6 +119,13 @@ func (d *dstChooser) next(r *rng.LFSR) flit.EndpointID {
 		dst := d.cfg.Dsts[d.i]
 		d.i = (d.i + 1) % len(d.cfg.Dsts)
 		return dst
+	case DstHotspot:
+		// Stateless draws keep the chooser's snapshot format (the
+		// rotation cursor alone) unchanged.
+		if r.Bernoulli16(d.cfg.HotQ16) {
+			return d.cfg.Hot[r.Intn(len(d.cfg.Hot))]
+		}
+		return d.cfg.Dsts[r.Intn(len(d.cfg.Dsts))]
 	default:
 		return d.cfg.Dsts[0]
 	}

@@ -1,0 +1,140 @@
+package traffic
+
+import (
+	"testing"
+
+	"nocemu/internal/flit"
+)
+
+func zooEnv(n int, inj float64, seed uint32) WorkloadEnv {
+	env := WorkloadEnv{Injection: inj, PacketLen: 4, Seed: seed}
+	for i := 0; i < n; i++ {
+		env.Sources = append(env.Sources, flit.EndpointID(i))
+		env.Sinks = append(env.Sinks, flit.EndpointID(n+i))
+	}
+	return env
+}
+
+func TestWorkloadRegistryLists(t *testing.T) {
+	want := []string{"flows", "hotspot", "incast", "uniform"}
+	got := WorkloadKinds()
+	if len(got) != len(want) {
+		t.Fatalf("WorkloadKinds() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("WorkloadKinds() = %v, want %v", got, want)
+		}
+	}
+	if _, ok := LookupWorkload("uniform"); !ok {
+		t.Error("uniform workload missing")
+	}
+	if _, ok := LookupWorkload("bogus"); ok {
+		t.Error("bogus workload found")
+	}
+}
+
+// TestWorkloadsEmitValidConfigs: every registered workload emits one
+// validated config per source at several sizes and injection rates.
+func TestWorkloadsEmitValidConfigs(t *testing.T) {
+	for _, w := range Workloads() {
+		for _, n := range []int{2, 9, 64} {
+			for _, inj := range []float64{0.05, 0.5, 1.0} {
+				specs, err := w.Build(zooEnv(n, inj, 3))
+				if err != nil {
+					t.Fatalf("%s n=%d inj=%g: %v", w.Kind, n, inj, err)
+				}
+				if len(specs) != n {
+					t.Fatalf("%s n=%d: %d specs", w.Kind, n, len(specs))
+				}
+				for i, s := range specs {
+					models := 0
+					if s.Uniform != nil {
+						models++
+					}
+					if s.Flow != nil {
+						models++
+					}
+					if s.Incast != nil {
+						models++
+					}
+					if models != 1 || s.Model == "" {
+						t.Fatalf("%s source %d: %d model configs (model %q)", w.Kind, i, models, s.Model)
+					}
+				}
+			}
+		}
+		if _, err := w.Build(WorkloadEnv{}); err == nil {
+			t.Errorf("%s accepted an empty env", w.Kind)
+		}
+		if _, err := w.Build(zooEnv(4, 1.5, 0)); err == nil {
+			t.Errorf("%s accepted injection 1.5", w.Kind)
+		}
+	}
+}
+
+// TestHotspotVictimIsSeedControlled: the hotspot victim moves with the
+// workload seed and every source aims 25% of draws at it.
+func TestHotspotVictimIsSeedControlled(t *testing.T) {
+	w, _ := LookupWorkload("hotspot")
+	a, err := w.Build(zooEnv(8, 0.1, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := w.Build(zooEnv(8, 0.1, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	victim := func(specs []EndpointTraffic) flit.EndpointID {
+		hot := specs[0].Uniform.Dst.Hot
+		if len(hot) != 1 {
+			t.Fatalf("hot set %v", hot)
+		}
+		for _, s := range specs {
+			if len(s.Uniform.Dst.Hot) != 1 || s.Uniform.Dst.Hot[0] != hot[0] {
+				t.Fatal("sources disagree on the victim")
+			}
+			if s.Uniform.Dst.HotQ16 != 16384 {
+				t.Fatalf("HotQ16 = %d", s.Uniform.Dst.HotQ16)
+			}
+		}
+		return hot[0]
+	}
+	if victim(a) == victim(b) {
+		t.Error("victim did not move with the seed")
+	}
+}
+
+// TestIncastWaveSynchronization: all sources share the epoch, offset
+// and rotation so their waves converge on one sink at a time.
+func TestIncastWaveSynchronization(t *testing.T) {
+	w, _ := LookupWorkload("incast")
+	specs, err := w.Build(zooEnv(6, 0.2, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := specs[0].Incast
+	for i, s := range specs {
+		c := s.Incast
+		if c.Epoch != first.Epoch || c.Offset != first.Offset ||
+			c.PacketsPerWave != first.PacketsPerWave {
+			t.Fatalf("source %d wave schedule differs", i)
+		}
+		if c.Dst.Policy != DstRoundRobin || len(c.Dst.Dsts) != 6 {
+			t.Fatalf("source %d rotation %v over %d sinks", i, c.Dst.Policy, len(c.Dst.Dsts))
+		}
+	}
+}
+
+// TestFlowsArrivalSaturates: at injection 1.0 the arrival probability
+// pins to the Q16 maximum instead of dividing by zero.
+func TestFlowsArrivalSaturates(t *testing.T) {
+	w, _ := LookupWorkload("flows")
+	specs, err := w.Build(zooEnv(2, 1.0, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := specs[0].Flow.ArrivalQ16; got != 0xFFFF {
+		t.Errorf("ArrivalQ16 at injection 1.0 = %d, want 65535", got)
+	}
+}

@@ -69,6 +69,12 @@ type (
 	Totals = platform.Totals
 	// PaperOptions parameterizes the paper's reference platform.
 	PaperOptions = platform.PaperOptions
+	// NetOptions parameterizes a zoo platform: any registered topology
+	// generator crossed with any registered workload recipe.
+	NetOptions = platform.NetOptions
+	// TopologySpec is a declarative topology selector (kind + params)
+	// resolved through the generator registry.
+	TopologySpec = topology.Spec
 	// EndpointID addresses a traffic device in the network.
 	EndpointID = flit.EndpointID
 	// Topology is the switch graph with endpoint attachments.
@@ -115,6 +121,10 @@ type (
 	BurstConfig = traffic.BurstConfig
 	// PoissonConfig parameterizes the Poisson model.
 	PoissonConfig = traffic.PoissonConfig
+	// FlowConfig parameterizes flow arrivals with bounded-Pareto sizes.
+	FlowConfig = traffic.FlowConfig
+	// IncastConfig parameterizes synchronized many-to-one waves.
+	IncastConfig = traffic.IncastConfig
 	// DstConfig selects packet destinations.
 	DstConfig = traffic.DstConfig
 	// BurstTraceConfig shapes a synthetic burst trace.
@@ -128,6 +138,8 @@ const (
 	ModelUniform = platform.ModelUniform
 	ModelBurst   = platform.ModelBurst
 	ModelPoisson = platform.ModelPoisson
+	ModelFlow    = platform.ModelFlow
+	ModelIncast  = platform.ModelIncast
 	ModelTrace   = platform.ModelTrace
 )
 
@@ -142,6 +154,7 @@ const (
 	DstFixed      = traffic.DstFixed
 	DstUniform    = traffic.DstUniform
 	DstRoundRobin = traffic.DstRoundRobin
+	DstHotspot    = traffic.DstHotspot
 )
 
 // Route selection policies for Config.Select.
@@ -212,7 +225,24 @@ var (
 	FullyConnected = topology.FullyConnected
 	// PaperSix is the paper's 6-switch experimental topology.
 	PaperSix = topology.PaperSix
+	// ParseTopologySpec parses a "kind:p=1,q=2" spec string (the -topo
+	// CLI syntax) and TopologyFromSpec resolves a spec through the
+	// generator registry; TopologyKinds lists the registered kinds.
+	ParseTopologySpec = topology.ParseSpec
+	TopologyFromSpec  = topology.FromSpec
+	TopologyKinds     = topology.Kinds
+	// WorkloadKinds lists the registered workload recipes.
+	WorkloadKinds = traffic.WorkloadKinds
 )
+
+// NetConfig returns the configuration of a zoo platform: one traffic
+// generator and one receptor per topology terminal, with the traffic
+// models derived from the named workload recipe (see TOPOLOGIES.md).
+func NetConfig(o NetOptions) (Config, error) { return platform.NetConfig(o) }
+
+// MeshConfig returns a classic mesh/torus platform configuration with
+// uniform random traffic — a thin wrapper over NetConfig.
+func MeshConfig(o platform.MeshOptions) (Config, error) { return platform.MeshConfig(o) }
 
 // Trace helpers.
 var (
