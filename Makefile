@@ -11,7 +11,7 @@ test:
 # target.
 .PHONY: race
 race:
-	go test -race ./internal/engine/... ./internal/platform/... ./internal/probe/... ./internal/monitor/...
+	go test -race ./internal/engine/... ./internal/platform/... ./internal/probe/... ./internal/monitor/... ./internal/dse/...
 
 # Full race sweep (everything, including the root-package experiment
 # tests). Slow; for pre-release checks.
@@ -20,10 +20,13 @@ race-all:
 	go test -race ./...
 
 # Machine-readable benchmark suite: the emulator speed matrix (three
-# loads, gated and ungated, plus a parallel row) and the snapshot-fork
-# amortization rows (warm Fork(8) vs eight cold rebuilds) as
-# bench.json — the artifact CI uploads. `make bench-go` runs the full
-# go-test benches.
+# loads, gated and ungated, plus a parallel row), the snapshot-fork
+# amortization rows (warm Fork(8) vs eight cold rebuilds), and the
+# sweep-throughput rows (emu/dse=*: fork-amortized vs cold-build DSE
+# over a 64-row grid, plus worker-pool scaling) as bench.json — the
+# artifact CI uploads. `make bench-go` runs the full go-test benches;
+# `go run ./cmd/nocbench -exp none -json x.json -filter <re>` runs one
+# row.
 .PHONY: bench
 bench:
 	go run ./cmd/nocbench -exp none -workers 4 -snapshot -json bench.json

@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"regexp"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -33,6 +34,8 @@ func main() {
 		doTrace = flag.Bool("trace", true, "include tracing-enabled overhead rows (emu/load=*/trace) in the -json bench suite")
 		doSnap  = flag.Bool("snapshot", false, "include snapshot-fork amortization rows (emu/fork=*) in the -json bench suite")
 		doZoo   = flag.Bool("zoo", true, "include 1k-node topology/workload zoo rows (emu/topo=*, emu/wl=*) in the -json bench suite")
+		doDSE   = flag.Bool("dse", true, "include sweep-throughput rows (emu/dse=*) in the -json bench suite")
+		filter  = flag.String("filter", "", "only run bench rows whose name matches this regexp (e.g. -filter 'emu/dse=')")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
 	)
@@ -64,7 +67,16 @@ func main() {
 		os.Exit(1)
 	}
 	if *jsonOut != "" {
-		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap, *doZoo); err != nil {
+		var match experiments.RowFilter
+		if *filter != "" {
+			re, err := regexp.Compile(*filter)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "nocbench: -filter:", err)
+				os.Exit(2)
+			}
+			match = re.MatchString
+		}
+		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap, *doZoo, *doDSE, match); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}
@@ -86,24 +98,31 @@ func main() {
 
 // writeBenchJSON runs the machine-readable benchmark suite and writes
 // it to path — the artifact `make bench` produces and CI uploads.
-func writeBenchJSON(path string, workers int, traced, snapshot, zoo bool) error {
-	rows, err := experiments.BenchSuite(0, workers, traced)
+func writeBenchJSON(path string, workers int, traced, snapshot, zoo, dseRows bool, match experiments.RowFilter) error {
+	rows, err := experiments.BenchSuite(0, workers, traced, match)
 	if err != nil {
 		return err
 	}
 	if zoo {
-		zooRows, err := experiments.BenchZoo(0)
+		zooRows, err := experiments.BenchZoo(0, match)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, zooRows...)
 	}
 	if snapshot {
-		forkRows, err := experiments.BenchFork(0, 8)
+		forkRows, err := experiments.BenchFork(0, 8, match)
 		if err != nil {
 			return err
 		}
 		rows = append(rows, forkRows...)
+	}
+	if dseRows {
+		sweepRows, err := experiments.BenchDSE(0, match)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, sweepRows...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

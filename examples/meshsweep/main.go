@@ -1,9 +1,10 @@
 // Mesh sweep: use the emulation platform as a design-space explorer —
 // the "how well does this NoC fit my application" question the paper's
-// flow answers without hardware re-synthesis. A 3x3 mesh carries
-// corner-to-corner Poisson traffic; the sweep compares deterministic XY
-// routing against adaptive multipath routing across offered loads, and
-// a buffer-depth sweep shows where latency saturates.
+// flow answers without hardware re-synthesis. The sweep engine
+// (nocemu.Sweep, DESIGN.md §15) crosses two mesh sizes with a
+// buffer-depth axis and a load axis, pays each design point's warm-up
+// once and forks three seed replicates from the warmed snapshot, then
+// reports the latency/area Pareto front — the depths worth building.
 //
 //	go run ./examples/meshsweep
 package main
@@ -15,84 +16,38 @@ import (
 	"nocemu"
 )
 
-func buildMesh(lambda uint16, scheme nocemu.Config) (*nocemu.Platform, error) {
-	topo, err := nocemu.Mesh(3, 3)
-	if err != nil {
-		return nil, err
-	}
-	// Two crossing flows: corner (0,0) -> (2,2) and corner (2,0) ->
-	// (0,2), both through the mesh center.
-	if err := topo.AddSource(0, 0); err != nil {
-		return nil, err
-	}
-	if err := topo.AddSource(1, 2); err != nil {
-		return nil, err
-	}
-	if err := topo.AddSink(100, 8); err != nil {
-		return nil, err
-	}
-	if err := topo.AddSink(101, 6); err != nil {
-		return nil, err
-	}
-	cfg := scheme
-	cfg.Topology = topo
-	cfg.TGs = []nocemu.TGSpec{
-		mkTG(0, 100, lambda),
-		mkTG(1, 101, lambda),
-	}
-	cfg.TRs = []nocemu.TRSpec{
-		{Endpoint: 100, Mode: nocemu.TraceDriven, ExpectPackets: 400},
-		{Endpoint: 101, Mode: nocemu.TraceDriven, ExpectPackets: 400},
-	}
-	return nocemu.Build(cfg)
-}
-
-func mkTG(ep, dst nocemu.EndpointID, lambda uint16) nocemu.TGSpec {
-	return nocemu.TGSpec{
-		Endpoint: ep, Model: nocemu.ModelPoisson, Limit: 400,
-		Poisson: &nocemu.PoissonConfig{
-			Lambda: lambda, LenMin: 4, LenMax: 4,
-			Dst: nocemu.DstConfig{Policy: nocemu.DstFixed, Dsts: []nocemu.EndpointID{dst}},
-		},
-	}
-}
-
 func main() {
-	fmt.Println("routing comparison, 3x3 mesh, two crossing flows (mean latency in cycles):")
-	fmt.Printf("%-12s %-12s %-12s\n", "load", "xy", "adaptive")
-	// lambda in Q16 per cycle; packets of 4 flits -> load = 4*lambda/65536.
-	for _, lambda := range []uint16{1638, 3277, 6554, 9830} { // 10..60% load
-		row := fmt.Sprintf("%-12.2f", 4*float64(lambda)/65536)
-		for _, scheme := range []nocemu.Config{
-			{Name: "xy", Routing: "xy"},
-			{Name: "adaptive", Routing: "shortest", Select: nocemu.SelectAdaptive},
-		} {
-			p, err := buildMesh(lambda, scheme)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if _, done := p.Run(10_000_000); !done {
-				log.Fatal("sweep run did not finish")
-			}
-			row += fmt.Sprintf(" %-12.1f", p.Totals().MeanNetLatency)
-		}
-		fmt.Println(row)
+	cfg := nocemu.SweepConfig{
+		Name: "meshsweep",
+		Axes: nocemu.SweepAxes{
+			Topos: []nocemu.TopologySpec{
+				{Kind: "mesh", Param: map[string]int{"w": 3, "h": 3}},
+				{Kind: "mesh", Param: map[string]int{"w": 4, "h": 4}},
+			},
+			BufDepths:  []int{2, 4, 8, 16},
+			Injections: []float64{0.10, 0.30, 0.60},
+		},
+		Forks:      3, // replicate each point under diverged seeds
+		Search:     nocemu.SweepPareto,
+		Objectives: []string{nocemu.SweepObjLatency, nocemu.SweepObjArea},
+	}
+	res, err := nocemu.Sweep(cfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	fmt.Println("\nbuffer-depth sweep at 60% load, adaptive routing:")
-	fmt.Printf("%-12s %-14s %-12s\n", "depth", "latency", "congestion")
-	for _, depth := range []int{2, 4, 8, 16} {
-		p, err := buildMesh(9830, nocemu.Config{
-			Name: "depth", Routing: "shortest", Select: nocemu.SelectAdaptive,
-			SwitchBufDepth: depth,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		if _, done := p.Run(10_000_000); !done {
-			log.Fatal("depth run did not finish")
-		}
-		tot := p.Totals()
-		fmt.Printf("%-12d %-14.1f %-12.4f\n", depth, tot.MeanNetLatency, tot.CongestionRate)
+	fmt.Printf("swept %d of %d design points (%d pruned by the Pareto search), %d rows:\n\n",
+		res.Evaluated, res.GridSize, res.Pruned, len(res.Rows))
+	fmt.Printf("%-16s %-7s %-6s %-12s %-12s %-8s\n",
+		"topo", "depth", "load", "latency", "throughput", "slices")
+	for _, pt := range res.Points {
+		fmt.Printf("%-16s %-7d %-6.2f %-12.1f %-12.4f %-8d\n",
+			pt.Topo, pt.BufDepth, pt.Injection, pt.LatencyCycles, pt.Throughput, pt.AreaSlices)
+	}
+
+	fmt.Println("\nlatency/area Pareto front (the configurations worth building):")
+	for _, pt := range res.Front {
+		fmt.Printf("  %-16s depth=%-3d load=%.2f  %6.1f cycles  %6d slices\n",
+			pt.Topo, pt.BufDepth, pt.Injection, pt.LatencyCycles, pt.AreaSlices)
 	}
 }

@@ -1,0 +1,306 @@
+package dse
+
+import (
+	"bytes"
+	"testing"
+
+	"nocemu/internal/topology"
+)
+
+// tinySweep is a small but non-trivial sweep over two mesh sizes, two
+// depths and two loads with two seed replicates per point — fast enough
+// for tier-1 while exercising forking, aggregation and the front.
+func tinySweep() Config {
+	return Config{
+		Name: "tiny",
+		Axes: Axes{
+			Topos: []topology.Spec{
+				{Kind: "mesh", Param: map[string]int{"w": 2, "h": 2}},
+				{Kind: "mesh", Param: map[string]int{"w": 3, "h": 3}},
+			},
+			BufDepths:  []int{2, 4},
+			Injections: []float64{0.1, 0.25},
+		},
+		Forks:         2,
+		WarmupCycles:  300,
+		MeasureCycles: 400,
+	}
+}
+
+// marshalRows renders rows canonically for byte comparison.
+func marshalRows(t *testing.T, rows []Row) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteRows(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestSweepGridBasics checks the grid sweep produces one row per
+// (point, fork) with meaningful metrics.
+func TestSweepGridBasics(t *testing.T) {
+	cfg := tinySweep()
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GridSize != 8 {
+		t.Fatalf("grid size %d, want 8", res.GridSize)
+	}
+	wantRows := res.GridSize * 2 // forks
+	if len(res.Rows) != wantRows {
+		t.Fatalf("got %d rows, want %d", len(res.Rows), wantRows)
+	}
+	if res.Evaluated != 8 || res.Resumed != 0 || res.Pruned != 0 {
+		t.Fatalf("evaluated/resumed/pruned = %d/%d/%d, want 8/0/0",
+			res.Evaluated, res.Resumed, res.Pruned)
+	}
+	seen := map[string]bool{}
+	for _, r := range res.Rows {
+		if r.Error != "" {
+			t.Fatalf("row %s has error %q", r.Key, r.Error)
+		}
+		if seen[r.Key] {
+			t.Fatalf("duplicate row key %s", r.Key)
+		}
+		seen[r.Key] = true
+		if r.PacketsReceived == 0 {
+			t.Errorf("row %s received no packets", r.Key)
+		}
+		if r.LatencyCycles <= 0 {
+			t.Errorf("row %s latency %g", r.Key, r.LatencyCycles)
+		}
+		if r.Throughput <= 0 || r.Throughput > 1 {
+			t.Errorf("row %s throughput %g", r.Key, r.Throughput)
+		}
+		if r.AreaSlices <= 0 {
+			t.Errorf("row %s area %d", r.Key, r.AreaSlices)
+		}
+	}
+	if len(res.Points) != 8 {
+		t.Fatalf("aggregated %d points, want 8", len(res.Points))
+	}
+	for _, fp := range res.Points {
+		if fp.Forks != 2 {
+			t.Errorf("point %s aggregated %d forks, want 2", fp.Key, fp.Forks)
+		}
+	}
+	if len(res.Front) == 0 {
+		t.Fatal("empty Pareto front")
+	}
+	if len(res.Front) >= len(res.Points) {
+		t.Fatalf("front %d of %d points: nothing dominated", len(res.Front), len(res.Points))
+	}
+	// A 2x2 mesh at equal depth/load strictly dominates the 3x3 on
+	// area with comparable latency axes available — the front must not
+	// contain every depth at the largest area (spot-check: smallest
+	// area on front).
+	minArea := res.Points[0].AreaSlices
+	for _, p := range res.Points {
+		if p.AreaSlices < minArea {
+			minArea = p.AreaSlices
+		}
+	}
+	foundMin := false
+	for _, p := range res.Front {
+		if p.AreaSlices == minArea {
+			foundMin = true
+		}
+	}
+	if !foundMin {
+		t.Error("front misses the minimum-area point")
+	}
+}
+
+// TestSweepDeterministicAcrossWorkers checks the acceptance criterion:
+// same seed → same canonical rows and same front for any pool size.
+func TestSweepDeterministicAcrossWorkers(t *testing.T) {
+	var want []byte
+	var wantFront []FrontPoint
+	for _, workers := range []int{1, 3} {
+		cfg := tinySweep()
+		cfg.Workers = workers
+		res, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := marshalRows(t, res.Rows)
+		if want == nil {
+			want, wantFront = got, res.Front
+			continue
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: canonical rows differ from workers=1", workers)
+		}
+		if len(res.Front) != len(wantFront) {
+			t.Fatalf("workers=%d: front size %d, want %d", workers, len(res.Front), len(wantFront))
+		}
+		for i := range res.Front {
+			if res.Front[i] != wantFront[i] {
+				t.Errorf("workers=%d: front[%d] = %+v, want %+v", workers, i, res.Front[i], wantFront[i])
+			}
+		}
+	}
+}
+
+// TestSweepWarmColdIdentical checks the amortization is purely a
+// performance path: the fork-amortized sweep and the cold-build
+// ablation produce byte-identical canonical rows, on the uniform
+// workload and on the zoo's flow-based workload (whose generators draw
+// from the TG LFSRs the fork reseed rewrites).
+func TestSweepWarmColdIdentical(t *testing.T) {
+	for _, wl := range []string{"uniform", "flows"} {
+		cfg := tinySweep()
+		cfg.Axes.Workloads = []string{wl}
+		warm, err := Sweep(cfg)
+		if err != nil {
+			t.Fatalf("%s warm: %v", wl, err)
+		}
+		cold := tinySweep()
+		cold.Axes.Workloads = []string{wl}
+		cold.ColdBuild = true
+		coldRes, err := Sweep(cold)
+		if err != nil {
+			t.Fatalf("%s cold: %v", wl, err)
+		}
+		if !bytes.Equal(marshalRows(t, warm.Rows), marshalRows(t, coldRes.Rows)) {
+			t.Errorf("%s: warm (fork-amortized) rows differ from cold-built rows", wl)
+		}
+	}
+}
+
+// TestSweepForksDiverge checks fork replicates explore distinct
+// futures: rows of different forks at the same structural point differ.
+func TestSweepForksDiverge(t *testing.T) {
+	cfg := tinySweep()
+	// Burst-free uniform traffic at these sizes still differs per fork
+	// through reseeded gap phases; flows make divergence certain.
+	cfg.Axes.Workloads = []string{"flows"}
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byStruct := map[string][]Row{}
+	for _, r := range res.Rows {
+		sk := structOfKey(r.Key)
+		byStruct[sk] = append(byStruct[sk], r)
+	}
+	diverged := false
+	for _, rows := range byStruct {
+		if len(rows) == 2 && (rows[0].PacketsReceived != rows[1].PacketsReceived ||
+			rows[0].LatencyCycles != rows[1].LatencyCycles) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("no structural point's forks diverged; reseeding had no effect")
+	}
+}
+
+// TestLatticeHelpers pins the grid/corner/neighbour enumeration the
+// Pareto walk rests on.
+func TestLatticeHelpers(t *testing.T) {
+	a := Axes{
+		Topos:      []topology.Spec{{Kind: "mesh"}},
+		Workloads:  []string{"uniform"},
+		BufDepths:  []int{1, 2, 4},
+		Injections: []float64{0.1, 0.2},
+		Faults:     []FaultCampaign{{Name: "none"}},
+	}
+	if got := a.GridSize(); got != 6 {
+		t.Fatalf("grid size %d, want 6", got)
+	}
+	if got := len(a.grid()); got != 6 {
+		t.Fatalf("grid enumerates %d, want 6", got)
+	}
+	// Two axes have >1 value → 4 corners.
+	cs := a.corners()
+	if len(cs) != 4 {
+		t.Fatalf("corners %v, want 4", cs)
+	}
+	n := a.neighbors(Point{Depth: 1, Inj: 0})
+	if len(n) != 3 { // depth 0, depth 2, inj 1
+		t.Fatalf("neighbors = %v, want 3", n)
+	}
+	// Interior point of the depth axis has both depth neighbours.
+	n = a.neighbors(Point{Depth: 0, Inj: 1})
+	if len(n) != 2 { // depth 1, inj 0
+		t.Fatalf("neighbors = %v, want 2", n)
+	}
+}
+
+// TestFrontDominance pins the dominance relation on synthetic points.
+func TestFrontDominance(t *testing.T) {
+	objs, err := ParseObjectives([]string{ObjLatency, ObjThroughput, ObjArea})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := []FrontPoint{
+		{Key: "a", LatencyCycles: 10, Throughput: 0.5, AreaSlices: 100},
+		{Key: "b", LatencyCycles: 12, Throughput: 0.5, AreaSlices: 100}, // dominated by a
+		{Key: "c", LatencyCycles: 8, Throughput: 0.4, AreaSlices: 120},  // trade-off, kept
+		{Key: "d", LatencyCycles: 10, Throughput: 0.5, AreaSlices: 100}, // tie with a, kept
+	}
+	front := Front(pts, objs)
+	if len(front) != 3 {
+		t.Fatalf("front %v, want a,c,d", front)
+	}
+	for _, fp := range front {
+		if fp.Key == "b" {
+			t.Error("dominated point b survived")
+		}
+	}
+	// Objective validation.
+	if _, err := ParseObjectives([]string{"latency", "latency"}); err == nil {
+		t.Error("duplicate objective accepted")
+	}
+	if _, err := ParseObjectives([]string{"frequency"}); err == nil {
+		t.Error("unknown objective accepted")
+	}
+}
+
+// TestSweepValidation exercises configuration rejection.
+func TestSweepValidation(t *testing.T) {
+	bad := []Config{
+		{}, // no topology axis
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}, Workloads: []string{"nope"}}},
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}, BufDepths: []int{0}}},
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}, Injections: []float64{2}}},
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}}, Search: "random"},
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}}, Objectives: []string{"nope"}},
+		{Axes: Axes{Topos: []topology.Spec{{Kind: "mesh"}}, Faults: []FaultCampaign{{}}}},
+	}
+	for i, cfg := range bad {
+		if _, err := Sweep(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}
+
+// TestSweepErrorRows checks an unbuildable point is recorded as error
+// rows instead of aborting the sweep, and stays off the front.
+func TestSweepErrorRows(t *testing.T) {
+	cfg := tinySweep()
+	// The generator registry rejects unknown parameters at FromSpec
+	// time — platformConfig fails, the sweep records the rejection.
+	cfg.Axes.Topos = append(cfg.Axes.Topos, topology.Spec{Kind: "mesh", Param: map[string]int{"bogus": 3}})
+	res, err := Sweep(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var errRows int
+	for _, r := range res.Rows {
+		if r.Error != "" {
+			errRows++
+		}
+	}
+	if errRows != 8 { // 2 depths × 2 injections × 2 forks on the bad topo
+		t.Fatalf("got %d error rows, want 8", errRows)
+	}
+	for _, fp := range res.Front {
+		if fp.Topo == "mesh:bogus=3" {
+			t.Error("error point reached the front")
+		}
+	}
+}

@@ -1,0 +1,253 @@
+package dse
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"nocemu/internal/platform"
+	"nocemu/internal/resource"
+)
+
+// snapCache holds one warmed-up platform snapshot per structural key.
+// Within a sweep it lives in memory; with a cache directory every
+// snapshot is also persisted as <fnv64(key)>.nocsnap so a resumed or
+// repeated sweep skips construction warm-up. Disk entries are written
+// atomically (tmp + rename) so a killed sweep never leaves a torn
+// snapshot behind.
+type snapCache struct {
+	dir string
+	mu  sync.Mutex
+	mem map[string][]byte
+	// hits counts warm-up skips served from the cache.
+	hits int
+}
+
+func newSnapCache(dir string) *snapCache {
+	return &snapCache{dir: dir, mem: map[string][]byte{}}
+}
+
+// path maps a structural key to its cache file. Keys hold characters
+// unfit for filenames, so the name is the FNV-1a 64 hash of the key.
+func (c *snapCache) path(key string) string {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	var h uint64 = offset64
+	for i := 0; i < len(key); i++ {
+		h ^= uint64(key[i])
+		h *= prime64
+	}
+	return filepath.Join(c.dir, fmt.Sprintf("%016x.nocsnap", h))
+}
+
+func (c *snapCache) get(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if b, ok := c.mem[key]; ok {
+		c.hits++
+		return b, true
+	}
+	if c.dir == "" {
+		return nil, false
+	}
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	c.mem[key] = b
+	c.hits++
+	return b, true
+}
+
+func (c *snapCache) put(key string, snap []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mem[key] = snap
+	if c.dir == "" {
+		return
+	}
+	if err := os.MkdirAll(c.dir, 0o755); err != nil {
+		return // cache is best-effort; the sweep stays correct without it
+	}
+	path := c.path(key)
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, snap, 0o644); err != nil {
+		return
+	}
+	_ = os.Rename(tmp, path)
+}
+
+func (c *snapCache) hitCount() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits
+}
+
+// evaluator runs structural points into result rows.
+type evaluator struct {
+	cfg   *Config
+	cache *snapCache
+}
+
+// errorRows marks every fork of a failed point with the same error so
+// the sweep records the rejection (e.g. a deadlock-prone combination)
+// instead of aborting.
+func (e *evaluator) errorRows(p Point, err error) []Row {
+	rows := make([]Row, e.cfg.Forks)
+	for i := range rows {
+		rows[i] = e.baseRow(p, i)
+		rows[i].Error = err.Error()
+	}
+	return rows
+}
+
+func (e *evaluator) baseRow(p Point, fork int) Row {
+	return Row{
+		Key:           e.cfg.RowKey(p, fork),
+		Topo:          e.cfg.Axes.Topos[p.Topo].String(),
+		Workload:      e.cfg.Axes.Workloads[p.Workload],
+		BufDepth:      e.cfg.Axes.BufDepths[p.Depth],
+		Injection:     e.cfg.Axes.Injections[p.Inj],
+		Fault:         e.cfg.Axes.Faults[p.Fault].Name,
+		Fork:          fork,
+		WarmupCycles:  e.cfg.WarmupCycles,
+		MeasureCycles: e.cfg.MeasureCycles,
+	}
+}
+
+// build constructs the point's platform with its fault campaign
+// attached (faults are structural: they join the snapshot plan, so the
+// warm snapshot restores into an identically shaped twin).
+func (e *evaluator) build(p Point) (*platform.Platform, error) {
+	cfg, err := e.cfg.platformConfig(p)
+	if err != nil {
+		return nil, err
+	}
+	pl, err := platform.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if specs := e.cfg.Axes.Faults[p.Fault].Specs; len(specs) > 0 {
+		if _, err := pl.AddFaults(specs); err != nil {
+			pl.Close()
+			return nil, err
+		}
+	}
+	return pl, nil
+}
+
+// evalPoint evaluates all forks of one structural point and returns one
+// row per fork, in fork order.
+//
+// Warm path (the default): build once, reach the warmed post-reset
+// state — restored from the snapshot cache when present, otherwise by
+// running the warm-up and caching the snapshot — then clone the state
+// with Platform.Fork so every replicate pays only its measure window.
+//
+// Cold path (ColdBuild): every fork builds its own platform and replays
+// the warm-up, reseeding at the fork cycle exactly as Fork does — the
+// ablation baseline. Both paths produce byte-identical rows.
+func (e *evaluator) evalPoint(p Point) []Row {
+	if e.cfg.ColdBuild {
+		return e.evalPointCold(p)
+	}
+	src, err := e.build(p)
+	if err != nil {
+		return e.errorRows(p, err)
+	}
+	defer src.Close()
+	key := e.cfg.StructKey(p)
+	if snap, ok := e.cache.get(key); ok {
+		if err := src.RestoreBytes(snap); err != nil {
+			// A stale or foreign cache entry must not poison the sweep:
+			// rebuild and warm up from scratch.
+			src.Close()
+			if src, err = e.build(p); err != nil {
+				return e.errorRows(p, err)
+			}
+			e.warmAndCache(src, key)
+		}
+	} else {
+		e.warmAndCache(src, key)
+	}
+	area := areaSlices(src)
+	if e.cfg.Forks == 1 {
+		// Fork 0 is an exact continuation of the warmed state; with a
+		// single replicate the source platform is that continuation.
+		return []Row{e.measure(src, p, 0, area)}
+	}
+	forks, err := src.Fork(e.cfg.Forks)
+	if err != nil {
+		return e.errorRows(p, err)
+	}
+	rows := make([]Row, e.cfg.Forks)
+	for i, f := range forks {
+		rows[i] = e.measure(f, p, i, area)
+		f.Close()
+	}
+	return rows
+}
+
+// warmAndCache runs the warm-up, excludes it from statistics, and
+// caches the resulting snapshot under the structural key.
+func (e *evaluator) warmAndCache(src *platform.Platform, key string) {
+	src.RunCycles(e.cfg.WarmupCycles)
+	src.ResetStats()
+	if snap, err := src.SnapshotBytes(); err == nil {
+		e.cache.put(key, snap)
+	}
+}
+
+// evalPointCold is the amortization-free path: per fork, a cold build
+// replaying warm-up and reseed — semantically identical to Fork.
+func (e *evaluator) evalPointCold(p Point) []Row {
+	rows := make([]Row, e.cfg.Forks)
+	for i := range rows {
+		pl, err := e.build(p)
+		if err != nil {
+			return e.errorRows(p, err)
+		}
+		pl.RunCycles(e.cfg.WarmupCycles)
+		pl.ResetStats()
+		if i > 0 {
+			for _, tg := range pl.TGs() {
+				tg.Reseed(platform.ForkSeed(pl.Config().Seed, uint16(tg.Injector().Endpoint()), i))
+			}
+		}
+		rows[i] = e.measure(pl, p, i, areaSlices(pl))
+		pl.Close()
+	}
+	return rows
+}
+
+// measure runs the measured window and folds the platform's statistics
+// into a row. Statistics were reset at the warm-up boundary (and the
+// warm snapshot carries that reset), so totals cover exactly the
+// measured window.
+func (e *evaluator) measure(pl *platform.Platform, p Point, fork int, area int) Row {
+	pl.RunCycles(e.cfg.MeasureCycles)
+	t := pl.Totals()
+	row := e.baseRow(p, fork)
+	row.Terminals = len(pl.TGs())
+	row.LatencyCycles = t.MeanNetLatency
+	row.Throughput = float64(t.FlitsReceived) / (float64(e.cfg.MeasureCycles) * float64(row.Terminals))
+	row.AreaSlices = area
+	row.PacketsReceived = t.PacketsReceived
+	row.FlitsReceived = t.FlitsReceived
+	row.Congestion = t.CongestionRate
+	return row
+}
+
+// areaSlices estimates the platform's synthesized area — the sweep's
+// third objective. Area depends only on structure, so it is computed
+// once per structural point and shared by every fork.
+func areaSlices(pl *platform.Platform) int {
+	rep, err := resource.Estimate(pl, resource.VirtexIIPro)
+	if err != nil {
+		return 0
+	}
+	return rep.TotalSlices
+}

@@ -1,0 +1,119 @@
+package dse
+
+import (
+	"testing"
+
+	"nocemu/internal/topology"
+)
+
+// referenceSweep is the seeded reference design space of the Pareto
+// acceptance criterion: one 3x3 mesh, a depth axis and a load axis
+// under latency/area objectives. Latency grows with load and (weakly)
+// shrinks with depth; area grows with depth — so high-load and
+// deep-buffer regions are dominated and the successive-refinement walk
+// should close the front without gridding them.
+func referenceSweep() Config {
+	return Config{
+		Name: "reference",
+		Axes: Axes{
+			Topos:      []topology.Spec{{Kind: "mesh", Param: map[string]int{"w": 3, "h": 3}}},
+			BufDepths:  []int{1, 2, 4, 8},
+			Injections: []float64{0.05, 0.08, 0.1, 0.15, 0.2, 0.3, 0.4, 0.5},
+		},
+		WarmupCycles:  400,
+		MeasureCycles: 600,
+		Search:        SearchPareto,
+		Objectives:    []string{ObjLatency, ObjArea},
+	}
+}
+
+// TestParetoMatchesExhaustive checks the pruning acceptance criterion:
+// the Pareto search evaluates under half of the full grid while
+// producing exactly the exhaustive front.
+func TestParetoMatchesExhaustive(t *testing.T) {
+	exhaustive := referenceSweep()
+	exhaustive.Search = SearchGrid
+	exRes, err := Sweep(exhaustive)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exRes.Evaluated != exRes.GridSize {
+		t.Fatalf("exhaustive sweep evaluated %d of %d", exRes.Evaluated, exRes.GridSize)
+	}
+
+	pRes, err := Sweep(referenceSweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pRes.Evaluated >= pRes.GridSize/2 {
+		t.Errorf("pareto search evaluated %d of %d points (want < 50%%)",
+			pRes.Evaluated, pRes.GridSize)
+	}
+	if pRes.Pruned != pRes.GridSize-pRes.Evaluated {
+		t.Errorf("pruned accounting: %d != %d - %d", pRes.Pruned, pRes.GridSize, pRes.Evaluated)
+	}
+	if len(pRes.Front) == 0 {
+		t.Fatal("empty front")
+	}
+	if len(pRes.Front) != len(exRes.Front) {
+		t.Fatalf("pareto front has %d points, exhaustive %d:\npareto: %v\nexhaustive: %v",
+			len(pRes.Front), len(exRes.Front), keysOf(pRes.Front), keysOf(exRes.Front))
+	}
+	for i := range pRes.Front {
+		if pRes.Front[i] != exRes.Front[i] {
+			t.Errorf("front[%d]: pareto %+v != exhaustive %+v", i, pRes.Front[i], exRes.Front[i])
+		}
+	}
+	// Every searched row must byte-match its exhaustive twin (the rows
+	// the search skipped simply don't exist on the pruned side).
+	exByKey := map[string]Row{}
+	for _, r := range exRes.Rows {
+		exByKey[r.Key] = r
+	}
+	for _, r := range pRes.Rows {
+		if want, ok := exByKey[r.Key]; !ok {
+			t.Errorf("searched row %s missing from exhaustive sweep", r.Key)
+		} else if r != want {
+			t.Errorf("row %s differs between search modes", r.Key)
+		}
+	}
+}
+
+// TestParetoDeterministicAcrossWorkers checks the wave-barrier search
+// visits the same points and finds the same front for any pool size.
+func TestParetoDeterministicAcrossWorkers(t *testing.T) {
+	var wantFront []FrontPoint
+	wantEval := -1
+	for _, workers := range []int{1, 4} {
+		cfg := referenceSweep()
+		cfg.Workers = workers
+		res, err := Sweep(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if wantEval < 0 {
+			wantEval, wantFront = res.Evaluated, res.Front
+			continue
+		}
+		if res.Evaluated != wantEval {
+			t.Errorf("workers=%d evaluated %d points, workers=1 evaluated %d",
+				workers, res.Evaluated, wantEval)
+		}
+		if len(res.Front) != len(wantFront) {
+			t.Fatalf("workers=%d front size %d, want %d", workers, len(res.Front), len(wantFront))
+		}
+		for i := range res.Front {
+			if res.Front[i] != wantFront[i] {
+				t.Errorf("workers=%d front[%d] differs", workers, i)
+			}
+		}
+	}
+}
+
+func keysOf(points []FrontPoint) []string {
+	out := make([]string, len(points))
+	for i, p := range points {
+		out[i] = p.Key
+	}
+	return out
+}

@@ -1,0 +1,270 @@
+package dse
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// Row is one evaluated (structural point, fork) result — the JSONL
+// record the journal and the results file hold. Every field is a pure
+// function of the sweep configuration (no wall-clock timing), so rows
+// are byte-identical across worker counts, warm/cold paths and resumed
+// sweeps; the canonical results file is the key-sorted row set.
+type Row struct {
+	// Key is the canonical row identifier (Config.RowKey).
+	Key string `json:"key"`
+	// The structural coordinates, denormalized for downstream tools.
+	Topo      string  `json:"topo"`
+	Workload  string  `json:"workload"`
+	BufDepth  int     `json:"buf_depth"`
+	Injection float64 `json:"injection"`
+	Fault     string  `json:"fault"`
+	Fork      int     `json:"fork"`
+	// Run shape.
+	WarmupCycles  uint64 `json:"warmup_cycles"`
+	MeasureCycles uint64 `json:"measure_cycles"`
+	Terminals     int    `json:"terminals,omitempty"`
+	// Objectives. Latency is the packet-weighted mean network latency in
+	// cycles over the measured window; Throughput is accepted flits per
+	// terminal per cycle; AreaSlices is the synthesis estimate of the
+	// whole platform (internal/resource, Virtex-II Pro model).
+	LatencyCycles float64 `json:"latency_cycles"`
+	Throughput    float64 `json:"throughput"`
+	AreaSlices    int     `json:"area_slices"`
+	// Supporting measurements.
+	PacketsReceived uint64  `json:"packets_received"`
+	FlitsReceived   uint64  `json:"flits_received"`
+	Congestion      float64 `json:"congestion"`
+	// Error marks a point that could not be evaluated (build rejection,
+	// e.g. a deadlock-prone topology/routing combination). Error rows
+	// never join the Pareto front.
+	Error string `json:"error,omitempty"`
+}
+
+// MarshalRow renders a row as its canonical JSONL line (no trailing
+// newline).
+func MarshalRow(r Row) ([]byte, error) { return json.Marshal(r) }
+
+// SortRows orders rows canonically: by key, forks numerically within a
+// structural point (the key embeds the fork index, so plain string
+// order would put fork=10 before fork=2).
+func SortRows(rows []Row) {
+	sort.Slice(rows, func(i, j int) bool {
+		a, b := rows[i], rows[j]
+		ka, kb := structOfKey(a.Key), structOfKey(b.Key)
+		if ka != kb {
+			return ka < kb
+		}
+		return a.Fork < b.Fork
+	})
+}
+
+// structOfKey strips the "|fork=N" suffix off a row key.
+func structOfKey(key string) string {
+	if i := bytes.LastIndex([]byte(key), []byte("|fork=")); i >= 0 {
+		return key[:i]
+	}
+	return key
+}
+
+// WriteRows writes rows as JSONL in their current order.
+func WriteRows(w io.Writer, rows []Row) error {
+	bw := bufio.NewWriter(w)
+	for _, r := range rows {
+		b, err := MarshalRow(r)
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(append(b, '\n')); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadRows parses a JSONL row stream (journal or results file),
+// rejecting unknown fields so schema drift fails loudly.
+func ReadRows(r io.Reader) ([]Row, error) {
+	var rows []Row
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := bytes.TrimSpace(sc.Bytes())
+		if len(text) == 0 {
+			continue
+		}
+		dec := json.NewDecoder(bytes.NewReader(text))
+		dec.DisallowUnknownFields()
+		var row Row
+		if err := dec.Decode(&row); err != nil {
+			return nil, fmt.Errorf("dse: row %d: %w", line, err)
+		}
+		if row.Key == "" {
+			return nil, fmt.Errorf("dse: row %d: empty key", line)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// FrontPoint is one structural point aggregated over its forks — the
+// unit the Pareto front is computed on. Objective values are the
+// unweighted mean over fork rows (deterministic: forks are summed in
+// index order).
+type FrontPoint struct {
+	Key           string  `json:"key"`
+	Topo          string  `json:"topo"`
+	Workload      string  `json:"workload"`
+	BufDepth      int     `json:"buf_depth"`
+	Injection     float64 `json:"injection"`
+	Fault         string  `json:"fault"`
+	Forks         int     `json:"forks"`
+	LatencyCycles float64 `json:"latency_cycles"`
+	Throughput    float64 `json:"throughput"`
+	AreaSlices    int     `json:"area_slices"`
+}
+
+// Aggregate folds fork rows into one FrontPoint per structural key,
+// sorted by key. Rows with errors or with no received packets carry no
+// objective signal and are skipped; a structural point is aggregated
+// only from its usable rows.
+func Aggregate(rows []Row) []FrontPoint {
+	sorted := append([]Row(nil), rows...)
+	SortRows(sorted)
+	byKey := map[string]*FrontPoint{}
+	var order []string
+	for _, r := range sorted {
+		if r.Error != "" || r.PacketsReceived == 0 {
+			continue
+		}
+		sk := structOfKey(r.Key)
+		fp, ok := byKey[sk]
+		if !ok {
+			fp = &FrontPoint{
+				Key: sk, Topo: r.Topo, Workload: r.Workload,
+				BufDepth: r.BufDepth, Injection: r.Injection, Fault: r.Fault,
+			}
+			byKey[sk] = fp
+			order = append(order, sk)
+		}
+		fp.Forks++
+		fp.LatencyCycles += r.LatencyCycles
+		fp.Throughput += r.Throughput
+		fp.AreaSlices = r.AreaSlices
+	}
+	out := make([]FrontPoint, 0, len(order))
+	sort.Strings(order)
+	for _, sk := range order {
+		fp := byKey[sk]
+		fp.LatencyCycles /= float64(fp.Forks)
+		fp.Throughput /= float64(fp.Forks)
+		out = append(out, *fp)
+	}
+	return out
+}
+
+// Objective names accepted by Config.Objectives.
+const (
+	ObjLatency    = "latency"    // minimize mean network latency
+	ObjThroughput = "throughput" // maximize accepted flits/node/cycle
+	ObjArea       = "area"       // minimize estimated slices
+)
+
+// Objective is one optimization direction over aggregated points.
+type Objective struct {
+	Name string
+	// Max inverts the comparison (maximize instead of minimize).
+	Max bool
+	// Value extracts the objective from an aggregated point.
+	Value func(FrontPoint) float64
+}
+
+// ParseObjectives resolves objective names.
+func ParseObjectives(names []string) ([]Objective, error) {
+	var out []Objective
+	seen := map[string]bool{}
+	for _, n := range names {
+		if seen[n] {
+			return nil, fmt.Errorf("dse: duplicate objective %q", n)
+		}
+		seen[n] = true
+		switch n {
+		case ObjLatency:
+			out = append(out, Objective{Name: n, Value: func(p FrontPoint) float64 { return p.LatencyCycles }})
+		case ObjThroughput:
+			out = append(out, Objective{Name: n, Max: true, Value: func(p FrontPoint) float64 { return p.Throughput }})
+		case ObjArea:
+			out = append(out, Objective{Name: n, Value: func(p FrontPoint) float64 { return float64(p.AreaSlices) }})
+		default:
+			return nil, fmt.Errorf("dse: unknown objective %q (known: %s, %s, %s)",
+				n, ObjLatency, ObjThroughput, ObjArea)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("dse: no objectives")
+	}
+	return out, nil
+}
+
+// dominates reports whether a dominates b: no worse in every objective
+// and strictly better in at least one.
+func dominates(a, b FrontPoint, objs []Objective) bool {
+	better := false
+	for _, o := range objs {
+		va, vb := o.Value(a), o.Value(b)
+		if o.Max {
+			va, vb = -va, -vb
+		}
+		if va > vb {
+			return false
+		}
+		if va < vb {
+			better = true
+		}
+	}
+	return better
+}
+
+// Front returns the non-dominated subset of the aggregated points,
+// sorted by key. Points with identical objective vectors are all kept.
+func Front(points []FrontPoint, objs []Objective) []FrontPoint {
+	var out []FrontPoint
+	for i, p := range points {
+		dominated := false
+		for j, q := range points {
+			if i == j {
+				continue
+			}
+			if dominates(q, p, objs) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			out = append(out, p)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+// WriteFront writes aggregated front points as JSONL.
+func WriteFront(w io.Writer, points []FrontPoint) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

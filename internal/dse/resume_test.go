@@ -1,0 +1,148 @@
+package dse
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestSweepResume checks the resumability acceptance criterion: a
+// sweep killed mid-grid (StopAfterPoints) resumes from its journal and
+// snapshot cache, and the merged canonical JSONL is byte-identical to
+// an uninterrupted run's.
+func TestSweepResume(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal")
+	cache := filepath.Join(dir, "snapcache")
+
+	// The uninterrupted reference (no journal, no cache).
+	ref, err := Sweep(tinySweep())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := marshalRows(t, ref.Rows)
+
+	// First run: killed after 3 of 8 structural points.
+	first := tinySweep()
+	first.Journal = journal
+	first.CacheDir = cache
+	first.StopAfterPoints = 3
+	fRes, err := Sweep(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !fRes.Stopped || fRes.Evaluated != 3 {
+		t.Fatalf("first run: stopped=%v evaluated=%d, want stopped after 3", fRes.Stopped, fRes.Evaluated)
+	}
+	jrows, err := LoadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jrows) != 3*2 { // forks
+		t.Fatalf("journal holds %d rows after the kill, want 6", len(jrows))
+	}
+	snaps, err := filepath.Glob(filepath.Join(cache, "*.nocsnap"))
+	if err != nil || len(snaps) != 3 {
+		t.Fatalf("snapshot cache holds %d entries (%v), want 3", len(snaps), err)
+	}
+
+	// Resume: same configuration, same journal and cache.
+	second := tinySweep()
+	second.Journal = journal
+	second.CacheDir = cache
+	sRes, err := Sweep(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.Stopped {
+		t.Fatal("resumed run reports stopped")
+	}
+	if sRes.Resumed != 3 || sRes.Evaluated != 5 {
+		t.Fatalf("resumed run: resumed=%d evaluated=%d, want 3/5", sRes.Resumed, sRes.Evaluated)
+	}
+	got := marshalRows(t, sRes.Rows)
+	if !bytes.Equal(got, want) {
+		t.Fatal("merged resumed JSONL differs from the uninterrupted run")
+	}
+
+	// A third run is a full no-op served entirely from the journal.
+	third := tinySweep()
+	third.Journal = journal
+	third.CacheDir = cache
+	tRes, err := Sweep(third)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tRes.Evaluated != 0 || tRes.Resumed != 8 {
+		t.Fatalf("third run: evaluated=%d resumed=%d, want 0/8", tRes.Evaluated, tRes.Resumed)
+	}
+	if !bytes.Equal(marshalRows(t, tRes.Rows), want) {
+		t.Fatal("journal-only rerun differs from the uninterrupted run")
+	}
+}
+
+// TestSnapshotCacheResume checks the cache actually short-circuits the
+// warm-up: a second sweep over the same space with a shared cache but a
+// fresh journal re-evaluates every point from cached snapshots and
+// still produces identical rows.
+func TestSnapshotCacheResume(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "snapcache")
+
+	first := tinySweep()
+	first.CacheDir = cache
+	fRes, err := Sweep(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fRes.CacheHits != 0 {
+		t.Fatalf("fresh sweep hit the cache %d times", fRes.CacheHits)
+	}
+
+	second := tinySweep()
+	second.CacheDir = cache
+	sRes, err := Sweep(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sRes.CacheHits != 8 {
+		t.Fatalf("cached sweep hit the cache %d times, want 8", sRes.CacheHits)
+	}
+	if !bytes.Equal(marshalRows(t, fRes.Rows), marshalRows(t, sRes.Rows)) {
+		t.Fatal("cache-served sweep rows differ from the warmed sweep")
+	}
+}
+
+// TestSnapshotCacheCorruptEntry checks a torn or foreign cache file
+// cannot poison a sweep: the evaluator falls back to a fresh warm-up.
+func TestSnapshotCacheCorruptEntry(t *testing.T) {
+	dir := t.TempDir()
+	cache := filepath.Join(dir, "snapcache")
+
+	first := tinySweep()
+	first.CacheDir = cache
+	fRes, err := Sweep(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snaps, err := filepath.Glob(filepath.Join(cache, "*.nocsnap"))
+	if err != nil || len(snaps) == 0 {
+		t.Fatalf("no cache entries (%v)", err)
+	}
+	for _, s := range snaps {
+		if err := os.WriteFile(s, []byte("not a snapshot"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	second := tinySweep()
+	second.CacheDir = cache
+	sRes, err := Sweep(second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(marshalRows(t, fRes.Rows), marshalRows(t, sRes.Rows)) {
+		t.Fatal("sweep rows changed after cache corruption")
+	}
+}

@@ -16,7 +16,17 @@ type BenchRow struct {
 	Name         string  `json:"name"`
 	CyclesPerSec float64 `json:"cycles_per_sec"`
 	AllocsPerOp  float64 `json:"allocs_per_op"`
+	// PointsPerMin is set on sweep-throughput rows (emu/dse=*): design
+	// points evaluated per wall minute.
+	PointsPerMin float64 `json:"points_per_min,omitempty"`
 }
+
+// RowFilter selects which benchmark rows run; nil runs everything. A
+// filtered row is never measured, so a narrow filter (nocbench -filter)
+// makes iterating on one row cheap.
+type RowFilter func(name string) bool
+
+func (f RowFilter) match(name string) bool { return f == nil || f(name) }
 
 // BenchSuite measures the emulator speed matrix for the JSON artifact:
 // the paper's reference platform at three injection loads, gated and
@@ -30,38 +40,42 @@ type BenchRow struct {
 // warm-up; allocs_per_op counts heap allocations during the op
 // (steady-state emulation allocates nothing with tracing off, so this
 // also guards the pooled flit path and the nil-probe hooks).
-func BenchSuite(cycles uint64, workers int, traced bool) ([]BenchRow, error) {
+func BenchSuite(cycles uint64, workers int, traced bool, filter RowFilter) ([]BenchRow, error) {
 	if cycles == 0 {
 		cycles = 200_000
 	}
 	var rows []BenchRow
 	for _, load := range []float64{0.01, 0.10, 0.45} {
 		for _, gate := range []bool{true, false} {
-			row, err := benchOne(
-				fmt.Sprintf("emu/load=%.2f/gate=%v", load, gate),
-				load, !gate, 0, cycles, false)
+			name := fmt.Sprintf("emu/load=%.2f/gate=%v", load, gate)
+			if !filter.match(name) {
+				continue
+			}
+			row, err := benchOne(name, load, !gate, 0, cycles, false)
 			if err != nil {
 				return nil, err
 			}
 			rows = append(rows, row)
 		}
 		if workers > 0 {
-			row, err := benchOne(
-				fmt.Sprintf("emu/load=%.2f/workers=%d", load, workers),
-				load, false, workers, cycles, false)
-			if err != nil {
-				return nil, err
+			name := fmt.Sprintf("emu/load=%.2f/workers=%d", load, workers)
+			if filter.match(name) {
+				row, err := benchOne(name, load, false, workers, cycles, false)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
 			}
-			rows = append(rows, row)
 		}
 		if traced {
-			row, err := benchOne(
-				fmt.Sprintf("emu/load=%.2f/trace", load),
-				load, false, 0, cycles, true)
-			if err != nil {
-				return nil, err
+			name := fmt.Sprintf("emu/load=%.2f/trace", load)
+			if filter.match(name) {
+				row, err := benchOne(name, load, false, 0, cycles, true)
+				if err != nil {
+					return nil, err
+				}
+				rows = append(rows, row)
 			}
-			rows = append(rows, row)
 		}
 	}
 	// Mesh scale rows: N×N uniform-random meshes from the paper's
@@ -72,6 +86,9 @@ func BenchSuite(cycles uint64, workers int, traced bool) ([]BenchRow, error) {
 	// bench_test.go so CI artifacts track the same grid.
 	for _, nodes := range []int{64, 256, 1024} {
 		for _, inj := range []float64{0.02, 0.10} {
+			if !filter.match(fmt.Sprintf("emu/mesh=%d/inj=%.2f", nodes, inj)) {
+				continue
+			}
 			row, err := benchMesh(nodes, inj, cycles)
 			if err != nil {
 				return nil, err
@@ -118,7 +135,7 @@ func benchMesh(nodes int, inj float64, cycles uint64) (BenchRow, error) {
 // hotspot and incast workloads on the 1024-node mesh. Cycles per row
 // shrink with the terminal count as in the mesh grid so every row
 // costs comparable wall time.
-func BenchZoo(cycles uint64) ([]BenchRow, error) {
+func BenchZoo(cycles uint64, filter RowFilter) ([]BenchRow, error) {
 	if cycles == 0 {
 		cycles = 200_000
 	}
@@ -142,6 +159,9 @@ func BenchZoo(cycles uint64) ([]BenchRow, error) {
 	}
 	var rows []BenchRow
 	for _, c := range cases {
+		if !filter.match(c.name) {
+			continue
+		}
 		cfg, err := platform.NetConfig(c.opts)
 		if err != nil {
 			return nil, err
@@ -207,7 +227,7 @@ func benchOne(name string, load float64, noGate bool, workers int, cycles uint64
 // the n divergent tails over the whole path's wall time — warm-up,
 // build and snapshot costs land in the denominator, which is exactly
 // the amortization being measured.
-func BenchFork(cycles uint64, n int) ([]BenchRow, error) {
+func BenchFork(cycles uint64, n int, filter RowFilter) ([]BenchRow, error) {
 	if cycles == 0 {
 		cycles = 200_000
 	}
@@ -219,54 +239,60 @@ func BenchFork(cycles uint64, n int) ([]BenchRow, error) {
 		return nil, err
 	}
 	useful := uint64(n) * cycles
+	var rows []BenchRow
 
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	src, err := platform.Build(cfg)
-	if err != nil {
-		return nil, err
-	}
-	src.RunCycles(cycles)
-	forks, err := src.Fork(n)
-	src.Close()
-	if err != nil {
-		return nil, err
-	}
-	for _, f := range forks {
-		f.RunCycles(cycles)
-		f.Close()
-	}
-	warmEl := time.Since(start)
-	runtime.ReadMemStats(&after)
-	warmRow := BenchRow{
-		Name:         fmt.Sprintf("emu/fork=%d/warm", n),
-		CyclesPerSec: float64(useful) / warmEl.Seconds(),
-		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
-	}
-
-	runtime.ReadMemStats(&before)
-	start = time.Now()
-	for i := 0; i < n; i++ {
-		p, err := platform.Build(cfg)
+	if name := fmt.Sprintf("emu/fork=%d/warm", n); filter.match(name) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		src, err := platform.Build(cfg)
 		if err != nil {
 			return nil, err
 		}
-		p.RunCycles(cycles)
-		if i > 0 {
-			for _, tg := range p.TGs() {
-				tg.Reseed(platform.ForkSeed(p.Config().Seed, uint16(tg.Injector().Endpoint()), i))
-			}
+		src.RunCycles(cycles)
+		forks, err := src.Fork(n)
+		src.Close()
+		if err != nil {
+			return nil, err
 		}
-		p.RunCycles(cycles)
-		p.Close()
+		for _, f := range forks {
+			f.RunCycles(cycles)
+			f.Close()
+		}
+		warmEl := time.Since(start)
+		runtime.ReadMemStats(&after)
+		rows = append(rows, BenchRow{
+			Name:         name,
+			CyclesPerSec: float64(useful) / warmEl.Seconds(),
+			AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+		})
 	}
-	coldEl := time.Since(start)
-	runtime.ReadMemStats(&after)
-	coldRow := BenchRow{
-		Name:         fmt.Sprintf("emu/fork=%d/cold", n),
-		CyclesPerSec: float64(useful) / coldEl.Seconds(),
-		AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+
+	if name := fmt.Sprintf("emu/fork=%d/cold", n); filter.match(name) {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			p, err := platform.Build(cfg)
+			if err != nil {
+				return nil, err
+			}
+			p.RunCycles(cycles)
+			if i > 0 {
+				for _, tg := range p.TGs() {
+					tg.Reseed(platform.ForkSeed(p.Config().Seed, uint16(tg.Injector().Endpoint()), i))
+				}
+			}
+			p.RunCycles(cycles)
+			p.Close()
+		}
+		coldEl := time.Since(start)
+		runtime.ReadMemStats(&after)
+		rows = append(rows, BenchRow{
+			Name:         name,
+			CyclesPerSec: float64(useful) / coldEl.Seconds(),
+			AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+		})
 	}
-	return []BenchRow{warmRow, coldRow}, nil
+	return rows, nil
 }

@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+
+	"nocemu/internal/dse"
+	"nocemu/internal/topology"
+)
+
+// benchSweepConfig is the shared design space of the emu/dse=* rows: 8
+// structural points (2 topologies × 2 buffer depths × 2 loads) times 8
+// seed-replicate forks — a 64-row sweep. The warm-up window dwarfs the
+// measured window (32:1), as in real confidence-interval sweeps where
+// many replicates share one long-settled steady state; that ratio is
+// what the fork-amortized evaluator exploits (one warm-up per
+// structural point instead of one per fork, DESIGN.md §15).
+func benchSweepConfig(cycles uint64) dse.Config {
+	return dse.Config{
+		Name: "bench",
+		Axes: dse.Axes{
+			Topos: []topology.Spec{
+				{Kind: "mesh", Param: map[string]int{"w": 4, "h": 4}},
+				{Kind: "torus", Param: map[string]int{"w": 4, "h": 4}},
+			},
+			BufDepths:  []int{2, 4},
+			Injections: []float64{0.10, 0.30},
+		},
+		Forks:         8,
+		WarmupCycles:  cycles / 25,  // 8000 at the default 200k
+		MeasureCycles: cycles / 800, // 250 at the default 200k
+	}
+}
+
+// BenchDSE measures the design-space exploration engine's sweep
+// throughput for the JSON artifact, on the 64-row space above:
+//
+//	emu/dse=warm/forks=8  — fork-amortized evaluation (snapshot + Fork)
+//	emu/dse=cold/forks=8  — sequential cold-build baseline (one build
+//	                        and warm-up per fork; what a sweep script
+//	                        without the engine would pay)
+//	emu/dse=workers=W     — fork-amortized sweep under a W-worker pool
+//	                        (W = 1, 4, NumCPU)
+//
+// CyclesPerSec counts usefully measured cycles (rows × measured
+// window) over the whole sweep's wall time, so build, warm-up and
+// snapshot costs land in the denominator — the amortization being
+// measured. PointsPerMin is the engine's structural-point throughput.
+// Rows are deterministic in content across variants (the warm, cold
+// and pooled sweeps produce byte-identical JSONL); only the wall time
+// differs.
+func BenchDSE(cycles uint64, filter RowFilter) ([]BenchRow, error) {
+	if cycles == 0 {
+		cycles = 200_000
+	}
+	variant := func(name string, mutate func(*dse.Config)) (BenchRow, error) {
+		cfg := benchSweepConfig(cycles)
+		if mutate != nil {
+			mutate(&cfg)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		res, err := dse.Sweep(cfg)
+		if err != nil {
+			return BenchRow{}, err
+		}
+		runtime.ReadMemStats(&after)
+		useful := float64(len(res.Rows)) * float64(cfg.MeasureCycles)
+		return BenchRow{
+			Name:         name,
+			CyclesPerSec: useful / res.Elapsed.Seconds(),
+			AllocsPerOp:  float64(after.Mallocs - before.Mallocs),
+			PointsPerMin: res.PointsPerMin,
+		}, nil
+	}
+
+	var rows []BenchRow
+	if name := "emu/dse=warm/forks=8"; filter.match(name) {
+		row, err := variant(name, nil)
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	if name := "emu/dse=cold/forks=8"; filter.match(name) {
+		row, err := variant(name, func(c *dse.Config) { c.ColdBuild = true })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	workerCounts := []int{1, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 4 {
+		workerCounts = append(workerCounts, n)
+	}
+	for _, w := range workerCounts {
+		w := w
+		name := fmt.Sprintf("emu/dse=workers=%d", w)
+		if !filter.match(name) {
+			continue
+		}
+		row, err := variant(name, func(c *dse.Config) { c.Workers = w })
+		if err != nil {
+			return nil, err
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}

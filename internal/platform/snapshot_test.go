@@ -21,6 +21,7 @@ import (
 	"nocemu/internal/platform"
 	"nocemu/internal/probe"
 	"nocemu/internal/state"
+	"nocemu/internal/topology"
 )
 
 // snapWorkerCounts matches the acceptance matrix: sequential plus a
@@ -547,5 +548,81 @@ func TestGoldenSnapshotFixture(t *testing.T) {
 	}
 	if _, stopped := q.Run(1_000_000); !stopped {
 		t.Fatal("restored fixture run did not complete")
+	}
+}
+
+// TestForkMatchesColdRunsZoo extends the fork determinism property to
+// the workload zoo: every fork must byte-match a cold-built twin that
+// replays the warm-up and reseeds at the same cycle. "flows" draws
+// from its TGs' LFSRs every packet (heavy-tailed sizes, jittered
+// gaps), so its forks must additionally diverge from each other;
+// "incast" is deterministic by construction (fixed lengths,
+// round-robin victims, synchronized epochs — no LFSR draws), so its
+// forks are legitimately identical and only the cold-twin match is
+// asserted.
+func TestForkMatchesColdRunsZoo(t *testing.T) {
+	for _, workload := range []string{"flows", "incast"} {
+		t.Run(workload, func(t *testing.T) {
+			cfg, err := platform.NetConfig(platform.NetOptions{
+				Topo:      topology.Spec{Kind: "mesh", Param: map[string]int{"w": 3, "h": 3}},
+				Workload:  workload,
+				Injection: 0.2,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const warm, tail = 1_200, 1_200
+			const nForks = 3
+
+			src, err := platform.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer src.Close()
+			src.RunCycles(warm)
+			seed := src.Config().Seed
+
+			forks, err := src.Fork(nForks)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer func() {
+				for _, f := range forks {
+					f.Close()
+				}
+			}()
+			outs := make([]runOutput, nForks)
+			for i, f := range forks {
+				f.RunCycles(tail)
+				outs[i] = capture(t, f)
+			}
+
+			for i := 0; i < nForks; i++ {
+				cold, err := platform.Build(cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cold.RunCycles(warm)
+				if i > 0 {
+					for _, tg := range cold.TGs() {
+						tg.Reseed(platform.ForkSeed(seed, uint16(tg.Injector().Endpoint()), i))
+					}
+				}
+				cold.RunCycles(tail)
+				want := capture(t, cold)
+				cold.Close()
+				if !outs[i].equal(want) {
+					t.Errorf("%s fork %d diverged from its cold-run reference: %s",
+						workload, i, outs[i].diff(want))
+				}
+			}
+			if workload == "flows" {
+				for i := 1; i < nForks; i++ {
+					if bytes.Equal(outs[i].json, outs[0].json) {
+						t.Errorf("%s fork %d identical to fork 0; reseeding had no effect", workload, i)
+					}
+				}
+			}
+		})
 	}
 }

@@ -39,6 +39,7 @@ import (
 
 	"nocemu/internal/bus"
 	"nocemu/internal/control"
+	"nocemu/internal/dse"
 	"nocemu/internal/fault"
 	"nocemu/internal/flit"
 	"nocemu/internal/flow"
@@ -243,6 +244,55 @@ func NetConfig(o NetOptions) (Config, error) { return platform.NetConfig(o) }
 // MeshConfig returns a classic mesh/torus platform configuration with
 // uniform random traffic — a thin wrapper over NetConfig.
 func MeshConfig(o platform.MeshOptions) (Config, error) { return platform.MeshConfig(o) }
+
+// Design-space exploration: the fork-amortized sweep engine behind
+// cmd/nocsweep (see DESIGN.md §15).
+type (
+	// SweepConfig describes a design-space sweep: the axes, the
+	// evaluation windows, the worker pool and the search mode.
+	SweepConfig = dse.Config
+	// SweepAxes is the swept cross product (topologies × workloads ×
+	// buffer depths × injection rates × fault campaigns).
+	SweepAxes = dse.Axes
+	// SweepFaultCampaign is one named fault-axis entry.
+	SweepFaultCampaign = dse.FaultCampaign
+	// SweepResult is a completed sweep: canonical rows, the aggregated
+	// points, the Pareto front, and throughput accounting.
+	SweepResult = dse.Result
+	// SweepRow is one (design point, fork) evaluation.
+	SweepRow = dse.Row
+	// SweepFrontPoint is one aggregated design point, as ranked by the
+	// Pareto front.
+	SweepFrontPoint = dse.FrontPoint
+)
+
+// Search modes for SweepConfig.Search.
+const (
+	SweepGrid   = dse.SearchGrid
+	SweepPareto = dse.SearchPareto
+)
+
+// Pareto objective names for SweepConfig.Objectives.
+const (
+	SweepObjLatency    = dse.ObjLatency
+	SweepObjThroughput = dse.ObjThroughput
+	SweepObjArea       = dse.ObjArea
+)
+
+// Sweep runs a design-space exploration and returns the canonical
+// result (key-sorted rows, aggregated points, Pareto front).
+func Sweep(cfg SweepConfig) (*SweepResult, error) { return dse.Sweep(cfg) }
+
+// Sweep result helpers.
+var (
+	// WriteSweepRows / ReadSweepRows handle the canonical JSONL row
+	// format; WriteSweepFront emits the aggregated front.
+	WriteSweepRows  = dse.WriteRows
+	ReadSweepRows   = dse.ReadRows
+	WriteSweepFront = dse.WriteFront
+	// LoadSweepJournal reads a sweep journal's rows (crash inspection).
+	LoadSweepJournal = dse.LoadJournal
+)
 
 // Trace helpers.
 var (
