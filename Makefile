@@ -11,7 +11,7 @@ test:
 # target.
 .PHONY: race
 race:
-	go test -race ./internal/engine/... ./internal/platform/... ./internal/probe/... ./internal/monitor/... ./internal/dse/...
+	go test -race ./internal/engine/... ./internal/platform/... ./internal/probe/... ./internal/monitor/... ./internal/dse/... ./internal/serve/... ./cmd/nocserve/...
 
 # Full race sweep (everything, including the root-package experiment
 # tests). Slow; for pre-release checks.
@@ -43,15 +43,17 @@ vet:
 
 # Short fuzz pass over the serialization codecs: the trace JSONL codec
 # (encode -> decode -> re-encode must be lossless; the golden-trace
-# fixtures rest on byte-stable re-encoding) and the snapshot framing
+# fixtures rest on byte-stable re-encoding), the snapshot framing
 # codec (arbitrary section payloads must round-trip, and mutated
-# headers must be rejected, never crash). The corpora grow under each
-# package's testdata over time; `make fuzz` explores for a few seconds
-# beyond them.
+# headers must be rejected, never crash), and the strict serve-protocol
+# decoder (no panic on garbage; accepted frames survive a wire round
+# trip). The corpora grow under each package's testdata over time;
+# `make fuzz` explores for a few seconds beyond them.
 .PHONY: fuzz
 fuzz:
 	go test -run FuzzTraceRoundTrip -fuzz FuzzTraceRoundTrip -fuzztime 5s ./internal/probe
 	go test -run FuzzSnapshotRoundTrip -fuzz FuzzSnapshotRoundTrip -fuzztime 5s ./internal/state
+	go test -run FuzzServeRequest -fuzz FuzzServeRequest -fuzztime 5s ./internal/serve
 
 # Coverage profile for CI: runs tier-1 tests with -coverprofile and
 # prints the per-function summary tail (total coverage) to the log.
@@ -82,6 +84,14 @@ topos:
 topos-check:
 	@go run ./cmd/nocgen topos | diff -u TOPOLOGIES.md - \
 		|| { echo "TOPOLOGIES.md is stale: run 'make topos'"; exit 1; }
+
+# Co-simulation service smoke: nocserve end to end over stdio (with a
+# park/restart/resume across two server processes) and HTTP, checking
+# nonzero latency answers and a clean SIGTERM shutdown. The transcript
+# lands in serve-smoke/ (CI uploads it as an artifact).
+.PHONY: serve-smoke
+serve-smoke:
+	sh scripts/serve_smoke.sh
 
 # One-stop pre-commit gate: build, tests, vet, the codec fuzz smokes
 # (trace JSONL + snapshot framing), the REGISTERS.md and TOPOLOGIES.md

@@ -35,6 +35,7 @@ func main() {
 		doSnap  = flag.Bool("snapshot", false, "include snapshot-fork amortization rows (emu/fork=*) in the -json bench suite")
 		doZoo   = flag.Bool("zoo", true, "include 1k-node topology/workload zoo rows (emu/topo=*, emu/wl=*) in the -json bench suite")
 		doDSE   = flag.Bool("dse", true, "include sweep-throughput rows (emu/dse=*) in the -json bench suite")
+		doServe = flag.Bool("serve", true, "include co-simulation service rows (emu/serve=*: warm vs cold session starts, xfer oracle calls) in the -json bench suite")
 		filter  = flag.String("filter", "", "only run bench rows whose name matches this regexp (e.g. -filter 'emu/dse=')")
 		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the selected runs to this file (go tool pprof)")
 		memProf = flag.String("memprofile", "", "write a heap profile (after the selected runs) to this file")
@@ -76,7 +77,7 @@ func main() {
 			}
 			match = re.MatchString
 		}
-		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap, *doZoo, *doDSE, match); err != nil {
+		if err := writeBenchJSON(*jsonOut, *workers, *doTrace, *doSnap, *doZoo, *doDSE, *doServe, match); err != nil {
 			fmt.Fprintln(os.Stderr, "nocbench:", err)
 			os.Exit(1)
 		}
@@ -98,7 +99,7 @@ func main() {
 
 // writeBenchJSON runs the machine-readable benchmark suite and writes
 // it to path — the artifact `make bench` produces and CI uploads.
-func writeBenchJSON(path string, workers int, traced, snapshot, zoo, dseRows bool, match experiments.RowFilter) error {
+func writeBenchJSON(path string, workers int, traced, snapshot, zoo, dseRows, serveRows bool, match experiments.RowFilter) error {
 	rows, err := experiments.BenchSuite(0, workers, traced, match)
 	if err != nil {
 		return err
@@ -123,6 +124,13 @@ func writeBenchJSON(path string, workers int, traced, snapshot, zoo, dseRows boo
 			return err
 		}
 		rows = append(rows, sweepRows...)
+	}
+	if serveRows {
+		svRows, err := experiments.BenchServe(match)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, svRows...)
 	}
 	f, err := os.Create(path)
 	if err != nil {

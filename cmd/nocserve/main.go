@@ -1,0 +1,101 @@
+// nocserve is the co-simulation session server (DESIGN.md §16): a
+// long-lived process speaking the versioned JSONL protocol over stdio
+// (default; one request per line, one response per line, in order) or
+// HTTP (-http; POST one frame to /v1/rpc, GET /healthz for liveness).
+//
+// Sessions pin a built platform — any topology-spec × workload pair,
+// or a full inline JSON platform config — and clients inject packets,
+// advance emulated cycles, and read latency, occupancy and congestion
+// answers computed over the platform's register buses. Sessions park
+// to -park-dir on eviction, client request, or graceful shutdown, and
+// resume there after a restart; -cache-dir amortizes warm-up across
+// sessions sharing a platform shape.
+//
+//	echo '{"v":1,"id":1,"op":"open","sid":"s","platform":{"topo":"mesh:w=4,h=4"}}' | nocserve
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"nocemu/internal/serve"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdin, os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdin io.Reader, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("nocserve", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	httpAddr := fs.String("http", "", "serve HTTP on this address instead of stdio (POST /v1/rpc)")
+	parkDir := fs.String("park-dir", "", "directory for parked sessions (sessions survive restarts)")
+	cacheDir := fs.String("cache-dir", "", "warm-up snapshot cache directory")
+	maxSessions := fs.Int("max-sessions", 64, "live session cap; least recently used sessions park beyond it")
+	pool := fs.Int("pool", 2, "idle platforms retained per platform shape")
+	workers := fs.Int("workers", 0, "max concurrently dispatched requests (0 = unbounded)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if fs.NArg() != 0 {
+		fmt.Fprintln(stderr, "nocserve: unexpected arguments:", fs.Args())
+		return 2
+	}
+	m := serve.NewManager(serve.Options{
+		MaxSessions: *maxSessions,
+		PoolPerKey:  *pool,
+		CacheDir:    *cacheDir,
+		ParkDir:     *parkDir,
+		Workers:     *workers,
+	})
+	var err error
+	if *httpAddr == "" {
+		err = serve.ServeStdio(m, stdin, stdout)
+	} else {
+		err = serveHTTP(m, *httpAddr, stderr)
+	}
+	// Graceful drain: live sessions park (with -park-dir) or close,
+	// pooled platforms close, before the process exits.
+	if serr := m.Shutdown(); err == nil {
+		err = serr
+	}
+	if err != nil {
+		fmt.Fprintln(stderr, "nocserve:", err)
+		return 1
+	}
+	return 0
+}
+
+// serveHTTP listens on addr and serves until SIGINT/SIGTERM. The
+// bound address is announced on stderr (addr may be :0 in tests and
+// smoke scripts).
+func serveHTTP(m *serve.Manager, addr string, stderr io.Writer) error {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(stderr, "nocserve: listening on http://%s\n", ln.Addr())
+	srv := &http.Server{Handler: serve.NewHTTPHandler(m)}
+	sigs := make(chan os.Signal, 1)
+	signal.Notify(sigs, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigs)
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+	select {
+	case <-sigs:
+		// In-flight requests finish inside Manager.Shutdown's drain;
+		// closing the server just stops new connections.
+		err = srv.Close()
+	case err = <-done:
+	}
+	if err == http.ErrServerClosed {
+		err = nil
+	}
+	return err
+}

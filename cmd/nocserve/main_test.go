@@ -1,0 +1,139 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"strings"
+	"testing"
+
+	"nocemu/internal/jsonio"
+	"nocemu/internal/serve"
+)
+
+// TestRunStdio drives the binary's default mode end to end: a scripted
+// session over stdin/stdout, one response line per request line.
+func TestRunStdio(t *testing.T) {
+	in := strings.Join([]string{
+		`{"v":1,"id":1,"op":"open","sid":"c","platform":{"topo":"mesh:w=2,h=2","warmup":16}}`,
+		`{"v":1,"id":2,"op":"xfer","sid":"c","src":0,"dst":5,"bytes":64}`,
+		`{"v":1,"id":3,"op":"stats","sid":"c"}`,
+		`{"v":1,"id":4,"op":"close","sid":"c"}`,
+	}, "\n") + "\n"
+	var out, errb bytes.Buffer
+	if code := run([]string{"-park-dir", t.TempDir()}, strings.NewReader(in), &out, &errb); code != 0 {
+		t.Fatalf("exit %d, stderr: %s", code, errb.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 {
+		t.Fatalf("%d response lines: %q", len(lines), out.String())
+	}
+	var xfer jsonio.ServeResponse
+	if err := json.Unmarshal([]byte(lines[1]), &xfer); err != nil {
+		t.Fatalf("xfer response: %v", err)
+	}
+	if !xfer.OK || !xfer.Delivered || xfer.Latency == 0 {
+		t.Fatalf("xfer response %+v, want delivered with nonzero latency", xfer)
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-nosuchflag"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit %d for bad flag", code)
+	}
+	if code := run([]string{"positional"}, strings.NewReader(""), &out, &errb); code != 2 {
+		t.Fatalf("exit %d for positional args", code)
+	}
+}
+
+// TestHTTPTransport exercises the HTTP handler as the binary mounts
+// it: health endpoint, a session over POST /v1/rpc, method rejection.
+func TestHTTPTransport(t *testing.T) {
+	m := serve.NewManager(serve.Options{})
+	defer m.Shutdown()
+	srv := &http.Server{Handler: serve.NewHTTPHandler(m)}
+	ln, err := listenLocal()
+	if err != nil {
+		t.Fatalf("listen: %v", err)
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	base := "http://" + ln.Addr().String()
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %v %v", err, resp)
+	}
+	resp.Body.Close()
+
+	rpc := func(frame string) jsonio.ServeResponse {
+		t.Helper()
+		resp, err := http.Post(base+"/v1/rpc", "application/json", strings.NewReader(frame))
+		if err != nil {
+			t.Fatalf("rpc: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		var out jsonio.ServeResponse
+		if err := json.Unmarshal(b, &out); err != nil {
+			t.Fatalf("rpc response %q: %v", b, err)
+		}
+		return out
+	}
+	if r := rpc(`{"v":1,"id":1,"op":"open","sid":"h","platform":{"topo":"mesh:w=2,h=2"}}`); !r.OK {
+		t.Fatalf("open over HTTP: %s", r.Err)
+	}
+	if r := rpc(`{"v":1,"id":2,"op":"xfer","sid":"h","src":1,"dst":6,"bytes":16}`); !r.OK || !r.Delivered {
+		t.Fatalf("xfer over HTTP: %+v", r)
+	}
+	if r := rpc(`{"v":1,"id":3,"op":"close","sid":"h"}`); !r.OK {
+		t.Fatalf("close over HTTP: %s", r.Err)
+	}
+	if r := rpc(`not json`); r.OK || r.Err == "" {
+		t.Fatalf("malformed frame over HTTP: %+v", r)
+	}
+	get, err := http.Get(base + "/v1/rpc")
+	if err != nil || get.StatusCode != http.StatusMethodNotAllowed {
+		t.Fatalf("GET /v1/rpc: %v %v", err, get)
+	}
+	get.Body.Close()
+}
+
+// TestStdioSurvivesRestart is the binary-level restart check: park in
+// one process run, resume in the next, sharing -park-dir.
+func TestStdioSurvivesRestart(t *testing.T) {
+	parkDir := t.TempDir()
+	first := strings.Join([]string{
+		`{"v":1,"id":1,"op":"open","sid":"r","platform":{"topo":"mesh:w=2,h=2"}}`,
+		`{"v":1,"id":2,"op":"step","sid":"r","cycles":123}`,
+		`{"v":1,"id":3,"op":"park","sid":"r"}`,
+	}, "\n") + "\n"
+	var out1, err1 bytes.Buffer
+	if code := run([]string{"-park-dir", parkDir}, strings.NewReader(first), &out1, &err1); code != 0 {
+		t.Fatalf("first run exit %d: %s", code, err1.String())
+	}
+	second := strings.Join([]string{
+		`{"v":1,"id":4,"op":"resume","sid":"r"}`,
+		`{"v":1,"id":5,"op":"close","sid":"r"}`,
+	}, "\n") + "\n"
+	var out2, err2 bytes.Buffer
+	if code := run([]string{"-park-dir", parkDir}, strings.NewReader(second), &out2, &err2); code != 0 {
+		t.Fatalf("second run exit %d: %s", code, err2.String())
+	}
+	lines := strings.Split(strings.TrimSpace(out2.String()), "\n")
+	var resume jsonio.ServeResponse
+	if err := json.Unmarshal([]byte(lines[0]), &resume); err != nil {
+		t.Fatalf("resume response: %v", err)
+	}
+	if !resume.OK || resume.Cycle != 123 {
+		t.Fatalf("resume after restart: %+v, want cycle 123", resume)
+	}
+}
+
+// listenLocal binds an ephemeral localhost port.
+func listenLocal() (net.Listener, error) {
+	return net.Listen("tcp", "127.0.0.1:0")
+}

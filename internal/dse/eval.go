@@ -10,13 +10,14 @@ import (
 	"nocemu/internal/resource"
 )
 
-// snapCache holds one warmed-up platform snapshot per structural key.
-// Within a sweep it lives in memory; with a cache directory every
-// snapshot is also persisted as <fnv64(key)>.nocsnap so a resumed or
-// repeated sweep skips construction warm-up. Disk entries are written
-// atomically (tmp + rename) so a killed sweep never leaves a torn
-// snapshot behind.
-type snapCache struct {
+// SnapCache holds one warmed-up platform snapshot per structural key.
+// It lives in memory; with a cache directory every snapshot is also
+// persisted as <fnv64(key)>.nocsnap so a resumed or repeated run skips
+// construction warm-up. Disk entries are written atomically (tmp +
+// rename) so a killed process never leaves a torn snapshot behind.
+// Exported because the co-simulation server (internal/serve) shares it
+// for warm session starts.
+type SnapCache struct {
 	dir string
 	mu  sync.Mutex
 	mem map[string][]byte
@@ -24,13 +25,15 @@ type snapCache struct {
 	hits int
 }
 
-func newSnapCache(dir string) *snapCache {
-	return &snapCache{dir: dir, mem: map[string][]byte{}}
+// NewSnapCache builds a snapshot cache; dir may be empty for a
+// memory-only cache.
+func NewSnapCache(dir string) *SnapCache {
+	return &SnapCache{dir: dir, mem: map[string][]byte{}}
 }
 
 // path maps a structural key to its cache file. Keys hold characters
 // unfit for filenames, so the name is the FNV-1a 64 hash of the key.
-func (c *snapCache) path(key string) string {
+func (c *SnapCache) path(key string) string {
 	const (
 		offset64 = 14695981039346656037
 		prime64  = 1099511628211
@@ -43,7 +46,7 @@ func (c *snapCache) path(key string) string {
 	return filepath.Join(c.dir, fmt.Sprintf("%016x.nocsnap", h))
 }
 
-func (c *snapCache) get(key string) ([]byte, bool) {
+func (c *SnapCache) Get(key string) ([]byte, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if b, ok := c.mem[key]; ok {
@@ -62,7 +65,7 @@ func (c *snapCache) get(key string) ([]byte, bool) {
 	return b, true
 }
 
-func (c *snapCache) put(key string, snap []byte) {
+func (c *SnapCache) Put(key string, snap []byte) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mem[key] = snap
@@ -80,7 +83,7 @@ func (c *snapCache) put(key string, snap []byte) {
 	_ = os.Rename(tmp, path)
 }
 
-func (c *snapCache) hitCount() int {
+func (c *SnapCache) HitCount() int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits
@@ -89,7 +92,7 @@ func (c *snapCache) hitCount() int {
 // evaluator runs structural points into result rows.
 type evaluator struct {
 	cfg   *Config
-	cache *snapCache
+	cache *SnapCache
 }
 
 // errorRows marks every fork of a failed point with the same error so
@@ -160,7 +163,7 @@ func (e *evaluator) evalPoint(p Point) []Row {
 	}
 	defer src.Close()
 	key := e.cfg.StructKey(p)
-	if snap, ok := e.cache.get(key); ok {
+	if snap, ok := e.cache.Get(key); ok {
 		if err := src.RestoreBytes(snap); err != nil {
 			// A stale or foreign cache entry must not poison the sweep:
 			// rebuild and warm up from scratch.
@@ -197,7 +200,7 @@ func (e *evaluator) warmAndCache(src *platform.Platform, key string) {
 	src.RunCycles(e.cfg.WarmupCycles)
 	src.ResetStats()
 	if snap, err := src.SnapshotBytes(); err == nil {
-		e.cache.put(key, snap)
+		e.cache.Put(key, snap)
 	}
 }
 

@@ -58,7 +58,7 @@ func Sweep(cfg Config) (*Result, error) {
 	r := &runner{
 		cfg:  &cfg,
 		objs: objs,
-		eval: &evaluator{cfg: &cfg, cache: newSnapCache(cfg.CacheDir)},
+		eval: &evaluator{cfg: &cfg, cache: NewSnapCache(cfg.CacheDir)},
 		jnl:  jnl,
 	}
 	start := time.Now()
@@ -77,7 +77,7 @@ func Sweep(cfg Config) (*Result, error) {
 		GridSize:  cfg.Axes.GridSize(),
 		Evaluated: r.evaluated,
 		Resumed:   r.resumed,
-		CacheHits: r.eval.cache.hitCount(),
+		CacheHits: r.eval.cache.HitCount(),
 		Stopped:   r.stopped,
 		Elapsed:   elapsed,
 	}

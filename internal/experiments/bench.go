@@ -19,6 +19,9 @@ type BenchRow struct {
 	// PointsPerMin is set on sweep-throughput rows (emu/dse=*): design
 	// points evaluated per wall minute.
 	PointsPerMin float64 `json:"points_per_min,omitempty"`
+	// SessionsPerSec is set on co-simulation service rows
+	// (emu/serve=*): sessions opened and closed per wall second.
+	SessionsPerSec float64 `json:"sessions_per_sec,omitempty"`
 }
 
 // RowFilter selects which benchmark rows run; nil runs everything. A

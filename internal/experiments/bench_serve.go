@@ -1,0 +1,130 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"nocemu/internal/jsonio"
+	"nocemu/internal/serve"
+)
+
+// BenchServe measures the co-simulation service (emu/serve=* rows):
+// session open/close throughput cold (every open builds its platform
+// and replays the warm-up) versus warm (pooled platform plus cached
+// warm snapshot — the amortization the server exists for), and the
+// xfer oracle-call path (inject one transfer, run until it lands,
+// answer its latency over the buses).
+func BenchServe(filter RowFilter) ([]BenchRow, error) {
+	const (
+		warmup   = 20_000
+		sessions = 8
+	)
+	sp := &jsonio.ServePlatform{
+		Topo:      "mesh:w=4,h=4",
+		Workload:  "uniform",
+		Injection: 0.1,
+		Warmup:    warmup,
+	}
+	var rows []BenchRow
+
+	if name := "emu/serve=open/cold"; filter.match(name) {
+		// A fresh manager per session: no pool, no cache — the full
+		// build-plus-warm-up price every time.
+		start := time.Now()
+		for i := 0; i < sessions; i++ {
+			m := serve.NewManager(serve.Options{})
+			if err := openClose(m, sp, i); err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+			if err := m.Shutdown(); err != nil {
+				return nil, fmt.Errorf("%s: shutdown: %v", name, err)
+			}
+		}
+		rows = append(rows, BenchRow{
+			Name:           name,
+			SessionsPerSec: float64(sessions) / time.Since(start).Seconds(),
+		})
+	}
+
+	if name := "emu/serve=open/warm"; filter.match(name) {
+		m := serve.NewManager(serve.Options{})
+		// Prime the pool and the warm-snapshot cache.
+		if err := openClose(m, sp, 0); err != nil {
+			return nil, fmt.Errorf("%s: prime: %v", name, err)
+		}
+		start := time.Now()
+		for i := 0; i < sessions; i++ {
+			if err := openClose(m, sp, i); err != nil {
+				return nil, fmt.Errorf("%s: %v", name, err)
+			}
+		}
+		elapsed := time.Since(start)
+		if err := m.Shutdown(); err != nil {
+			return nil, fmt.Errorf("%s: shutdown: %v", name, err)
+		}
+		rows = append(rows, BenchRow{
+			Name:           name,
+			SessionsPerSec: float64(sessions) / elapsed.Seconds(),
+		})
+	}
+
+	if name := "emu/serve=xfer"; filter.match(name) {
+		const xfers = 200
+		m := serve.NewManager(serve.Options{})
+		open := jsonio.ServeRequest{V: jsonio.ServeVersion, Op: jsonio.OpOpen, Sid: "bench", Platform: sp}
+		if r := m.Dispatch(open); !r.OK {
+			return nil, fmt.Errorf("%s: open: %s", name, r.Err)
+		}
+		start := time.Now()
+		var startCycle, endCycle uint64
+		for i := 0; i < xfers; i++ {
+			x := jsonio.ServeRequest{
+				V: jsonio.ServeVersion, ID: uint64(i), Op: jsonio.OpXfer, Sid: "bench",
+				Src: uint16(i % 16), Dst: uint16(16 + (i+1)%16), Bytes: 64,
+			}
+			r := m.Dispatch(x)
+			if !r.OK {
+				return nil, fmt.Errorf("%s: xfer %d: %s", name, i, r.Err)
+			}
+			if !r.Delivered {
+				return nil, fmt.Errorf("%s: xfer %d missed its deadline", name, i)
+			}
+			if i == 0 {
+				startCycle = r.Cycle
+			}
+			endCycle = r.Cycle
+		}
+		elapsed := time.Since(start)
+		if err := m.Shutdown(); err != nil {
+			return nil, fmt.Errorf("%s: shutdown: %v", name, err)
+		}
+		rows = append(rows, BenchRow{
+			Name:           name,
+			CyclesPerSec:   float64(endCycle-startCycle) / elapsed.Seconds(),
+			SessionsPerSec: float64(xfers) / elapsed.Seconds(),
+		})
+	}
+	return rows, nil
+}
+
+// openClose runs one minimal session: open (paying or skipping the
+// warm-up), one oracle transfer, close.
+func openClose(m *serve.Manager, sp *jsonio.ServePlatform, seed int) error {
+	sid := fmt.Sprintf("bench-%d", seed)
+	open := jsonio.ServeRequest{V: jsonio.ServeVersion, Op: jsonio.OpOpen, Sid: sid, Platform: sp}
+	if r := m.Dispatch(open); !r.OK {
+		return fmt.Errorf("open: %s", r.Err)
+	}
+	x := jsonio.ServeRequest{
+		V: jsonio.ServeVersion, Op: jsonio.OpXfer, Sid: sid,
+		Src: uint16(seed % 16), Dst: uint16(16 + (seed+3)%16), Bytes: 32,
+	}
+	if r := m.Dispatch(x); !r.OK {
+		return fmt.Errorf("xfer: %s", r.Err)
+	}
+	cl := jsonio.ServeRequest{V: jsonio.ServeVersion, Op: jsonio.OpClose, Sid: sid}
+	if r := m.Dispatch(cl); !r.OK {
+		return fmt.Errorf("close: %s", r.Err)
+	}
+	return nil
+}

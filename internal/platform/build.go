@@ -322,7 +322,7 @@ func Build(cfg Config) (*Platform, error) {
 			SizeBinWidth: spec.SizeBinWidth, SizeBins: spec.SizeBins,
 			GapBinWidth: spec.GapBinWidth, GapBins: spec.GapBins,
 			LatBinWidth: spec.LatBinWidth, LatBins: spec.LatBins,
-			RecordTrace: spec.RecordTrace,
+			RecordTrace: spec.RecordTrace, TrackLast: spec.TrackLast,
 		}, ej)
 		if err != nil {
 			return nil, fmt.Errorf("platform %s: %w", cfg.Name, err)
@@ -567,35 +567,55 @@ func BuildGenerator(spec TGSpec) (traffic.Generator, error) {
 		if spec.Uniform == nil {
 			return nil, fmt.Errorf("uniform model without config")
 		}
-		return traffic.NewUniform(*spec.Uniform)
+		gen, err := traffic.NewUniform(*spec.Uniform)
+		return wrapScripted(gen, err, spec)
 	case ModelBurst:
 		if spec.Burst == nil {
 			return nil, fmt.Errorf("burst model without config")
 		}
-		return traffic.NewBurst(*spec.Burst)
+		gen, err := traffic.NewBurst(*spec.Burst)
+		return wrapScripted(gen, err, spec)
 	case ModelPoisson:
 		if spec.Poisson == nil {
 			return nil, fmt.Errorf("poisson model without config")
 		}
-		return traffic.NewPoisson(*spec.Poisson)
+		gen, err := traffic.NewPoisson(*spec.Poisson)
+		return wrapScripted(gen, err, spec)
 	case ModelTrace:
 		if spec.Trace == nil {
 			return nil, fmt.Errorf("trace model without trace")
 		}
-		return traffic.NewTraceGen(spec.Trace)
+		gen, err := traffic.NewTraceGen(spec.Trace)
+		return wrapScripted(gen, err, spec)
 	case ModelFlow:
 		if spec.Flow == nil {
 			return nil, fmt.Errorf("flow model without config")
 		}
-		return traffic.NewFlowGen(*spec.Flow)
+		gen, err := traffic.NewFlowGen(*spec.Flow)
+		return wrapScripted(gen, err, spec)
 	case ModelIncast:
 		if spec.Incast == nil {
 			return nil, fmt.Errorf("incast model without config")
 		}
-		return traffic.NewIncastGen(*spec.Incast)
+		gen, err := traffic.NewIncastGen(*spec.Incast)
+		return wrapScripted(gen, err, spec)
+	case ModelScript:
+		return traffic.NewScript(nil), nil
 	default:
 		return nil, fmt.Errorf("unknown TG model %q", spec.Model)
 	}
+}
+
+// wrapScripted overlays a ScriptGen on the built model when the spec
+// asks for it.
+func wrapScripted(gen traffic.Generator, err error, spec TGSpec) (traffic.Generator, error) {
+	if err != nil {
+		return nil, err
+	}
+	if spec.Scripted {
+		return traffic.NewScript(gen), nil
+	}
+	return gen, nil
 }
 
 // Name returns the platform name.

@@ -30,6 +30,10 @@ const (
 	ModelTrace   TGModel = "trace"
 	ModelFlow    TGModel = "flow"
 	ModelIncast  TGModel = "incast"
+	// ModelScript is the pure externally scripted source: no model
+	// config, traffic arrives through Platform.InjectScript between
+	// runs (the co-simulation path, DESIGN.md §16).
+	ModelScript TGModel = "script"
 )
 
 // TGSpec configures the traffic generator for one source endpoint.
@@ -51,6 +55,11 @@ type TGSpec struct {
 	Limit uint64
 	// QueueFlits is the source-queue capacity (default 32).
 	QueueFlits int
+	// Scripted wraps the built model in a traffic.ScriptGen so
+	// externally scripted demands (Platform.InjectScript) overlay the
+	// model's own traffic. Implied by ModelScript (which has no inner
+	// model).
+	Scripted bool
 }
 
 // TRSpec configures the traffic receptor for one sink endpoint.
@@ -67,6 +76,10 @@ type TRSpec struct {
 	BufDepth int
 	// RecordTrace makes this receptor record arrivals for later replay.
 	RecordTrace bool
+	// TrackLast keeps each source's most recent network latency for the
+	// FLOW_LAST register (trace-driven mode; the co-simulation answer
+	// path).
+	TrackLast bool
 	// Histogram shaping (zero values use receptor defaults).
 	SizeBinWidth uint64
 	SizeBins     int
@@ -237,7 +250,11 @@ func (c *Config) validate() error {
 		if spec.Incast != nil {
 			n++
 		}
-		if n != 1 {
+		if spec.Model == ModelScript {
+			if n != 0 {
+				return fmt.Errorf("platform %s: TG %d: script model takes no model config, has %d", c.Name, i, n)
+			}
+		} else if n != 1 {
 			return fmt.Errorf("platform %s: TG %d must set exactly one model config, has %d", c.Name, i, n)
 		}
 	}

@@ -62,6 +62,13 @@ type Config struct {
 	// trace-recording path: traffic observed at a receptor can be
 	// replayed later by a trace-driven generator.
 	RecordTrace bool
+	// TrackLast makes the trace-driven latency analyzer additionally
+	// remember each source's most recent network latency, served over
+	// the bus as FLOW_LAST — the per-request answer a co-simulation
+	// session reads after injecting a scripted packet. Off by default:
+	// the extra map joins the snapshot layout only when enabled, so
+	// existing snapshots are unaffected.
+	TrackLast bool
 }
 
 func (c *Config) applyDefaults() {
@@ -110,7 +117,8 @@ type TR struct {
 	headInject map[flit.PacketID]uint64
 	minLat     map[flit.EndpointID]uint64
 	perSource  map[flit.EndpointID]*stats.Welford
-	congestion uint64 // accumulated excess cycles over per-source best
+	lastNet    map[flit.EndpointID]uint64 // nil unless cfg.TrackLast
+	congestion uint64                     // accumulated excess cycles over per-source best
 
 	recorded *trace.Trace
 }
@@ -143,6 +151,9 @@ func New(cfg Config, ej *nic.Ejector) (*TR, error) {
 		tr.headInject = make(map[flit.PacketID]uint64)
 		tr.minLat = make(map[flit.EndpointID]uint64)
 		tr.perSource = make(map[flit.EndpointID]*stats.Welford)
+		if cfg.TrackLast {
+			tr.lastNet = make(map[flit.EndpointID]uint64)
+		}
 	}
 	return tr, nil
 }
@@ -207,6 +218,9 @@ func (t *TR) Tick(cycle uint64) {
 				t.perSource[p.Src] = w
 			}
 			w.Add(float64(net))
+			if t.lastNet != nil {
+				t.lastNet[p.Src] = net
+			}
 			if best, ok := t.minLat[p.Src]; !ok || net < best {
 				t.minLat[p.Src] = net
 			}
@@ -311,6 +325,9 @@ type SourceLatency struct {
 	Src       flit.EndpointID
 	Packets   uint64
 	Mean, Max float64
+	// Last is the most recent packet's network latency from this
+	// source; zero unless Config.TrackLast is set.
+	Last uint64
 }
 
 // PerSourceLatency returns the latency analyzer's per-flow breakdown
@@ -327,7 +344,7 @@ func (t *TR) PerSourceLatency() []SourceLatency {
 	out := make([]SourceLatency, 0, len(srcs))
 	for _, s := range srcs {
 		w := t.perSource[s]
-		out = append(out, SourceLatency{Src: s, Packets: w.N(), Mean: w.Mean(), Max: w.Max()})
+		out = append(out, SourceLatency{Src: s, Packets: w.N(), Mean: w.Mean(), Max: w.Max(), Last: t.lastNet[s]})
 	}
 	return out
 }
@@ -358,5 +375,8 @@ func (t *TR) ResetStats() {
 	}
 	if t.perSource != nil {
 		t.perSource = make(map[flit.EndpointID]*stats.Welford)
+	}
+	if t.lastNet != nil {
+		t.lastNet = make(map[flit.EndpointID]uint64)
 	}
 }

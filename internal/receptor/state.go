@@ -45,6 +45,12 @@ func (t *TR) SaveState(w *state.Writer) {
 		saveEndpointCycleMap(w, t.minLat)
 		saveWelfordMap(w, t.perSource)
 		w.U64(t.congestion)
+		// The last-latency table joins the layout only when TrackLast
+		// built it; snapshots of plain trace-driven receptors are
+		// byte-identical to the pre-TrackLast format.
+		if t.lastNet != nil {
+			saveEndpointCycleMap(w, t.lastNet)
+		}
 	}
 	if t.recorded != nil {
 		w.Int(len(t.recorded.Records))
@@ -109,6 +115,11 @@ func (t *TR) LoadState(r *state.Reader) error {
 			return err
 		}
 		t.congestion = r.U64()
+		if t.lastNet != nil {
+			if t.lastNet, err = loadEndpointCycleMap(r); err != nil {
+				return err
+			}
+		}
 	}
 	if t.recorded != nil {
 		n := r.Int()

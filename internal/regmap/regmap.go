@@ -128,6 +128,7 @@ const (
 	RegFlowPackets = 0x053 // ro 64-bit: selected flow's packets
 	RegFlowMeanF64 = 0x056 // ro: selected flow's mean latency
 	RegFlowMaxF64  = 0x058 // ro: selected flow's max latency
+	RegFlowLast    = 0x05A // ro 64-bit: selected flow's last packet latency (TrackLast)
 )
 
 // Switch statistics registers.
@@ -136,6 +137,10 @@ const (
 	RegSwPacketsRouted = 0x012
 	RegSwBlocked       = 0x014
 	RegSwCycles        = 0x016
+	// RegSwOccupancy is the committed buffered-flit count across the
+	// switch's input FIFOs — the occupancy window a co-simulation
+	// client polls for backpressure.
+	RegSwOccupancy = 0x018
 )
 
 // TG model subtype codes.
@@ -482,6 +487,14 @@ func NewTRDevice(tr *receptor.TR) *Bank {
 			}
 			return fl.Max
 		})
+	b.RO64(RegFlowLast, "FLOW_LAST", "selected flow's most recent packet latency (0 unless TrackLast)",
+		func() uint64 {
+			fl, err := flow()
+			if err != nil {
+				return 0
+			}
+			return fl.Last
+		})
 	return b
 }
 
@@ -507,5 +520,7 @@ func NewSwitchDevice(sw *switchfab.Switch) *Bank {
 		func() uint64 { return sw.Stats().BlockedCycles })
 	b.RO64(RegSwCycles, "CYCLES", "committed cycles",
 		func() uint64 { return sw.Stats().Cycles })
+	b.RO64(RegSwOccupancy, "OCCUPANCY", "flits buffered in the input FIFOs (committed)",
+		func() uint64 { return uint64(sw.BufferedFlits()) })
 	return b
 }

@@ -1,0 +1,154 @@
+// Package serve implements the nocserve co-simulation service
+// (DESIGN.md §16): long-lived sessions pin a built platform, clients
+// script transfers and read latency, occupancy and congestion answers
+// back — all over the platform's register buses, exactly as an
+// FPGA-hosted emulator would be interrogated, never by peeking at Go
+// structs. A Manager multiplexes concurrent sessions over a platform
+// pool with warm-start snapshots, parks idle sessions to disk, and
+// keeps every session's response transcript a deterministic function
+// of its own request stream.
+package serve
+
+import (
+	"fmt"
+	"math"
+
+	"nocemu/internal/bus"
+	"nocemu/internal/control"
+	"nocemu/internal/jsonio"
+	"nocemu/internal/platform"
+	"nocemu/internal/regmap"
+)
+
+// busView answers session queries over the platform's register buses.
+// The device counts come off the control module once at session start;
+// everything else is read per request, so answers always reflect the
+// committed state of the current cycle.
+type busView struct {
+	sys *bus.System
+	nTR int
+	nSw int
+}
+
+func newBusView(p *platform.Platform) (*busView, error) {
+	v := &busView{sys: p.System()}
+	nTR, err := v.sys.Read(bus.MakeAddr(platform.BusControl, 0, control.RegNumTR))
+	if err != nil {
+		return nil, fmt.Errorf("serve: read NUM_TR: %v", err)
+	}
+	nSw, err := v.sys.Read(bus.MakeAddr(platform.BusControl, 0, control.RegNumSw))
+	if err != nil {
+		return nil, fmt.Errorf("serve: read NUM_SW: %v", err)
+	}
+	v.nTR, v.nSw = int(nTR), int(nSw)
+	return v, nil
+}
+
+// cycle reads the engine cycle counter off the control module.
+func (v *busView) cycle() uint64 {
+	c, err := v.sys.Read64(bus.MakeAddr(platform.BusControl, 0, control.RegCycleLo))
+	if err != nil {
+		// The control module is always at bus 0 device 0; a read error
+		// here means the platform was torn down under the session.
+		panic(fmt.Sprintf("serve: read CYCLE: %v", err))
+	}
+	return c
+}
+
+// flow scans TR device dev's flow table for src and returns its
+// latency summary. A source the sink has not heard from yet is an
+// all-zero row, not an error: the flow simply has no packets.
+func (v *busView) flow(dev uint32, src uint16) (jsonio.ServeFlow, error) {
+	addr := func(reg uint32) bus.Addr { return bus.MakeAddr(platform.BusTR, dev, reg) }
+	count, err := v.sys.Read(addr(regmap.RegFlowCount))
+	if err != nil {
+		return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_COUNT: %v", err)
+	}
+	for i := uint32(0); i < count; i++ {
+		if err := v.sys.Write(addr(regmap.RegFlowSel), i); err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: write FLOW_SEL: %v", err)
+		}
+		s, err := v.sys.Read(addr(regmap.RegFlowSrc))
+		if err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_SRC: %v", err)
+		}
+		if s != uint32(src) {
+			continue
+		}
+		var fl jsonio.ServeFlow
+		if fl.Packets, err = v.sys.Read64(addr(regmap.RegFlowPackets)); err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_PACKETS: %v", err)
+		}
+		mean, err := v.sys.Read64(addr(regmap.RegFlowMeanF64))
+		if err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_MEAN_F64: %v", err)
+		}
+		max, err := v.sys.Read64(addr(regmap.RegFlowMaxF64))
+		if err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_MAX_F64: %v", err)
+		}
+		if fl.Last, err = v.sys.Read64(addr(regmap.RegFlowLast)); err != nil {
+			return jsonio.ServeFlow{}, fmt.Errorf("serve: read FLOW_LAST: %v", err)
+		}
+		fl.Mean = math.Float64frombits(mean)
+		fl.Max = math.Float64frombits(max)
+		return fl, nil
+	}
+	return jsonio.ServeFlow{}, nil
+}
+
+// stats aggregates the platform-wide statistics answer: every TR's
+// receive counters (mean latency packet-weighted across sinks) and
+// every switch's occupancy and blocked counters.
+func (v *busView) stats() (jsonio.ServeStats, error) {
+	var st jsonio.ServeStats
+	var weighted float64
+	for d := 0; d < v.nTR; d++ {
+		addr := func(reg uint32) bus.Addr { return bus.MakeAddr(platform.BusTR, uint32(d), reg) }
+		pk, err := v.sys.Read64(addr(regmap.RegTRPackets))
+		if err != nil {
+			return st, fmt.Errorf("serve: TR %d PACKETS: %v", d, err)
+		}
+		fl, err := v.sys.Read64(addr(regmap.RegTRFlits))
+		if err != nil {
+			return st, fmt.Errorf("serve: TR %d FLITS: %v", d, err)
+		}
+		cong, err := v.sys.Read64(addr(regmap.RegTRCongestion))
+		if err != nil {
+			return st, fmt.Errorf("serve: TR %d CONGESTION: %v", d, err)
+		}
+		meanBits, err := v.sys.Read64(addr(regmap.RegTRNetLatMeanF64))
+		if err != nil {
+			return st, fmt.Errorf("serve: TR %d NET_LAT_MEAN_F64: %v", d, err)
+		}
+		maxBits, err := v.sys.Read64(addr(regmap.RegTRNetLatMaxF64))
+		if err != nil {
+			return st, fmt.Errorf("serve: TR %d NET_LAT_MAX_F64: %v", d, err)
+		}
+		st.Packets += pk
+		st.Flits += fl
+		st.Congestion += cong
+		weighted += math.Float64frombits(meanBits) * float64(pk)
+		if max := math.Float64frombits(maxBits); max > st.LatencyMax {
+			st.LatencyMax = max
+		}
+	}
+	if st.Packets > 0 {
+		st.LatencyMean = weighted / float64(st.Packets)
+	}
+	for s := 0; s < v.nSw; s++ {
+		// The control module holds bus 0 device 0; switches follow.
+		addr := func(reg uint32) bus.Addr { return bus.MakeAddr(platform.BusControl, uint32(1+s), reg) }
+		occ, err := v.sys.Read64(addr(regmap.RegSwOccupancy))
+		if err != nil {
+			return st, fmt.Errorf("serve: switch %d OCCUPANCY: %v", s, err)
+		}
+		blk, err := v.sys.Read64(addr(regmap.RegSwBlocked))
+		if err != nil {
+			return st, fmt.Errorf("serve: switch %d BLOCKED: %v", s, err)
+		}
+		st.Occupancy += occ
+		st.Blocked += blk
+	}
+	return st, nil
+}

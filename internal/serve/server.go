@@ -1,0 +1,89 @@
+// Transports: JSONL over stdio (one request per line, one response
+// per line, strictly in order) and HTTP (one frame per POST). Both
+// feed Manager.Dispatch, so the protocol semantics — and the
+// determinism guarantees — are transport-independent.
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"io"
+	"net/http"
+
+	"nocemu/internal/jsonio"
+)
+
+// maxFrame bounds one request frame (inline platform configs can be
+// large, but unbounded lines would let a client exhaust memory).
+const maxFrame = 16 << 20
+
+// Handle decodes one raw frame and dispatches it. Malformed frames
+// get an error response (id 0: the frame may not have parsed far
+// enough to know the client's id) instead of killing the transport.
+func Handle(m *Manager, frame []byte) jsonio.ServeResponse {
+	req, err := jsonio.DecodeServeRequest(frame)
+	if err != nil {
+		return jsonio.ServeResponse{V: jsonio.ServeVersion, Err: err.Error()}
+	}
+	return m.Dispatch(req)
+}
+
+// ServeStdio reads JSONL frames from r until EOF, writing one response
+// line per frame. Frames are served strictly serially in arrival
+// order — the transcript-replay transport. Blank lines are skipped.
+func ServeStdio(m *Manager, r io.Reader, w io.Writer) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), maxFrame)
+	bw := bufio.NewWriter(w)
+	defer bw.Flush()
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		resp := Handle(m, line)
+		if _, err := bw.Write(jsonio.EncodeServeResponse(resp)); err != nil {
+			return err
+		}
+		if err := bw.WriteByte('\n'); err != nil {
+			return err
+		}
+		// One response per request, visible before the next is read:
+		// clients drive the session synchronously.
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// NewHTTPHandler serves the protocol over HTTP: POST one frame to
+// /v1/rpc, receive one response frame; GET /healthz for liveness.
+func NewHTTPHandler(m *Manager) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/v1/rpc", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST one request frame", http.StatusMethodNotAllowed)
+			return
+		}
+		frame, err := io.ReadAll(io.LimitReader(r.Body, maxFrame+1))
+		if err != nil {
+			http.Error(w, fmt.Sprintf("read frame: %v", err), http.StatusBadRequest)
+			return
+		}
+		if len(frame) > maxFrame {
+			http.Error(w, "frame too large", http.StatusRequestEntityTooLarge)
+			return
+		}
+		resp := Handle(m, frame)
+		w.Header().Set("Content-Type", "application/json")
+		b := jsonio.EncodeServeResponse(resp)
+		w.Write(append(b, '\n'))
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain")
+		io.WriteString(w, "ok\n")
+	})
+	return mux
+}

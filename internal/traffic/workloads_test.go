@@ -16,7 +16,7 @@ func zooEnv(n int, inj float64, seed uint32) WorkloadEnv {
 }
 
 func TestWorkloadRegistryLists(t *testing.T) {
-	want := []string{"flows", "hotspot", "incast", "uniform"}
+	want := []string{"flows", "hotspot", "incast", "script", "uniform"}
 	got := WorkloadKinds()
 	if len(got) != len(want) {
 		t.Fatalf("WorkloadKinds() = %v, want %v", got, want)
@@ -58,7 +58,14 @@ func TestWorkloadsEmitValidConfigs(t *testing.T) {
 					if s.Incast != nil {
 						models++
 					}
-					if models != 1 || s.Model == "" {
+					// The script workload is config-free by design:
+					// its traffic arrives via ScriptGen.Append at run
+					// time.
+					wantModels := 1
+					if s.Model == "script" {
+						wantModels = 0
+					}
+					if models != wantModels || s.Model == "" {
 						t.Fatalf("%s source %d: %d model configs (model %q)", w.Kind, i, models, s.Model)
 					}
 				}

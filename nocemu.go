@@ -43,12 +43,14 @@ import (
 	"nocemu/internal/fault"
 	"nocemu/internal/flit"
 	"nocemu/internal/flow"
+	"nocemu/internal/jsonio"
 	"nocemu/internal/link"
 	"nocemu/internal/monitor"
 	"nocemu/internal/platform"
 	"nocemu/internal/receptor"
 	"nocemu/internal/resource"
 	"nocemu/internal/routing"
+	"nocemu/internal/serve"
 	"nocemu/internal/topology"
 	"nocemu/internal/trace"
 	"nocemu/internal/traffic"
@@ -306,4 +308,35 @@ var (
 	// traces.
 	SynthBurstTrace = trace.SynthBurst
 	SynthCBRTrace   = trace.SynthCBR
+)
+
+// Co-simulation service (internal/serve, cmd/nocserve): long-lived
+// sessions pinning a built platform, driven over the versioned JSONL
+// protocol — see DESIGN.md §16.
+type (
+	// ServeManager multiplexes sessions over a platform pool with
+	// warm-start snapshots and park/resume.
+	ServeManager = serve.Manager
+	// ServeOptions tunes a ServeManager.
+	ServeOptions = serve.Options
+	// ServeRequest and ServeResponse are the protocol frames;
+	// ServePlatformSpec pins a session's platform.
+	ServeRequest      = jsonio.ServeRequest
+	ServeResponse     = jsonio.ServeResponse
+	ServePlatformSpec = jsonio.ServePlatform
+)
+
+// Co-simulation service entry points.
+var (
+	// NewServeManager builds a session manager.
+	NewServeManager = serve.NewManager
+	// ServeStdio serves the JSONL protocol over a reader/writer pair;
+	// NewServeHTTPHandler mounts it on HTTP (POST /v1/rpc).
+	ServeStdio          = serve.ServeStdio
+	NewServeHTTPHandler = serve.NewHTTPHandler
+	// DecodeServeRequest / EncodeServeResponse are the strict frame
+	// codecs clients and tests share.
+	DecodeServeRequest  = jsonio.DecodeServeRequest
+	EncodeServeResponse = jsonio.EncodeServeResponse
+	EncodeServeRequest  = jsonio.EncodeServeRequest
 )
